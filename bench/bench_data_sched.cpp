@@ -1,0 +1,89 @@
+// Experiment E7 — scheduling in conjunction with data location
+// (Section 4, ChicagoSim), including push vs pull replication.
+//
+// "ChicagoSim … is designed to investigate scheduling strategies in
+// conjunction with data location … It also allows for data replication but
+// with a 'push' model … rather than the 'pull' model used in OptorSim."
+//
+// Part 1: the Ranganathan-Foster style grid — 4 external-scheduler policies
+// x 3 data policies on one workload; mean response, locality, traffic.
+// Part 2: pull vs push head-to-head at increasing popularity skew.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/chicsim/chicsim.hpp"
+#include "stats/table.hpp"
+#include "util/units.hpp"
+
+namespace chic = lsds::sim::chicsim;
+
+namespace {
+
+chic::Config base_config() {
+  chic::Config cfg;
+  cfg.num_sites = 6;
+  cfg.processors_per_site = 3;
+  cfg.storage_fraction = 0.3;
+  cfg.workload.num_jobs = 400;
+  cfg.workload.num_files = 48;
+  cfg.workload.files_per_job = 1;
+  cfg.workload.mean_interarrival = 0.8;
+  cfg.workload.zipf_exponent = 0.9;
+  cfg.workload.file_bytes = {lsds::apps::SizeDist::kConstant, 40e6, 0};
+  return cfg;
+}
+
+chic::Result run_cfg(const chic::Config& cfg) {
+  lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 777);
+  return chic::run(eng, cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Experiment E7: ChicagoSim scheduler x data-placement grid ==\n");
+  std::printf("6 sites x 3 procs, 400 jobs, 48 x 40 MB files, zipf 0.9\n\n");
+
+  lsds::stats::AsciiTable t({"job policy", "data policy", "mean response [s]", "locality",
+                             "network", "replications", "pushes"});
+  for (auto jp : chic::kAllJobPolicies) {
+    for (auto dp : chic::kAllDataPolicies) {
+      auto cfg = base_config();
+      cfg.job_policy = jp;
+      cfg.data_policy = dp;
+      const auto r = run_cfg(cfg);
+      t.row()
+          .cell(std::string(to_string(jp)))
+          .cell(std::string(to_string(dp)))
+          .cell(r.response_times.mean())
+          .cell(r.locality())
+          .cell(lsds::util::format_size(r.network_bytes))
+          .cell(r.replications)
+          .cell(r.pushes);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Pull (OptorSim-style cache) vs push (ChicagoSim) across skew:\n\n");
+  lsds::stats::AsciiTable h({"zipf", "model", "mean response [s]", "locality", "network"});
+  for (double zipf : {0.0, 0.6, 1.2}) {
+    for (auto dp : {chic::DataPolicy::kCache, chic::DataPolicy::kPush}) {
+      auto cfg = base_config();
+      cfg.job_policy = chic::JobPolicy::kRandom;  // isolate the data policy
+      cfg.data_policy = dp;
+      cfg.workload.zipf_exponent = zipf;
+      const auto r = run_cfg(cfg);
+      h.row()
+          .cell(zipf)
+          .cell(std::string(dp == chic::DataPolicy::kCache ? "pull (cache)" : "push"))
+          .cell(r.response_times.mean())
+          .cell(r.locality())
+          .cell(lsds::util::format_size(r.network_bytes));
+    }
+  }
+  std::printf("%s\n", h.render().c_str());
+  std::printf("claim check: data-aware job placement wins without any replication;\n"
+              "push replication pays off as popularity skew grows (hot files are\n"
+              "worth broadcasting), while pull adapts at first-use cost.\n");
+  return 0;
+}

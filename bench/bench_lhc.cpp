@@ -1,0 +1,63 @@
+// Experiment E9 — the MONARC 2 LHC T0/T1 replication study (Section 5).
+//
+// "MONARC 2 was already used to evaluate the specific behavior of the LHC
+// experiments (Legrand et al. 2005) … The obtained results indicated the
+// role of using a data replication agent for the intelligent transferring
+// of the produced data. The obtained results also showed that the existing
+// capacity of 2.5 Gbps was not sufficient and, in fact, not far afterwards
+// the link was upgraded to a current 30 Gbps."
+//
+// Tier model: T0 production pushes every raw file to 4 T1s through per-T1
+// links; T1 analysis consumes replicas. Sweep the T0-T1 link capacity over
+// the historical range 0.622-40 Gbps under a CMS/ATLAS-like offered rate
+// of 4 Gbps per link. Reported per capacity: link utilization, peak and
+// end-of-production backlog, replication lag, post-production drain time,
+// analysis delay and the sustainability verdict.
+//
+// Expected shape (the paper's story): 2.5 Gbps diverges — backlog grows for
+// the whole run; the crossover sits at the offered rate; 10-40 Gbps keep
+// up with shrinking lag, with ample headroom at 30-40 Gbps.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/monarc/monarc.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace u = lsds::util;
+
+int main() {
+  std::printf("== Experiment E9: MONARC LHC T0/T1 replication vs link capacity ==\n");
+  std::printf("4 T1s, 60 x 20 GB raw files, one every 40 s => offered 4 Gbps per link\n");
+  std::printf("analysis jobs at each T1 wait for their local replica\n\n");
+
+  lsds::stats::AsciiTable t({"link", "util", "peak backlog", "backlog @prod end", "mean lag [s]",
+                             "drain [s]", "analysis delay [s]", "verdict"});
+  for (double gbps : {0.622, 1.0, 2.5, 5.0, 10.0, 20.0, 30.0, 40.0}) {
+    lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 2005);
+    lsds::sim::monarc::Config cfg;
+    cfg.num_t1 = 4;
+    cfg.num_files = 60;
+    cfg.file_bytes = 20e9;
+    cfg.production_interval = 40.0;
+    cfg.t0_t1_bandwidth = u::gbps(gbps);
+    cfg.run_analysis = true;
+    const auto r = lsds::sim::monarc::run(eng, cfg);
+    t.row()
+        .cell(u::format_rate(cfg.t0_t1_bandwidth))
+        .cell(r.link_utilization)
+        .cell(u::format_size(r.peak_backlog_bytes))
+        .cell(u::format_size(r.backlog_at_production_end))
+        .cell(r.replication_lag.mean())
+        .cell(r.drain_time)
+        .cell(r.analysis_delays.mean())
+        .cell(std::string(r.sustainable() ? "keeps up" : "DIVERGES"));
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("claim check: at 2.5 Gbps the replication agent falls behind production\n"
+              "for the entire run (the paper's 'not sufficient'); capacities past the\n"
+              "offered rate keep up, and 30-40 Gbps (the deployed upgrade) leave the\n"
+              "links mostly idle with near-zero replica lag.\n");
+  return 0;
+}

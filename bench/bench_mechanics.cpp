@@ -1,0 +1,125 @@
+// Experiment E2 — event-driven vs time-driven DES (Section 3).
+//
+// Paper claim: "An event-driven DES is more efficient than a time-driven
+// DES since it does not step through regular time intervals when no event
+// occurs."
+//
+// One M/M/1 queue (lambda=0.2/s, mu=0.25/s => sparse events) is simulated
+// to a 100k-second horizon three ways: event-driven, and time-driven at
+// tick sizes 1.0 and 0.1 s. Reported per mode: wall time, engine events,
+// ticks stepped, empty ticks (pure waste), and the mean-wait estimate vs
+// the analytic M/M/1 value — the time quantum also costs accuracy.
+#include <chrono>
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "core/time_driven.hpp"
+#include "stats/analytical.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace core = lsds::core;
+namespace stats = lsds::stats;
+
+namespace {
+
+constexpr double kLambda = 0.2;
+constexpr double kMu = 0.25;
+constexpr double kHorizon = 100000.0;
+
+struct RunOutcome {
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t empty_ticks = 0;
+  double mean_wait = 0;
+};
+
+// M/M/1 FCFS queue driven by plain engine events.
+struct MM1Model {
+  core::Engine& eng;
+  stats::Accumulator waits;
+  std::uint64_t in_system = 0;
+  std::vector<double> arrivals;  // FIFO of arrival times
+
+  void arrival() {
+    arrivals.push_back(eng.now());
+    if (++in_system == 1) schedule_departure();
+    eng.schedule_in(eng.rng("arrivals").exponential(1.0 / kLambda), [this] { arrival(); });
+  }
+  void schedule_departure() {
+    eng.schedule_in(eng.rng("service").exponential(1.0 / kMu), [this] { departure(); });
+  }
+  void departure() {
+    waits.add(eng.now() - arrivals.front());
+    arrivals.erase(arrivals.begin());
+    if (--in_system > 0) schedule_departure();
+  }
+};
+
+RunOutcome run_event_driven() {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+  MM1Model model{eng, {}, 0, {}};
+  eng.schedule_at(0.0, [&] { model.arrival(); });
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run_until(kHorizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunOutcome out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.events = eng.stats().executed;
+  out.mean_wait = model.waits.mean();
+  return out;
+}
+
+RunOutcome run_time_driven(double tick) {
+  core::Engine::Config cfg;
+  cfg.seed = 7;
+  cfg.time_quantum = tick;  // timestamps quantized to the tick grid
+  core::Engine eng(cfg);
+  MM1Model model{eng, {}, 0, {}};
+  eng.schedule_at(0.0, [&] { model.arrival(); });
+  core::TimeDrivenRunner runner(eng, tick);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = runner.run(kHorizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunOutcome out;
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.events = res.events;
+  out.ticks = res.ticks;
+  out.empty_ticks = res.empty_ticks;
+  out.mean_wait = model.waits.mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Experiment E2: event-driven vs time-driven DES ==\n");
+  std::printf("model: M/M/1, lambda=%.2f mu=%.2f, horizon %.0f s\n\n", kLambda, kMu, kHorizon);
+
+  const stats::MM1 theory{kLambda, kMu};
+  stats::AsciiTable t({"mode", "wall [ms]", "events", "ticks", "empty ticks", "mean sojourn [s]",
+                       "theory W [s]", "rel err"});
+
+  auto add = [&](const char* name, const RunOutcome& r) {
+    const double w = theory.mean_sojourn();
+    t.row()
+        .cell(std::string(name))
+        .cell(r.wall_ms)
+        .cell(r.events)
+        .cell(r.ticks)
+        .cell(r.empty_ticks)
+        .cell(r.mean_wait)
+        .cell(w)
+        .cell(std::abs(r.mean_wait - w) / w);
+  };
+
+  add("event-driven", run_event_driven());
+  add("time-driven dt=1.0", run_time_driven(1.0));
+  add("time-driven dt=0.1", run_time_driven(0.1));
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("claim check: time-driven steps through empty ticks the event-driven\n"
+              "run never visits; shrinking dt improves accuracy but multiplies ticks.\n");
+  return 0;
+}

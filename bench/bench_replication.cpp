@@ -1,0 +1,58 @@
+// Experiment E6 — replica optimization strategies (Section 4, OptorSim).
+//
+// "The objective of OptorSim is to investigate the stability and transient
+// behavior of replication optimization methods … It provides a set of
+// measurements which can be used to quantify the effectiveness of the
+// optimization strategy under the considered conditions."
+//
+// Grid of 6 sites around a hub, all master files at a pinned storage
+// element, 300 data-intensive jobs. Sweep: strategy x Zipf skew of file
+// popularity. Reported: mean job time, local hit ratio, inter-site traffic,
+// replications/evictions — the OptorSim result shape (caching strategies
+// beat no-replication; with skewed access the economic model approaches LRU
+// with far fewer replications).
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/optorsim/optorsim.hpp"
+#include "stats/table.hpp"
+#include "util/units.hpp"
+
+namespace mw = lsds::middleware;
+
+int main() {
+  std::printf("== Experiment E6: OptorSim replication strategies ==\n");
+  std::printf("6 sites, 300 jobs x 2 files, 60 x 50 MB dataset, caches hold 20%% of it\n\n");
+
+  lsds::stats::AsciiTable t({"zipf", "strategy", "mean job time [s]", "hit ratio",
+                             "network", "replications", "evictions"});
+  for (double zipf : {0.0, 0.8, 1.2}) {
+    for (auto policy : mw::kAllReplicationPolicies) {
+      lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 4242);
+      lsds::sim::optorsim::Config cfg;
+      cfg.num_sites = 6;
+      cfg.cache_fraction = 0.2;
+      cfg.policy = policy;
+      cfg.workload.num_jobs = 300;
+      cfg.workload.num_files = 60;
+      cfg.workload.files_per_job = 2;
+      cfg.workload.mean_interarrival = 1.5;
+      cfg.workload.zipf_exponent = zipf;
+      cfg.workload.file_bytes = {lsds::apps::SizeDist::kConstant, 50e6, 0};
+      const auto r = lsds::sim::optorsim::run(eng, cfg);
+      t.row()
+          .cell(zipf)
+          .cell(std::string(mw::to_string(policy)))
+          .cell(r.mean_job_time())
+          .cell(r.local_hit_ratio())
+          .cell(lsds::util::format_size(r.network_bytes))
+          .cell(r.replications)
+          .cell(r.evictions);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("claim check: any replication beats none on job time and traffic; under\n"
+              "skewed (Zipf) access the economic optimizer replicates far more\n"
+              "selectively while keeping most of the hit-ratio benefit.\n");
+  return 0;
+}

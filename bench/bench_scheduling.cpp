@@ -1,0 +1,180 @@
+// Experiment E8 — scheduling heuristics and the GridSim economy broker
+// (Section 4, SimGrid + GridSim).
+//
+// Part 1 (SimGrid scope): bag-of-tasks mapping heuristics on pools of
+// increasing heterogeneity — makespan per heuristic. Expected shape: the
+// ECT-based heuristics (min-min/max-min/sufferage) and self-scheduling beat
+// speed-blind round-robin, and the gap widens with heterogeneity.
+//
+// Part 2 (SimGrid modes): compile-time vs runtime scheduling as task-length
+// estimates degrade.
+//
+// Part 3 (GridSim scope): deadline-and-budget-constrained brokering —
+// budget sweep for both DBC strategies: accepted jobs, makespan, spend.
+// Part 4 (SimGrid scope, task graphs): HEFT list scheduling vs round-robin
+// on random layered workflows with data edges over a real network.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "middleware/dag.hpp"
+#include "middleware/scheduler.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/gridsim/gridsim.hpp"
+#include "sim/simg/simg.hpp"
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace mw = lsds::middleware;
+namespace net = lsds::net;
+
+namespace {
+
+double run_heuristic(mw::Heuristic h, double speed_ratio, std::uint64_t seed) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  // 4 resources, speeds spread linearly up to speed_ratio x.
+  std::vector<std::unique_ptr<hosts::CpuResource>> pool;
+  std::vector<hosts::CpuResource*> ptrs;
+  for (int r = 0; r < 4; ++r) {
+    const double speed = 100.0 * (1.0 + (speed_ratio - 1.0) * r / 3.0);
+    pool.push_back(std::make_unique<hosts::CpuResource>(
+        eng, "r" + std::to_string(r), 2, speed, hosts::SharingPolicy::kSpaceShared));
+    ptrs.push_back(pool.back().get());
+  }
+  mw::BagScheduler sched(eng, ptrs, h);
+  auto& rng = eng.rng("bag");
+  for (hosts::JobId i = 1; i <= 200; ++i) {
+    hosts::Job j;
+    j.id = i;
+    j.ops = rng.exponential(1000);
+    sched.submit(std::move(j));
+  }
+  sched.run();
+  eng.run();
+  return sched.makespan();
+}
+
+struct DagOutcome {
+  double makespan;
+  std::uint64_t transfers;
+  double bytes;
+};
+
+DagOutcome run_dag(mw::DagAlgorithm algo, double comm_bytes, std::uint64_t seed) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  net::Topology topo;
+  std::vector<mw::DagScheduler::Resource> resources;
+  std::vector<std::unique_ptr<hosts::CpuResource>> cpus;
+  const double speeds[] = {100, 200, 400, 800};
+  for (int i = 0; i < 4; ++i) topo.add_node("h" + std::to_string(i));
+  const auto hub = topo.add_node("hub", net::NodeKind::kRouter);
+  for (int i = 0; i < 4; ++i) {
+    topo.add_link(static_cast<net::NodeId>(i), hub, lsds::util::mbps(100), 0.002);
+  }
+  net::Routing routing(topo);
+  net::FlowNetwork fnet(eng, routing);
+  for (int i = 0; i < 4; ++i) {
+    cpus.push_back(std::make_unique<hosts::CpuResource>(
+        eng, "c" + std::to_string(i), 1, speeds[i], hosts::SharingPolicy::kSpaceShared));
+    resources.push_back({cpus.back().get(), static_cast<net::NodeId>(i)});
+  }
+  core::RngStream drng(seed * 3 + 1);
+  const auto dag = mw::Dag::random_layered(6, 6, 0.35, 1500, comm_bytes, drng);
+  mw::DagScheduler sched(eng, dag, resources, &fnet, algo);
+  sched.start();
+  eng.run();
+  return {sched.result().makespan, sched.result().transfers, sched.result().bytes_moved};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Experiment E8: scheduling heuristics and economy brokering ==\n\n");
+
+  std::printf("Part 1 — bag-of-tasks makespan [s], 200 jobs on 4x2-core resources:\n\n");
+  lsds::stats::AsciiTable t1({"heuristic", "homogeneous (1x)", "moderate (4x)", "extreme (20x)"});
+  for (auto h : mw::kAllHeuristics) {
+    t1.row()
+        .cell(std::string(mw::to_string(h)))
+        .cell(run_heuristic(h, 1.0, 5))
+        .cell(run_heuristic(h, 4.0, 5))
+        .cell(run_heuristic(h, 20.0, 5));
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  std::printf("Part 2 — SimGrid compile-time vs runtime scheduling, makespan [s]\n"
+              "(100 tasks, 4 workers 4x heterogeneity) vs estimate error:\n\n");
+  lsds::stats::AsciiTable t2({"estimate error", "compile-time", "runtime"});
+  for (double err : {0.0, 0.3, 0.6, 0.9}) {
+    double ct = 0, rt = 0;
+    for (std::uint64_t s = 1; s <= 3; ++s) {  // average 3 seeds
+      lsds::sim::simg::Config cfg;
+      cfg.num_tasks = 100;
+      cfg.estimate_error = err;
+      cfg.mode = lsds::sim::simg::SchedulingMode::kCompileTime;
+      core::Engine a(core::QueueKind::kBinaryHeap, s);
+      ct += lsds::sim::simg::run(a, cfg).makespan;
+      cfg.mode = lsds::sim::simg::SchedulingMode::kRuntime;
+      core::Engine b(core::QueueKind::kBinaryHeap, s);
+      rt += lsds::sim::simg::run(b, cfg).makespan;
+    }
+    t2.row().cell(err).cell(ct / 3).cell(rt / 3);
+  }
+  std::printf("%s\n", t2.render().c_str());
+
+  std::printf("Part 3 — GridSim DBC broker, 60 jobs, budget sweep:\n\n");
+  lsds::stats::AsciiTable t3(
+      {"strategy", "budget", "accepted", "rejected", "spent", "makespan [s]"});
+  for (auto strat : {mw::DbcStrategy::kCostOptimization, mw::DbcStrategy::kTimeOptimization}) {
+    for (double budget : {100.0, 300.0, 1000.0, 1e9}) {
+      lsds::sim::gridsim::Config cfg;
+      cfg.strategy = strat;
+      cfg.budget = budget;
+      core::Engine eng(core::QueueKind::kBinaryHeap, 8);
+      const auto r = lsds::sim::gridsim::run(eng, cfg);
+      t3.row()
+          .cell(std::string(mw::to_string(strat)))
+          .cell(budget >= 1e9 ? std::string("unbounded") : lsds::util::strformat("%.0f", budget))
+          .cell(r.accepted)
+          .cell(r.rejected)
+          .cell(r.cost)
+          .cell(r.makespan);
+    }
+  }
+  std::printf("%s\n", t3.render().c_str());
+
+  std::printf("Part 4 — workflow (DAG) scheduling: 36-task random layered graphs on a\n"
+              "4-resource 8x-heterogeneous pool over a 100 Mbps star:\n\n");
+  lsds::stats::AsciiTable t4(
+      {"edge data", "algorithm", "makespan [s]", "cross-resource edges", "bytes moved"});
+  for (double comm : {1e4, 1e6, 2e7}) {
+    for (auto algo : {mw::DagAlgorithm::kHeft, mw::DagAlgorithm::kRoundRobin}) {
+      double makespan = 0, transfers = 0, bytes = 0;
+      for (std::uint64_t s = 1; s <= 3; ++s) {
+        const auto o = run_dag(algo, comm, s);
+        makespan += o.makespan;
+        transfers += static_cast<double>(o.transfers);
+        bytes += o.bytes;
+      }
+      t4.row()
+          .cell(lsds::util::format_size(comm))
+          .cell(std::string(mw::to_string(algo)))
+          .cell(makespan / 3)
+          .cell(transfers / 3)
+          .cell(lsds::util::format_size(bytes / 3));
+    }
+  }
+  std::printf("%s\n", t4.render().c_str());
+  std::printf("claim check: ECT heuristics' advantage grows with heterogeneity;\n"
+              "compile-time scheduling degrades as estimates rot while runtime\n"
+              "self-scheduling holds; cost-opt spends less, time-opt finishes sooner,\n"
+              "and tight budgets force rejections.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Scenario runner: drive any facade from an INI scenario file — the
+// "configuration over code" workflow a simulation user expects.
+//
+//   ./scenario_runner examples/scenarios/lhc_2.5gbps.ini
+//
+// See examples/scenarios/*.ini for the format. The [scenario] section picks
+// the facade, seed and event-queue structure; the facade-named section
+// holds its parameters (rates/sizes/durations accept units: 2.5Gbps, 20GB,
+// 40s).
+#include <cstdio>
+#include <string>
+
+#include "core/engine.hpp"
+#include "middleware/replication.hpp"
+#include "sim/bricks/bricks.hpp"
+#include "sim/chicsim/chicsim.hpp"
+#include "sim/gridsim/gridsim.hpp"
+#include "sim/monarc/monarc.hpp"
+#include "sim/optorsim/optorsim.hpp"
+#include "sim/simg/simg.hpp"
+#include "util/flags.hpp"
+#include "util/ini.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace lsds;
+
+namespace {
+
+core::QueueKind parse_queue(const std::string& s) {
+  if (s == "sorted") return core::QueueKind::kSortedList;
+  if (s == "heap") return core::QueueKind::kBinaryHeap;
+  if (s == "splay") return core::QueueKind::kSplayTree;
+  if (s == "calendar") return core::QueueKind::kCalendarQueue;
+  if (s == "ladder") return core::QueueKind::kLadderQueue;
+  throw util::ConfigError("unknown queue kind: " + s);
+}
+
+int run_bricks(core::Engine& eng, const util::IniConfig& ini) {
+  sim::bricks::Config cfg;
+  cfg.num_clients = static_cast<std::size_t>(ini.get_int("bricks", "clients", 8));
+  cfg.jobs_per_client = static_cast<std::size_t>(ini.get_int("bricks", "jobs_per_client", 20));
+  cfg.mean_interarrival = ini.get_duration("bricks", "interarrival", 10);
+  cfg.mean_ops = ini.get_double("bricks", "mean_ops", 2000);
+  cfg.input_bytes = ini.get_size("bricks", "input", 10e6);
+  cfg.output_bytes = ini.get_size("bricks", "output", 1e6);
+  cfg.server_cores = static_cast<unsigned>(ini.get_int("bricks", "server_cores", 4));
+  cfg.client_bw = ini.get_rate("bricks", "client_bw", 12.5e6);
+  const auto res = sim::bricks::run(eng, cfg);
+  std::printf("bricks: %llu jobs, mean response %.2f s, server util %.1f%%, makespan %.1f s\n",
+              static_cast<unsigned long long>(res.jobs), res.response_times.mean(),
+              res.server_utilization * 100, res.makespan);
+  return 0;
+}
+
+int run_optorsim(core::Engine& eng, const util::IniConfig& ini) {
+  sim::optorsim::Config cfg;
+  cfg.num_sites = static_cast<std::size_t>(ini.get_int("optorsim", "sites", 6));
+  cfg.cache_fraction = ini.get_double("optorsim", "cache_fraction", 0.2);
+  const std::string policy = ini.get_string("optorsim", "policy", "lru");
+  bool matched = false;
+  for (auto p : middleware::kAllReplicationPolicies) {
+    if (policy == middleware::to_string(p)) {
+      cfg.policy = p;
+      matched = true;
+    }
+  }
+  if (!matched) throw util::ConfigError("unknown replication policy: " + policy);
+  cfg.workload.num_jobs = static_cast<std::size_t>(ini.get_int("optorsim", "jobs", 300));
+  cfg.workload.num_files = static_cast<std::size_t>(ini.get_int("optorsim", "files", 60));
+  cfg.workload.zipf_exponent = ini.get_double("optorsim", "zipf", 1.0);
+  cfg.workload.mean_interarrival = ini.get_duration("optorsim", "interarrival", 1.5);
+  cfg.workload.file_bytes = {apps::SizeDist::kConstant,
+                             ini.get_size("optorsim", "file_size", 50e6), 0};
+  const auto res = sim::optorsim::run(eng, cfg);
+  std::printf(
+      "optorsim(%s): %llu jobs, mean job time %.2f s, hit ratio %.2f, network %s, "
+      "%llu replications\n",
+      policy.c_str(), static_cast<unsigned long long>(res.jobs), res.mean_job_time(),
+      res.local_hit_ratio(), util::format_size(res.network_bytes).c_str(),
+      static_cast<unsigned long long>(res.replications));
+  return 0;
+}
+
+int run_monarc(core::Engine& eng, const util::IniConfig& ini) {
+  sim::monarc::Config cfg;
+  cfg.num_t1 = static_cast<std::size_t>(ini.get_int("monarc", "t1", 4));
+  cfg.t0_t1_bandwidth = ini.get_rate("monarc", "link", util::gbps(2.5));
+  cfg.num_files = static_cast<std::size_t>(ini.get_int("monarc", "files", 60));
+  cfg.file_bytes = ini.get_size("monarc", "file_size", 20e9);
+  cfg.production_interval = ini.get_duration("monarc", "interval", 40);
+  cfg.run_analysis = ini.get_bool("monarc", "analysis", true);
+  const auto res = sim::monarc::run(eng, cfg);
+  std::printf(
+      "monarc: link %s, util %.0f%%, backlog@prod-end %s, mean lag %.1f s -> %s\n",
+      util::format_rate(cfg.t0_t1_bandwidth).c_str(), res.link_utilization * 100,
+      util::format_size(res.backlog_at_production_end).c_str(), res.replication_lag.mean(),
+      res.sustainable() ? "keeps up" : "INSUFFICIENT");
+  return 0;
+}
+
+int run_gridsim(core::Engine& eng, const util::IniConfig& ini) {
+  sim::gridsim::Config cfg;
+  cfg.num_jobs = static_cast<std::size_t>(ini.get_int("gridsim", "jobs", 60));
+  cfg.budget = ini.get_double("gridsim", "budget", 1e18);
+  cfg.deadline = ini.get_duration("gridsim", "deadline", 1e18);
+  cfg.strategy = ini.get_string("gridsim", "strategy", "cost") == "time"
+                     ? middleware::DbcStrategy::kTimeOptimization
+                     : middleware::DbcStrategy::kCostOptimization;
+  const auto res = sim::gridsim::run(eng, cfg);
+  std::printf("gridsim(%s): accepted %llu rejected %llu, spend %.1f, makespan %.2f s\n",
+              middleware::to_string(cfg.strategy),
+              static_cast<unsigned long long>(res.accepted),
+              static_cast<unsigned long long>(res.rejected), res.cost, res.makespan);
+  return 0;
+}
+
+int run_chicsim(core::Engine& eng, const util::IniConfig& ini) {
+  sim::chicsim::Config cfg;
+  cfg.num_sites = static_cast<std::size_t>(ini.get_int("chicsim", "sites", 6));
+  const std::string jp = ini.get_string("chicsim", "job_policy", "job-data-present");
+  for (auto p : sim::chicsim::kAllJobPolicies) {
+    if (jp == to_string(p)) cfg.job_policy = p;
+  }
+  const std::string dp = ini.get_string("chicsim", "data_policy", "data-cache");
+  for (auto p : sim::chicsim::kAllDataPolicies) {
+    if (dp == to_string(p)) cfg.data_policy = p;
+  }
+  cfg.workload.num_jobs = static_cast<std::size_t>(ini.get_int("chicsim", "jobs", 400));
+  cfg.workload.zipf_exponent = ini.get_double("chicsim", "zipf", 0.9);
+  const auto res = sim::chicsim::run(eng, cfg);
+  std::printf("chicsim(%s,%s): %llu jobs, mean response %.2f s, locality %.2f, network %s\n",
+              jp.c_str(), dp.c_str(), static_cast<unsigned long long>(res.jobs),
+              res.response_times.mean(), res.locality(),
+              util::format_size(res.network_bytes).c_str());
+  return 0;
+}
+
+int run_simg(core::Engine& eng, const util::IniConfig& ini) {
+  sim::simg::Config cfg;
+  cfg.num_workers = static_cast<std::size_t>(ini.get_int("simg", "workers", 4));
+  cfg.num_tasks = static_cast<std::size_t>(ini.get_int("simg", "tasks", 64));
+  cfg.estimate_error = ini.get_double("simg", "estimate_error", 0.3);
+  cfg.mode = ini.get_string("simg", "mode", "runtime") == "compile-time"
+                 ? sim::simg::SchedulingMode::kCompileTime
+                 : sim::simg::SchedulingMode::kRuntime;
+  const auto res = sim::simg::run(eng, cfg);
+  std::printf("simg(%s): %llu tasks, makespan %.2f s\n", to_string(cfg.mode),
+              static_cast<unsigned long long>(res.tasks), res.makespan);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: scenario_runner <scenario.ini>\n");
+    return 2;
+  }
+  try {
+    const auto ini = util::IniConfig::load(flags.positional()[0]);
+    const std::string facade = ini.get_string("scenario", "facade", "");
+    core::Engine::Config ecfg;
+    ecfg.seed = static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42));
+    ecfg.queue = parse_queue(ini.get_string("scenario", "queue", "heap"));
+    core::Engine engine(ecfg);
+
+    if (facade == "bricks") return run_bricks(engine, ini);
+    if (facade == "optorsim") return run_optorsim(engine, ini);
+    if (facade == "monarc") return run_monarc(engine, ini);
+    if (facade == "gridsim") return run_gridsim(engine, ini);
+    if (facade == "chicsim") return run_chicsim(engine, ini);
+    if (facade == "simg") return run_simg(engine, ini);
+    std::fprintf(stderr, "unknown facade '%s' in [scenario]\n", facade.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return 1;
+  }
+}

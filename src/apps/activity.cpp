@@ -1,0 +1,57 @@
+#include "apps/activity.hpp"
+
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace lsds::apps {
+
+const char* to_string(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::kProduction: return "production";
+    case ActivityKind::kAnalysis: return "analysis";
+    case ActivityKind::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+ActivitySpec default_activity(ActivityKind kind, std::size_t num_jobs, double scale) {
+  ActivitySpec spec;
+  spec.kind = kind;
+  spec.num_jobs = num_jobs;
+  switch (kind) {
+    case ActivityKind::kProduction:
+      spec.mean_think_time = 20;
+      spec.mean_ops = 5000 * scale;
+      spec.output_bytes = 2e9;  // raw data products to replicate
+      break;
+    case ActivityKind::kAnalysis:
+      spec.mean_think_time = 10;
+      spec.mean_ops = 1000 * scale;
+      spec.inputs_per_job = 2;
+      break;
+    case ActivityKind::kInteractive:
+      spec.mean_think_time = 2;
+      spec.mean_ops = 50 * scale;
+      break;
+  }
+  return spec;
+}
+
+core::Process run_activity(core::Engine& engine, ActivitySpec spec, hosts::SiteId origin,
+                           hosts::JobId first_id, std::string rng_stream, SubmitFn submit) {
+  auto& rng = engine.rng(rng_stream);
+  for (std::size_t i = 0; i < spec.num_jobs; ++i) {
+    co_await core::delay(engine, rng.exponential(spec.mean_think_time));
+    hosts::Job job;
+    job.id = first_id + static_cast<hosts::JobId>(i);
+    job.name = util::strformat("%s-%llu", to_string(spec.kind),
+                               static_cast<unsigned long long>(job.id));
+    job.ops = rng.exponential(spec.mean_ops);
+    job.output_bytes = spec.output_bytes;
+    job.submit_time = engine.now();
+    submit(origin, std::move(job));
+  }
+}
+
+}  // namespace lsds::apps

@@ -1,0 +1,49 @@
+// MONARC-style User/Activity objects.
+//
+// "Another set of components model the behavior of the applications and
+// their interaction with users. Such components are the 'Users' or
+// 'Activity' objects which are used to generate data processing jobs based
+// on different scenarios." An Activity is a coroutine process bound to a
+// site that emits jobs with stochastic think times — the LHC-flavored kinds
+// are production (long, writes output data), analysis (reads files,
+// medium), and interactive (short bursts).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/process.hpp"
+#include "hosts/job.hpp"
+#include "hosts/site.hpp"
+
+namespace lsds::apps {
+
+enum class ActivityKind { kProduction, kAnalysis, kInteractive };
+
+const char* to_string(ActivityKind k);
+
+struct ActivitySpec {
+  ActivityKind kind = ActivityKind::kAnalysis;
+  std::size_t num_jobs = 100;
+  double mean_think_time = 10;  // exponential gap between submissions
+  double mean_ops = 1000;       // exponential job length
+  /// Production: bytes of output data produced per job.
+  double output_bytes = 0;
+  /// Analysis: number of (externally chosen) input files per job.
+  std::size_t inputs_per_job = 0;
+};
+
+/// Callback invoked for each generated job, at its generation time. The
+/// receiving facade routes it into its scheduler.
+using SubmitFn = std::function<void(hosts::SiteId origin, hosts::Job job)>;
+
+/// Per-kind defaults used by the MONARC facade (ops scaled to `scale`).
+ActivitySpec default_activity(ActivityKind kind, std::size_t num_jobs, double scale);
+
+/// Spawn the activity coroutine. Jobs get ids
+/// [first_id, first_id + spec.num_jobs).
+core::Process run_activity(core::Engine& engine, ActivitySpec spec, hosts::SiteId origin,
+                           hosts::JobId first_id, std::string rng_stream, SubmitFn submit);
+
+}  // namespace lsds::apps

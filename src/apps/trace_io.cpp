@@ -1,0 +1,68 @@
+#include "apps/trace_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lsds::apps {
+
+std::string workload_to_trace(const std::vector<TimedJob>& jobs,
+                              const std::vector<std::pair<std::string, double>>& files) {
+  std::ostringstream out;
+  core::TraceWriter w(out);
+  w.write_comment("lsds workload trace");
+  for (const auto& [lfn, bytes] : files) {
+    core::TraceEvent ev;
+    ev.time = 0;
+    ev.kind = "file";
+    ev.attrs = {{"lfn", lfn}, {"bytes", util::strformat("%.9g", bytes)}};
+    w.write(ev);
+  }
+  for (const auto& tj : jobs) {
+    core::TraceEvent ev;
+    ev.time = tj.arrival;
+    ev.kind = "job";
+    ev.attrs = {{"id", util::strformat("%llu", static_cast<unsigned long long>(tj.job.id))},
+                {"ops", util::strformat("%.9g", tj.job.ops)}};
+    if (tj.job.output_bytes > 0) {
+      ev.attrs.emplace_back("output", util::strformat("%.9g", tj.job.output_bytes));
+    }
+    if (!tj.job.input_files.empty()) {
+      ev.attrs.emplace_back("inputs", util::join(tj.job.input_files, ";"));
+    }
+    w.write(ev);
+  }
+  return out.str();
+}
+
+ParsedWorkload workload_from_trace(const std::string& text) {
+  ParsedWorkload out;
+  for (const auto& ev : core::TraceReader::parse_text(text)) {
+    if (ev.kind == "file") {
+      const auto lfn = ev.attr("lfn");
+      if (!lfn) throw std::runtime_error("trace_io: file line missing lfn");
+      out.files.emplace_back(*lfn, ev.num("bytes", 0));
+    } else if (ev.kind == "job") {
+      TimedJob tj;
+      tj.arrival = ev.time;
+      tj.job.id = static_cast<hosts::JobId>(ev.num("id", 0));
+      if (tj.job.id == hosts::kInvalidJob) {
+        throw std::runtime_error("trace_io: job line missing id");
+      }
+      tj.job.name = util::strformat("job%llu", static_cast<unsigned long long>(tj.job.id));
+      tj.job.ops = ev.num("ops", 0);
+      tj.job.output_bytes = ev.num("output", 0);
+      if (auto inputs = ev.attr("inputs")) {
+        for (auto& lfn : util::split(*inputs, ';')) {
+          if (!lfn.empty()) tj.job.input_files.push_back(std::move(lfn));
+        }
+      }
+      out.jobs.push_back(std::move(tj));
+    }
+    // Unknown kinds are skipped: traces may interleave monitoring samples.
+  }
+  return out;
+}
+
+}  // namespace lsds::apps

@@ -1,0 +1,98 @@
+#include "apps/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace lsds::apps {
+
+const char* to_string(SizeDist d) {
+  switch (d) {
+    case SizeDist::kConstant: return "constant";
+    case SizeDist::kExponential: return "exponential";
+    case SizeDist::kLognormal: return "lognormal";
+    case SizeDist::kWeibull: return "weibull";
+    case SizeDist::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+double draw_size(core::RngStream& rng, const SizeSpec& spec) {
+  switch (spec.dist) {
+    case SizeDist::kConstant:
+      return spec.mean;
+    case SizeDist::kExponential:
+      return rng.exponential(spec.mean);
+    case SizeDist::kLognormal: {
+      // Parameterize so the *mean* equals spec.mean for the given sigma.
+      const double sigma = spec.shape;
+      const double mu = std::log(spec.mean) - sigma * sigma / 2.0;
+      return rng.lognormal(mu, sigma);
+    }
+    case SizeDist::kWeibull: {
+      // scale = mean / Gamma(1 + 1/k).
+      const double k = spec.shape;
+      const double scale = spec.mean / std::tgamma(1.0 + 1.0 / k);
+      return rng.weibull(k, scale);
+    }
+    case SizeDist::kPareto: {
+      // mean = alpha*xm/(alpha-1) -> xm = mean*(alpha-1)/alpha (alpha > 1).
+      const double alpha = spec.shape;
+      assert(alpha > 1.0);
+      const double xm = spec.mean * (alpha - 1.0) / alpha;
+      return rng.pareto(xm, alpha);
+    }
+  }
+  return spec.mean;
+}
+
+std::vector<TimedJob> generate_bag(core::RngStream& rng, const BagWorkloadSpec& spec) {
+  std::vector<TimedJob> out;
+  out.reserve(spec.num_jobs);
+  double t = 0;
+  for (std::size_t i = 0; i < spec.num_jobs; ++i) {
+    if (spec.mean_interarrival > 0) t += rng.exponential(spec.mean_interarrival);
+    TimedJob tj;
+    tj.arrival = t;
+    tj.job.id = static_cast<hosts::JobId>(i + 1);
+    tj.job.name = util::strformat("job%zu", i);
+    tj.job.ops = draw_size(rng, spec.ops);
+    out.push_back(std::move(tj));
+  }
+  return out;
+}
+
+std::string file_lfn(std::size_t i) { return util::strformat("lfn://file%05zu", i); }
+
+DataGridWorkload generate_data_grid(core::RngStream& rng, const DataGridWorkloadSpec& spec) {
+  DataGridWorkload out;
+  out.files.reserve(spec.num_files);
+  for (std::size_t i = 0; i < spec.num_files; ++i) {
+    out.files.emplace_back(file_lfn(i), draw_size(rng, spec.file_bytes));
+  }
+  out.jobs.reserve(spec.num_jobs);
+  double t = 0;
+  for (std::size_t i = 0; i < spec.num_jobs; ++i) {
+    if (spec.mean_interarrival > 0) t += rng.exponential(spec.mean_interarrival);
+    TimedJob tj;
+    tj.arrival = t;
+    tj.job.id = static_cast<hosts::JobId>(i + 1);
+    tj.job.name = util::strformat("job%zu", i);
+    tj.job.ops = draw_size(rng, spec.ops);
+    for (std::size_t f = 0; f < spec.files_per_job; ++f) {
+      std::size_t idx;
+      if (spec.zipf_exponent > 0) {
+        idx = rng.zipf(spec.num_files, spec.zipf_exponent);
+      } else {
+        idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(spec.num_files) - 1));
+      }
+      tj.job.input_files.push_back(file_lfn(idx));
+    }
+    out.jobs.push_back(std::move(tj));
+  }
+  return out;
+}
+
+}  // namespace lsds::apps

@@ -1,0 +1,74 @@
+// Synthetic workload generation.
+//
+// The taxonomy's input-data axis: simulators accept "input data generators"
+// and/or "data sets collected by monitoring". This module is the generator
+// half; apps/trace_io.hpp converts workloads to and from the trace format
+// for the monitoring half.
+//
+// Every draw comes from caller-supplied RngStreams, so workloads are
+// reproducible and independent of model randomness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "hosts/job.hpp"
+
+namespace lsds::apps {
+
+enum class SizeDist { kConstant, kExponential, kLognormal, kWeibull, kPareto };
+
+const char* to_string(SizeDist d);
+
+struct SizeSpec {
+  SizeDist dist = SizeDist::kConstant;
+  double mean = 1000;   // ops (or bytes, for file sizes)
+  double shape = 1.5;   // Weibull k / Pareto alpha / lognormal sigma
+};
+
+/// Draw one value from a SizeSpec.
+double draw_size(core::RngStream& rng, const SizeSpec& spec);
+
+struct TimedJob {
+  double arrival = 0;
+  hosts::Job job;
+};
+
+struct BagWorkloadSpec {
+  std::size_t num_jobs = 100;
+  /// Mean exponential interarrival; 0 = all jobs arrive at t=0.
+  double mean_interarrival = 0;
+  SizeSpec ops;
+};
+
+/// Independent compute jobs (bag-of-tasks).
+std::vector<TimedJob> generate_bag(core::RngStream& rng, const BagWorkloadSpec& spec);
+
+struct DataGridWorkloadSpec {
+  std::size_t num_jobs = 200;
+  double mean_interarrival = 10;
+  SizeSpec ops;
+  /// The file population jobs draw inputs from.
+  std::size_t num_files = 100;
+  SizeSpec file_bytes;
+  /// Files per job and the Zipf skew of file popularity (0 = uniform).
+  std::size_t files_per_job = 1;
+  double zipf_exponent = 1.0;
+};
+
+struct DataGridWorkload {
+  /// File catalog: lfn -> size.
+  std::vector<std::pair<std::string, double>> files;
+  std::vector<TimedJob> jobs;  // jobs reference lfns from `files`
+};
+
+/// Data-intensive jobs with Zipf-popular input files (the OptorSim /
+/// ChicagoSim scenario shape).
+DataGridWorkload generate_data_grid(core::RngStream& rng, const DataGridWorkloadSpec& spec);
+
+/// Canonical lfn for file index i.
+std::string file_lfn(std::size_t i);
+
+}  // namespace lsds::apps

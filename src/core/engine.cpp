@@ -1,0 +1,141 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "core/entity.hpp"
+
+namespace lsds::core {
+
+Engine::Engine(Config cfg)
+    : queue_(make_event_queue(cfg.queue)),
+      seed_(cfg.seed),
+      quantum_(cfg.time_quantum),
+      max_events_(cfg.max_events) {}
+
+Engine::~Engine() {
+  // Destroy suspended coroutine frames that never completed. Copy the set:
+  // frame destructors may release resources that call drop_coroutine.
+  auto pending = coroutines_;
+  coroutines_.clear();
+  for (void* p : pending) std::coroutine_handle<>::from_address(p).destroy();
+}
+
+SimTime Engine::quantize(SimTime t) const {
+  if (quantum_ <= 0) return t;
+  return std::ceil(t / quantum_) * quantum_;
+}
+
+EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
+  if (t < now_) {
+    ++stats_.past_clamped;
+    t = now_;
+  }
+  t = quantize(t);
+  const EventId id = next_seq_++;
+  queue_->push(EventRecord{t, id, std::move(fn)});
+  ++stats_.scheduled;
+  return EventHandle{id, t};
+}
+
+bool Engine::cancel(const EventHandle& h) {
+  if (!h.valid() || h.id >= next_seq_) return false;
+  if (!tombstones_.insert(h.id).second) return false;  // already cancelled
+  ++stats_.cancelled;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_->empty()) {
+    EventRecord ev = queue_->pop();
+    auto it = tombstones_.find(ev.seq);
+    if (it != tombstones_.end()) {
+      tombstones_.erase(it);
+      continue;  // cancelled; skip silently
+    }
+    assert(ev.time + kTimeEpsilon >= now_ && "event queue returned an event out of order");
+    now_ = ev.time;
+    if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    ++stats_.executed;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (!stopped_ && step()) {
+    if (max_events_ && stats_.executed >= max_events_) throw EventBudgetExceeded(max_events_);
+  }
+}
+
+std::uint64_t Engine::run_until(SimTime t_end) {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_->empty()) {
+    // Pop/inspect/requeue rather than polling min_time(): min_time() is
+    // O(buckets) for the calendar queue, while one extra push is O(1).
+    EventRecord ev = queue_->pop();
+    auto it = tombstones_.find(ev.seq);
+    if (it != tombstones_.end()) {
+      tombstones_.erase(it);
+      continue;
+    }
+    if (ev.time > t_end) {
+      queue_->push(std::move(ev));
+      break;
+    }
+    assert(ev.time + kTimeEpsilon >= now_);
+    now_ = ev.time;
+    if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    ++stats_.executed;
+    ++n;
+    ev.fn();
+    if (max_events_ && stats_.executed >= max_events_) throw EventBudgetExceeded(max_events_);
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+  return n;
+}
+
+RngStream& Engine::rng(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    it = streams_.emplace(name, RngStream(seed_, name)).first;
+  }
+  return it->second;
+}
+
+std::uint32_t Engine::register_entity(Entity* e) {
+  entities_.push_back(e);
+  return static_cast<std::uint32_t>(entities_.size() - 1);
+}
+
+void Engine::unregister_entity(std::uint32_t id) {
+  if (id < entities_.size()) entities_[id] = nullptr;
+}
+
+Entity* Engine::entity(std::uint32_t id) const {
+  return id < entities_.size() ? entities_[id] : nullptr;
+}
+
+std::size_t Engine::entity_count() const {
+  std::size_t n = 0;
+  for (Entity* e : entities_) {
+    if (e) ++n;
+  }
+  return n;
+}
+
+void Engine::start_entities() {
+  // Snapshot: on_start may construct further entities.
+  std::vector<Entity*> snapshot = entities_;
+  for (Entity* e : snapshot) {
+    if (e) e->on_start();
+  }
+}
+
+void Engine::adopt_coroutine(std::coroutine_handle<> h) { coroutines_.insert(h.address()); }
+
+void Engine::drop_coroutine(std::coroutine_handle<> h) { coroutines_.erase(h.address()); }
+
+}  // namespace lsds::core

@@ -1,0 +1,156 @@
+// The discrete-event simulation engine.
+//
+// One Engine is one simulation experiment: a clock, a pending event set
+// (pluggable structure, see core/event_queue.hpp), named deterministic RNG
+// streams, and the registries behind the entity- and process-oriented
+// modeling layers.
+//
+// Mechanics (taxonomy Section 3): this is an *event-driven* DES — the clock
+// jumps from event to event. The time-driven mode the paper contrasts it
+// with is provided by core/time_driven.hpp on top of the same engine, and
+// trace-driven input by core/trace.hpp.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "core/sim_time.hpp"
+
+namespace lsds::core {
+
+class Entity;
+
+/// Thrown when Config::max_events is exhausted (model watchdog).
+class EventBudgetExceeded : public std::runtime_error {
+ public:
+  explicit EventBudgetExceeded(std::uint64_t budget)
+      : std::runtime_error("simulation exceeded its event budget of " +
+                           std::to_string(budget) + " events") {}
+};
+
+class Engine {
+ public:
+  struct Config {
+    QueueKind queue = QueueKind::kBinaryHeap;
+    std::uint64_t seed = 42;
+    /// When > 0, every scheduled timestamp is rounded *up* to a multiple of
+    /// the quantum. This models the accuracy loss of time-driven simulation
+    /// (experiment E2) without changing any model code.
+    double time_quantum = 0;
+    /// When > 0, run()/run_until() throw EventBudgetExceeded after this
+    /// many executed events — a watchdog against accidental zero-delay
+    /// loops in models (a misbehaving model otherwise spins forever at one
+    /// simulated instant).
+    std::uint64_t max_events = 0;
+  };
+
+  explicit Engine(Config cfg);
+  Engine() : Engine(Config{}) {}
+  Engine(QueueKind queue, std::uint64_t seed) : Engine(Config{queue, seed, 0}) {}
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- clock & scheduling ---------------------------------------------------
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now; past times are clamped to
+  /// now and counted in stats().past_clamped).
+  EventHandle schedule_at(SimTime t, EventFn fn);
+
+  /// Schedule `fn` after a delay (>= 0).
+  EventHandle schedule_in(SimTime dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
+
+  /// O(1) cancellation. Returns false if the event already ran or was
+  /// already cancelled.
+  bool cancel(const EventHandle& h);
+
+  // --- execution --------------------------------------------------------
+
+  /// Run until the pending set drains or stop() is called.
+  void run();
+
+  /// Run all events with time <= t_end, then advance the clock to t_end.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime t_end);
+
+  /// Execute exactly one event. Returns false when nothing is pending.
+  bool step();
+
+  /// Request termination; honored after the current event returns.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  /// Re-arm a stopped engine (e.g. between phases of one experiment).
+  void clear_stop() { stopped_ = false; }
+
+  // --- statistics -------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t past_clamped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_->size(); }
+  const char* queue_name() const { return queue_->name(); }
+
+  // --- randomness ---------------------------------------------------------
+
+  std::uint64_t seed() const { return seed_; }
+  /// Named stream; created on first use, stable thereafter.
+  RngStream& rng(const std::string& name);
+
+  // --- determinism hook ---------------------------------------------------
+
+  /// Called before each executed event; used by tests to assert that two
+  /// runs with equal seeds produce identical (time, seq) traces.
+  using TraceHook = std::function<void(SimTime, EventId)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // --- entity registry (core/entity.hpp) -----------------------------------
+
+  std::uint32_t register_entity(Entity* e);
+  void unregister_entity(std::uint32_t id);
+  Entity* entity(std::uint32_t id) const;
+  std::size_t entity_count() const;
+  /// Deliver Entity::on_start to every registered entity at the current time.
+  void start_entities();
+
+  // --- coroutine registry (core/process.hpp) -------------------------------
+
+  void adopt_coroutine(std::coroutine_handle<> h);
+  void drop_coroutine(std::coroutine_handle<> h);
+  std::size_t live_processes() const { return coroutines_.size(); }
+
+ private:
+  SimTime quantize(SimTime t) const;
+
+  std::unique_ptr<EventQueue> queue_;
+  SimTime now_ = 0;
+  EventId next_seq_ = 1;  // 0 is the invalid handle id
+  bool stopped_ = false;
+  Stats stats_;
+  std::uint64_t seed_;
+  double quantum_;
+  std::uint64_t max_events_;
+  std::unordered_set<EventId> tombstones_;
+  std::map<std::string, RngStream> streams_;
+  TraceHook trace_hook_;
+  std::vector<Entity*> entities_;  // slot = id; nullptr after unregister
+  std::unordered_set<void*> coroutines_;
+};
+
+}  // namespace lsds::core

@@ -1,0 +1,58 @@
+// Event records and handles.
+//
+// An event is a (timestamp, sequence-number, closure) triple. The sequence
+// number imposes a total order on simultaneous events — FIFO among equal
+// timestamps — which is what makes every run bit-reproducible for a fixed
+// seed (the taxonomy's deterministic-behavior requirement).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/sim_time.hpp"
+
+namespace lsds::core {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+struct EventRecord {
+  SimTime time = 0;
+  EventId seq = 0;  // engine-assigned, strictly increasing
+  EventFn fn;
+
+  /// Total order: earlier time first, then earlier schedule order.
+  friend bool operator<(const EventRecord& a, const EventRecord& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+
+/// Key-only view used by queue implementations for comparisons.
+struct EventKey {
+  SimTime time;
+  EventId seq;
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  friend bool operator==(const EventKey& a, const EventKey& b) {
+    return a.time == b.time && a.seq == b.seq;
+  }
+};
+
+inline EventKey key_of(const EventRecord& ev) { return {ev.time, ev.seq}; }
+
+/// Cancellation handle returned by Engine::schedule_*.
+///
+/// Cancellation is O(1): the engine tombstones the id and skips the record
+/// when it surfaces — the optimization the paper lists under "optimizations
+/// adopted in the design of the simulation engine".
+struct EventHandle {
+  EventId id = 0;
+  SimTime time = 0;
+  bool valid() const { return id != 0; }
+};
+
+}  // namespace lsds::core

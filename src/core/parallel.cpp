@@ -1,0 +1,116 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsds::core {
+
+ParallelEngine::ParallelEngine(Config cfg)
+    : cfg_(cfg),
+      inboxes_(cfg.num_lps),
+      inbox_mu_(cfg.num_lps),
+      pool_(cfg.num_threads) {
+  assert(cfg.num_lps > 0 && cfg.lookahead > 0);
+  lps_.reserve(cfg.num_lps);
+  for (unsigned i = 0; i < cfg.num_lps; ++i) {
+    // Per-LP seeds derived from the master seed; stable across thread counts.
+    std::uint64_t s = cfg.seed;
+    for (unsigned k = 0; k <= i; ++k) splitmix64(s);
+    lps_.emplace_back(new Lp(*this, i, cfg.queue, s));
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+ParallelEngine::Lp::Lp(ParallelEngine& parent, unsigned index, QueueKind kind, std::uint64_t seed)
+    : parent_(parent), index_(index), queue_(make_event_queue(kind)), rng_(seed) {}
+
+void ParallelEngine::Lp::schedule_at(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;
+  queue_->push(EventRecord{t, next_seq_++, std::move(fn)});
+}
+
+void ParallelEngine::Lp::send(unsigned dst_lp, SimTime t, EventFn fn) {
+  assert(dst_lp < parent_.num_lps());
+  if (dst_lp == index_) {
+    schedule_at(t, std::move(fn));
+    return;
+  }
+  // Conservative correctness: a message must not arrive inside the window
+  // that is currently being processed in parallel.
+  if (t < parent_.window_end_) {
+    t = parent_.window_end_;
+    parent_.la_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  CrossMessage msg{t, index_, next_seq_++, std::move(fn)};
+  {
+    std::lock_guard lock(parent_.inbox_mu_[dst_lp]);
+    parent_.inboxes_[dst_lp].push_back(std::move(msg));
+  }
+  // cross_messages is tallied at delivery time (single-threaded phase).
+}
+
+void ParallelEngine::Lp::run_window(SimTime window_end, bool final_window) {
+  while (!queue_->empty()) {
+    const SimTime t = queue_->min_time();
+    if (final_window ? (t > window_end) : (t >= window_end)) break;
+    EventRecord ev = queue_->pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  now_ = window_end;
+}
+
+void ParallelEngine::deliver_inboxes() {
+  for (unsigned dst = 0; dst < num_lps(); ++dst) {
+    auto& inbox = inboxes_[dst];
+    if (inbox.empty()) continue;
+    // Deterministic merge independent of sender thread interleaving.
+    std::sort(inbox.begin(), inbox.end(), [](const CrossMessage& a, const CrossMessage& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.src_lp != b.src_lp) return a.src_lp < b.src_lp;
+      return a.src_seq < b.src_seq;
+    });
+    stats_.cross_messages += inbox.size();
+    for (CrossMessage& m : inbox) {
+      lps_[dst]->schedule_at(m.time, std::move(m.fn));
+    }
+    inbox.clear();
+  }
+}
+
+ParallelEngine::Stats ParallelEngine::run_until(SimTime t_end) {
+  for (;;) {
+    bool any_pending = false;
+    for (auto& lp : lps_) {
+      if (!lp->queue_->empty()) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending || window_start_ >= t_end) break;
+
+    window_end_ = std::min(window_start_ + cfg_.lookahead, t_end);
+    const bool final_window = (window_end_ >= t_end);
+
+    for (auto& lp : lps_) {
+      Lp* p = lp.get();
+      const SimTime we = window_end_;
+      pool_.submit([p, we, final_window] { p->run_window(we, final_window); });
+    }
+    pool_.wait_idle();  // barrier
+
+    deliver_inboxes();  // single-threaded phase
+
+    ++stats_.windows;
+    window_start_ = window_end_;
+  }
+
+  stats_.events = 0;
+  for (auto& lp : lps_) stats_.events += lp->events_executed();
+  stats_.lookahead_violations = la_violations_.load(std::memory_order_relaxed);
+  return stats_;
+}
+
+}  // namespace lsds::core

@@ -1,0 +1,32 @@
+#include "core/event_queue.hpp"
+#include "core/queues/binary_heap.hpp"
+#include "core/queues/calendar_queue.hpp"
+#include "core/queues/ladder_queue.hpp"
+#include "core/queues/sorted_list.hpp"
+#include "core/queues/splay_tree.hpp"
+
+namespace lsds::core {
+
+const char* to_string(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kSortedList: return "sorted-list";
+    case QueueKind::kBinaryHeap: return "binary-heap";
+    case QueueKind::kSplayTree: return "splay-tree";
+    case QueueKind::kCalendarQueue: return "calendar-queue";
+    case QueueKind::kLadderQueue: return "ladder-queue";
+  }
+  return "?";
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kSortedList: return std::make_unique<SortedListQueue>();
+    case QueueKind::kBinaryHeap: return std::make_unique<BinaryHeapQueue>();
+    case QueueKind::kSplayTree: return std::make_unique<SplayTreeQueue>();
+    case QueueKind::kCalendarQueue: return std::make_unique<CalendarQueue>();
+    case QueueKind::kLadderQueue: return std::make_unique<LadderQueue>();
+  }
+  return nullptr;
+}
+
+}  // namespace lsds::core

@@ -1,0 +1,69 @@
+// Ladder queue (Tang, Goh, Thng, ACM TOMACS 2005) — an amortized-O(1)
+// pending event set that, unlike the calendar queue, does not depend on a
+// well-tuned bucket width: buckets are created lazily ("rungs" of a ladder)
+// only for the time range currently being dequeued, which makes it robust
+// to skewed timestamp distributions.
+//
+// Structure:
+//   Top    — unsorted spill area for far-future events (O(1) append);
+//   Ladder — rungs of progressively finer buckets, created on demand when
+//            Top or an oversized bucket is split;
+//   Bottom — a small sorted list from which events are actually dequeued.
+//
+// This implementation follows the paper's algorithm with the standard
+// simplifications: a bucket whose events are all simultaneous (or the
+// maximum rung depth) is sorted straight into Bottom instead of spawning
+// another rung.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <vector>
+
+#include "core/event_queue.hpp"
+
+namespace lsds::core {
+
+class LadderQueue final : public EventQueue {
+ public:
+  LadderQueue();
+
+  void push(EventRecord ev) override;
+  EventRecord pop() override;
+  SimTime min_time() const override;
+  std::size_t size() const override { return size_; }
+  const char* name() const override { return "ladder-queue"; }
+
+ private:
+  struct Rung {
+    double start = 0;        // time of bucket 0's left edge
+    double width = 0;        // bucket width
+    std::size_t cur = 0;     // next bucket index to drain
+    std::vector<std::vector<EventRecord>> buckets;
+    std::size_t count = 0;   // events in this rung
+
+    std::size_t bucket_of(SimTime t) const;
+  };
+
+  void transfer_top_to_ladder();
+  /// Move the contents of `events` into a new rung appended to the ladder.
+  void spawn_rung(std::vector<EventRecord> events, double start, double end);
+  /// Drain the next non-empty bucket of the innermost rung into Bottom
+  /// (or a finer rung). Returns false when the ladder is empty.
+  bool advance_ladder();
+  void sort_into_bottom(std::vector<EventRecord> events);
+
+  std::vector<EventRecord> top_;  // unsorted
+  double top_min_ = kInfTime;
+  double top_max_ = -kInfTime;
+  double top_start_ = 0;  // events with time >= top_start_ go to Top
+
+  std::vector<Rung> ladder_;
+  std::list<EventRecord> bottom_;  // sorted ascending
+
+  std::size_t size_ = 0;
+  static constexpr std::size_t kBottomThreshold = 50;
+  static constexpr std::size_t kMaxRungs = 8;
+};
+
+}  // namespace lsds::core

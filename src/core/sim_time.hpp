@@ -1,0 +1,25 @@
+// Simulation time.
+//
+// The framework follows the convention of SimGrid and most DES toolkits:
+// simulation time is a double counting seconds since the start of the
+// experiment. The taxonomy's "time base" axis (discrete vs continuous values)
+// is realized as follows: the *clock* is a continuous quantity, but state
+// changes happen only at discrete event instants (discrete-event mechanics);
+// the optional engine quantum (Engine::set_time_quantum) coarsens the clock
+// to a discrete grid, which is what a time-driven simulation observes.
+#pragma once
+
+#include <limits>
+
+namespace lsds::core {
+
+/// Seconds since simulation start.
+using SimTime = double;
+
+/// Sentinel for "never" / "no pending event".
+inline constexpr SimTime kInfTime = std::numeric_limits<SimTime>::infinity();
+
+/// Smallest meaningful time delta; used by tests comparing event timestamps.
+inline constexpr SimTime kTimeEpsilon = 1e-12;
+
+}  // namespace lsds::core

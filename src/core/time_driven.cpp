@@ -1,0 +1,20 @@
+#include "core/time_driven.hpp"
+
+namespace lsds::core {
+
+TimeDrivenRunner::Result TimeDrivenRunner::run(SimTime t_end) {
+  Result res;
+  SimTime t = engine_.now();
+  while (t < t_end && !engine_.stopped()) {
+    t += tick_;
+    if (t > t_end) t = t_end;
+    for (auto& fn : tick_handlers_) fn(t);
+    const std::uint64_t n = engine_.run_until(t);
+    ++res.ticks;
+    if (n == 0) ++res.empty_ticks;
+    res.events += n;
+  }
+  return res;
+}
+
+}  // namespace lsds::core

@@ -1,0 +1,51 @@
+// Time-driven DES mode.
+//
+// "A time-driven DES advances by fixed time increments and is useful for
+// modeling events that occur at regular time intervals. An event-driven DES
+// is more efficient than a time-driven DES since it does not step through
+// regular time intervals when no event occurs." (Section 3.)
+//
+// TimeDrivenRunner executes the *same* model as the event-driven engine but
+// advances the clock tick by tick, invoking per-tick handlers and counting
+// the empty ticks an event-driven run would have skipped. Combined with
+// Engine::Config::time_quantum (which coarsens event timestamps to the tick
+// grid) it reproduces both costs of time-driven simulation: wasted steps and
+// quantization error. Experiment E2 (bench_mechanics) quantifies both.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lsds::core {
+
+class TimeDrivenRunner {
+ public:
+  /// `tick` is the fixed increment (> 0).
+  TimeDrivenRunner(Engine& engine, SimTime tick) : engine_(engine), tick_(tick) {}
+
+  /// Handler invoked at every tick boundary, before that tick's events.
+  void add_tick_handler(std::function<void(SimTime)> fn) {
+    tick_handlers_.push_back(std::move(fn));
+  }
+
+  struct Result {
+    std::uint64_t ticks = 0;        // total increments stepped
+    std::uint64_t empty_ticks = 0;  // increments with no event — pure waste
+    std::uint64_t events = 0;       // events executed
+  };
+
+  /// Step the clock from the engine's current time to t_end in fixed
+  /// increments, draining each tick's events at the tick boundary.
+  Result run(SimTime t_end);
+
+  SimTime tick() const { return tick_; }
+
+ private:
+  Engine& engine_;
+  SimTime tick_;
+  std::vector<std::function<void(SimTime)>> tick_handlers_;
+};
+
+}  // namespace lsds::core

@@ -1,0 +1,100 @@
+// CPU resources with the two allocation policies the surveyed simulators
+// model (GridSim: "heterogeneous computing resources, both time and space
+// shared"):
+//
+//   * space-shared — each job owns one core exclusively; excess jobs wait in
+//     a FIFO queue (a cluster batch node);
+//   * time-shared  — processor sharing: all admitted jobs progress
+//     simultaneously, each at min(core_speed, total_capacity / n_jobs)
+//     (an interactive timesharing node). Implemented with the same
+//     progress/re-solve/reschedule pattern as the flow network, and
+//     validated against the M/M/1-PS closed form in experiment E5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "core/engine.hpp"
+#include "hosts/job.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lsds::hosts {
+
+enum class SharingPolicy { kSpaceShared, kTimeShared };
+
+const char* to_string(SharingPolicy p);
+
+class CpuResource {
+ public:
+  using DoneFn = std::function<void(JobId)>;
+
+  CpuResource(core::Engine& engine, std::string name, unsigned cores, double speed,
+              SharingPolicy policy);
+
+  /// Submit `ops` of work; `on_done` fires when it completes.
+  void submit(JobId id, double ops, DoneFn on_done = nullptr);
+
+  /// True when at least one core is idle (space-shared) / always admitted
+  /// (time-shared).
+  bool has_idle_core() const;
+
+  /// Failure injection: while offline, running jobs stop progressing and
+  /// queued jobs stay queued; work resumes where it left off when the
+  /// resource comes back (crash-and-resume would be modeled by the caller
+  /// resubmitting). Idempotent.
+  void set_online(bool up);
+  bool online() const { return online_; }
+  std::uint64_t outages() const { return outages_; }
+
+  std::size_t running() const { return running_.size(); }
+  std::size_t queued() const { return queue_.size(); }
+  unsigned cores() const { return cores_; }
+  double speed() const { return speed_; }
+  double total_capacity() const { return speed_ * cores_; }
+  SharingPolicy policy() const { return policy_; }
+  const std::string& name() const { return name_; }
+
+  // --- statistics ----------------------------------------------------------
+
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  /// Integral of in-service work rate; busy_time/capacity/elapsed = utilization.
+  double busy_ops() const;
+  /// Utilization over [0, t]: delivered ops / (capacity * t).
+  double utilization(double t_end) const;
+  /// Load (jobs in service + queued) over time.
+  const stats::TimeSeries& load_series() const { return load_; }
+
+ private:
+  struct Running {
+    double remaining;
+    double rate = 0;
+    DoneFn on_done;
+  };
+
+  void record_load();
+  void progress_to_now();
+  void resolve_and_reschedule();
+  void on_completion_event(std::uint64_t generation);
+  void try_dispatch();  // space-shared admission
+
+  core::Engine& engine_;
+  std::string name_;
+  unsigned cores_;
+  double speed_;
+  SharingPolicy policy_;
+
+  std::unordered_map<JobId, Running> running_;
+  std::deque<std::pair<JobId, Running>> queue_;  // space-shared wait queue
+  bool online_ = true;
+  std::uint64_t outages_ = 0;
+  double last_update_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  double delivered_ops_ = 0;
+  stats::TimeSeries load_;
+};
+
+}  // namespace lsds::hosts

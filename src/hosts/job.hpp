@@ -1,0 +1,45 @@
+// The job model.
+//
+// The taxonomy's host axis asks "how different simulators model the load of
+// the computing nodes, the granularity of jobs being processed". A Job here
+// carries a compute demand (abstract operations; seconds = ops / speed),
+// input files by logical name (data-grid facades resolve them through the
+// replica catalog) and an output size, plus the timestamps every scheduler
+// study needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsds::hosts {
+
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+struct Job {
+  JobId id = kInvalidJob;
+  std::string name;
+
+  /// Abstract compute demand; runtime on a processor of speed s is ops/s.
+  double ops = 0;
+  /// Logical names of input files (resolved via the replica catalog).
+  std::vector<std::string> input_files;
+  /// Bytes written on completion (0 = no output stage).
+  double output_bytes = 0;
+
+  // Lifecycle timestamps (filled by schedulers/facades).
+  double submit_time = 0;
+  double dispatch_time = 0;  // when assigned to a resource
+  double start_time = 0;     // when compute began
+  double finish_time = 0;
+
+  /// Economy extensions (GridSim facade): constraints carried by the job.
+  double budget = 0;    // currency units; 0 = unconstrained
+  double deadline = 0;  // absolute time; 0 = unconstrained
+
+  double response_time() const { return finish_time - submit_time; }
+  double wait_time() const { return start_time - submit_time; }
+};
+
+}  // namespace lsds::hosts

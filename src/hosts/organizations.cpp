@@ -1,0 +1,71 @@
+#include "hosts/organizations.hpp"
+
+#include "util/strings.hpp"
+
+namespace lsds::hosts {
+
+void build_central_model(Grid& grid, const CentralModelSpec& spec) {
+  auto& topo = grid.topology();
+
+  SiteSpec server = spec.server;
+  if (server.name.empty()) server.name = "central";
+  Site& srv = grid.add_site(server);
+
+  const net::NodeId hub = topo.add_node("hub", net::NodeKind::kRouter);
+  topo.add_link(srv.node(), hub, spec.server_bw, spec.server_latency);
+
+  for (std::size_t i = 0; i < spec.num_clients; ++i) {
+    SiteSpec client = spec.client;
+    client.name = util::strformat("client%zu", i);
+    Site& c = grid.add_site(client);
+    topo.add_link(c.node(), hub, spec.client_bw, spec.client_latency);
+  }
+  grid.finalize();
+}
+
+void build_tier_model(Grid& grid, const TierModelSpec& spec) {
+  auto& topo = grid.topology();
+
+  SiteSpec t0 = spec.t0;
+  if (t0.name.empty()) t0.name = "T0";
+  Site& root = grid.add_site(t0);
+
+  std::vector<net::NodeId> level{root.node()};
+  for (std::size_t depth = 0; depth < spec.levels.size(); ++depth) {
+    const TierLevelSpec& lvl = spec.levels[depth];
+    std::vector<net::NodeId> next;
+    std::size_t idx = 0;
+    for (net::NodeId parent : level) {
+      for (std::size_t c = 0; c < lvl.fanout; ++c) {
+        SiteSpec site = lvl.site;
+        site.name = util::strformat("T%zu_%zu", depth + 1, idx++);
+        Site& child = grid.add_site(site);
+        topo.add_link(parent, child.node(), lvl.uplink_bw, lvl.uplink_latency);
+        next.push_back(child.node());
+      }
+    }
+    level = std::move(next);
+  }
+  grid.finalize();
+}
+
+std::vector<SiteId> tier_sites(const Grid& grid, const TierModelSpec& spec, std::size_t depth) {
+  // Sites were added breadth-first: T0 first, then each tier in order.
+  std::vector<SiteId> out;
+  std::size_t begin = 0;
+  std::size_t count = 1;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    if (d == depth) {
+      for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(static_cast<SiteId>(begin + i));
+      }
+      return out;
+    }
+    begin += count;
+    count *= spec.levels[d].fanout;
+  }
+  (void)grid;
+  return out;
+}
+
+}  // namespace lsds::hosts

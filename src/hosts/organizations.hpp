@@ -1,0 +1,53 @@
+// Resource-organization builders for the two canonical Grid shapes the
+// paper contrasts:
+//
+//   * the "central model" proposed by Bricks — "all the jobs are processed
+//     at a single site": clients around one server complex;
+//   * the "tier model" proposed by MONARC — "jobs are processed according
+//     to their hierarchical levels": T0 -> T1s -> T2s.
+//
+// Both return a fully-wired (but not yet finalized) Grid; callers may add
+// extra links before grid.finalize().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hosts/site.hpp"
+
+namespace lsds::hosts {
+
+struct CentralModelSpec {
+  std::size_t num_clients = 16;
+  SiteSpec client;            // per-client resources (usually tiny)
+  SiteSpec server;            // the central processing site
+  double client_bw = 12.5e6;  // client <-> hub
+  double client_latency = 0.02;
+  double server_bw = 125e6;   // hub <-> server
+  double server_latency = 0.002;
+};
+
+/// Builds clients + hub router + central server. Site 0 is the server,
+/// sites 1..n are the clients. Calls grid.finalize().
+void build_central_model(Grid& grid, const CentralModelSpec& spec);
+
+struct TierLevelSpec {
+  std::size_t fanout = 1;      // children per parent at this level
+  SiteSpec site;               // resources of each site at this level
+  double uplink_bw = 125e6;    // child <-> parent
+  double uplink_latency = 0.02;
+};
+
+struct TierModelSpec {
+  SiteSpec t0;                       // the root (CERN T0)
+  std::vector<TierLevelSpec> levels;  // T1 level, T2 level, ...
+};
+
+/// Builds the tier hierarchy. Site 0 is T0; deeper tiers follow in
+/// breadth-first order. Calls grid.finalize().
+void build_tier_model(Grid& grid, const TierModelSpec& spec);
+
+/// Sites of a given tier depth (0 = T0) after build_tier_model.
+std::vector<SiteId> tier_sites(const Grid& grid, const TierModelSpec& spec, std::size_t depth);
+
+}  // namespace lsds::hosts

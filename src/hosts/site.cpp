@@ -1,0 +1,47 @@
+#include "hosts/site.hpp"
+
+#include <cassert>
+
+namespace lsds::hosts {
+
+Site::Site(core::Engine& engine, SiteId id, net::NodeId node, const SiteSpec& spec)
+    : id_(id),
+      node_(node),
+      spec_(spec),
+      cpu_(engine, spec.name + ".cpu", spec.cores, spec.cpu_speed, spec.policy),
+      disk_(engine, spec.name + ".disk",
+            StorageDevice::Spec{spec.disk_capacity, spec.disk_read_bw, spec.disk_write_bw,
+                                spec.disk_latency}) {
+  if (spec.has_mass_storage) {
+    tape_ = std::make_unique<StorageDevice>(
+        engine, spec.name + ".tape",
+        mass_storage_spec(spec.tape_capacity, spec.tape_bandwidth, spec.tape_mount_latency));
+  }
+}
+
+Site& Grid::add_site(const SiteSpec& spec) {
+  const net::NodeId node = topo_.add_node(spec.name, net::NodeKind::kHost);
+  return add_site_at(spec, node);
+}
+
+Site& Grid::add_site_at(const SiteSpec& spec, net::NodeId node) {
+  assert(!finalized() && "cannot add sites after finalize()");
+  const auto id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(std::make_unique<Site>(engine_, id, node, spec));
+  return *sites_.back();
+}
+
+void Grid::finalize() {
+  assert(!finalized());
+  routing_ = std::make_unique<net::Routing>(topo_);
+  net_ = std::make_unique<net::FlowNetwork>(engine_, *routing_);
+}
+
+SiteId Grid::find_site(const std::string& name) const {
+  for (const auto& s : sites_) {
+    if (s->name() == name) return s->id();
+  }
+  return kInvalidSite;
+}
+
+}  // namespace lsds::hosts

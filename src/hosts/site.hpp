@@ -1,0 +1,108 @@
+// Sites (regional centers) and the Grid container.
+//
+// MONARC's largest component is "the regional center, which contains a farm
+// of processing nodes (CPU units), database servers and mass storage units,
+// as well as one or more local and wide area networks". A Site bundles a
+// CPU farm, a disk storage element and optional mass storage, attached to a
+// topology node. Grid owns the sites plus the network stack and finalizes
+// routing once the topology is complete.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "hosts/storage.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace lsds::hosts {
+
+using SiteId = std::uint32_t;
+inline constexpr SiteId kInvalidSite = static_cast<SiteId>(-1);
+
+struct SiteSpec {
+  std::string name;
+  unsigned cores = 1;
+  double cpu_speed = 1000;  // ops/s per core
+  SharingPolicy policy = SharingPolicy::kSpaceShared;
+  double disk_capacity = 1e12;
+  double disk_read_bw = 100e6;
+  double disk_write_bw = 100e6;
+  double disk_latency = 0.005;
+  /// Price per CPU-second (GridSim economy facade); 0 = free.
+  double price_per_cpu_second = 0;
+  /// Optional mass storage (tape).
+  bool has_mass_storage = false;
+  double tape_capacity = 1e15;
+  double tape_bandwidth = 30e6;
+  double tape_mount_latency = 30.0;
+};
+
+class Site {
+ public:
+  Site(core::Engine& engine, SiteId id, net::NodeId node, const SiteSpec& spec);
+
+  SiteId id() const { return id_; }
+  net::NodeId node() const { return node_; }
+  const std::string& name() const { return spec_.name; }
+  const SiteSpec& spec() const { return spec_; }
+
+  CpuResource& cpu() { return cpu_; }
+  const CpuResource& cpu() const { return cpu_; }
+  StorageDevice& disk() { return disk_; }
+  const StorageDevice& disk() const { return disk_; }
+  bool has_tape() const { return tape_ != nullptr; }
+  StorageDevice& tape() { return *tape_; }
+
+ private:
+  SiteId id_;
+  net::NodeId node_;
+  SiteSpec spec_;
+  CpuResource cpu_;
+  StorageDevice disk_;
+  std::unique_ptr<StorageDevice> tape_;
+};
+
+/// Owns the simulated distributed system: topology + sites + (after
+/// finalize) routing and the flow network. Build order: add nodes/links and
+/// sites, then finalize(), then simulate.
+class Grid {
+ public:
+  explicit Grid(core::Engine& engine) : engine_(engine) {}
+
+  core::Engine& engine() { return engine_; }
+  net::Topology& topology() { return topo_; }
+  const net::Topology& topology() const { return topo_; }
+
+  /// Create a topology node and a Site attached to it.
+  Site& add_site(const SiteSpec& spec);
+  /// Attach a site to an existing node.
+  Site& add_site_at(const SiteSpec& spec, net::NodeId node);
+
+  /// Build routing + flow network. Topology must not change afterwards.
+  void finalize();
+  bool finalized() const { return routing_ != nullptr; }
+
+  net::Routing& routing() { return *routing_; }
+  net::FlowNetwork& net() { return *net_; }
+
+  std::size_t site_count() const { return sites_.size(); }
+  Site& site(SiteId id) { return *sites_[id]; }
+  const Site& site(SiteId id) const { return *sites_[id]; }
+  /// Lookup by name; kInvalidSite when absent.
+  SiteId find_site(const std::string& name) const;
+
+ private:
+  core::Engine& engine_;
+  net::Topology topo_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<net::Routing> routing_;
+  std::unique_ptr<net::FlowNetwork> net_;
+};
+
+}  // namespace lsds::hosts

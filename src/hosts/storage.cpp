@@ -1,0 +1,113 @@
+#include "hosts/storage.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsds::hosts {
+
+StorageDevice::StorageDevice(core::Engine& engine, std::string name, Spec spec)
+    : engine_(engine), name_(std::move(name)), spec_(spec) {
+  assert(spec_.capacity > 0 && spec_.read_bw > 0 && spec_.write_bw > 0);
+}
+
+bool StorageDevice::store(const std::string& lfn, double bytes, bool pinned) {
+  if (files_.count(lfn)) return false;
+  if (used_ + bytes > spec_.capacity) return false;
+  const double now = engine_.now();
+  files_[lfn] = StoredFile{lfn, bytes, now, now, 0, pinned};
+  used_ += bytes;
+  return true;
+}
+
+bool StorageDevice::evict(const std::string& lfn) {
+  auto it = files_.find(lfn);
+  if (it == files_.end()) return false;
+  used_ -= it->second.bytes;
+  files_.erase(it);
+  return true;
+}
+
+std::optional<std::string> StorageDevice::lru_candidate() const {
+  const StoredFile* best = nullptr;
+  for (const auto& [lfn, f] : files_) {
+    if (f.pinned) continue;
+    if (!best || f.last_access < best->last_access) best = &f;
+  }
+  if (!best) return std::nullopt;
+  return best->lfn;
+}
+
+std::optional<std::string> StorageDevice::lfu_candidate() const {
+  const StoredFile* best = nullptr;
+  for (const auto& [lfn, f] : files_) {
+    if (f.pinned) continue;
+    if (!best || f.access_count < best->access_count ||
+        (f.access_count == best->access_count && f.last_access < best->last_access)) {
+      best = &f;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->lfn;
+}
+
+const StoredFile* StorageDevice::file(const std::string& lfn) const {
+  auto it = files_.find(lfn);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> StorageDevice::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [lfn, f] : files_) out.push_back(lfn);
+  return out;
+}
+
+double StorageDevice::schedule_io(double duration, IoDoneFn on_done) {
+  const double now = engine_.now();
+  const double start = std::max(now, busy_until_) + spec_.latency;
+  busy_until_ = start + duration;
+  engine_.schedule_at(busy_until_, [cb = std::move(on_done)] {
+    if (cb) cb();
+  });
+  return busy_until_;
+}
+
+bool StorageDevice::read(const std::string& lfn, IoDoneFn on_done) {
+  auto it = files_.find(lfn);
+  if (it == files_.end()) return false;
+  it->second.last_access = engine_.now();
+  ++it->second.access_count;
+  ++reads_;
+  bytes_read_ += it->second.bytes;
+  schedule_io(it->second.bytes / spec_.read_bw, std::move(on_done));
+  return true;
+}
+
+bool StorageDevice::write(const std::string& lfn, double bytes, IoDoneFn on_done) {
+  if (files_.count(lfn) || pending_writes_.count(lfn)) return false;
+  if (used_ + bytes > spec_.capacity) return false;
+  // Reserve capacity immediately; the file becomes visible when the head
+  // finishes.
+  used_ += bytes;
+  pending_writes_.insert(lfn);
+  ++writes_;
+  bytes_written_ += bytes;
+  schedule_io(bytes / spec_.write_bw, [this, lfn, bytes, cb = std::move(on_done)] {
+    const double now = engine_.now();
+    pending_writes_.erase(lfn);
+    files_[lfn] = StoredFile{lfn, bytes, now, now, 0, false};
+    if (cb) cb();
+  });
+  return true;
+}
+
+StorageDevice::Spec mass_storage_spec(double capacity, double bandwidth, double mount_latency) {
+  StorageDevice::Spec s;
+  s.capacity = capacity;
+  s.read_bw = bandwidth;
+  s.write_bw = bandwidth;
+  s.latency = mount_latency;
+  return s;
+}
+
+}  // namespace lsds::hosts

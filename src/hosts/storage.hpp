@@ -1,0 +1,97 @@
+// Storage: disks, mass storage (tape), and the files they hold.
+//
+// The taxonomy's host axis includes "the types of data storage facilities".
+// A StorageDevice tracks capacity and per-file metadata (size, creation and
+// last-access times, pin state — the hooks replication strategies need) and
+// serializes timed I/O FIFO behind a single head (busy-until model). Mass
+// storage adds a per-access mount latency, modeling MONARC's tape robots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace lsds::hosts {
+
+struct StoredFile {
+  std::string lfn;  // logical file name
+  double bytes = 0;
+  double created = 0;
+  double last_access = 0;
+  std::uint64_t access_count = 0;
+  bool pinned = false;  // pinned files are never eviction candidates
+};
+
+class StorageDevice {
+ public:
+  struct Spec {
+    double capacity = 0;   // bytes
+    double read_bw = 0;    // bytes/s
+    double write_bw = 0;   // bytes/s
+    double latency = 0;    // per-access seek/mount latency, seconds
+  };
+
+  StorageDevice(core::Engine& engine, std::string name, Spec spec);
+
+  // --- catalog (instant metadata operations) -------------------------------
+
+  /// Register a file if capacity allows. Returns false when full or dup.
+  bool store(const std::string& lfn, double bytes, bool pinned = false);
+  bool has(const std::string& lfn) const { return files_.count(lfn) > 0; }
+  bool evict(const std::string& lfn);
+  /// Least-recently-used unpinned file; nullopt when none.
+  std::optional<std::string> lru_candidate() const;
+  /// Least-frequently-used unpinned file; nullopt when none.
+  std::optional<std::string> lfu_candidate() const;
+  const StoredFile* file(const std::string& lfn) const;
+  std::vector<std::string> list() const;
+  std::size_t file_count() const { return files_.size(); }
+
+  double used() const { return used_; }
+  double capacity() const { return spec_.capacity; }
+  double free() const { return spec_.capacity - used_; }
+
+  // --- timed I/O (FIFO behind one head) ------------------------------------
+
+  using IoDoneFn = std::function<void()>;
+
+  /// Timed read of a stored file; bumps access stats. `on_done` fires when
+  /// the head finishes. Returns false (no callback) if the file is absent.
+  bool read(const std::string& lfn, IoDoneFn on_done);
+  /// Timed write; registers the file on completion. Returns false without
+  /// side effects when it cannot fit.
+  bool write(const std::string& lfn, double bytes, IoDoneFn on_done);
+
+  // --- statistics -----------------------------------------------------------
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  double bytes_read() const { return bytes_read_; }
+  double bytes_written() const { return bytes_written_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  double schedule_io(double duration, IoDoneFn on_done);
+
+  core::Engine& engine_;
+  std::string name_;
+  Spec spec_;
+  std::map<std::string, StoredFile> files_;
+  std::set<std::string> pending_writes_;  // capacity reserved, head busy
+  double used_ = 0;
+  double busy_until_ = 0;
+  std::uint64_t reads_ = 0, writes_ = 0;
+  double bytes_read_ = 0, bytes_written_ = 0;
+};
+
+/// Tape-robot convenience: a StorageDevice spec with a large mount latency
+/// and modest bandwidth.
+StorageDevice::Spec mass_storage_spec(double capacity, double bandwidth, double mount_latency);
+
+}  // namespace lsds::hosts

@@ -1,0 +1,109 @@
+#include "middleware/batch_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsds::middleware {
+
+const char* to_string(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kFcfs: return "fcfs";
+    case BatchPolicy::kEasyBackfill: return "easy-backfill";
+  }
+  return "?";
+}
+
+BatchQueue::BatchQueue(core::Engine& engine, unsigned total_cores, BatchPolicy policy)
+    : engine_(engine), total_cores_(total_cores), free_cores_(total_cores), policy_(policy) {
+  assert(total_cores_ > 0);
+}
+
+void BatchQueue::submit(BatchJob job, DoneFn on_done) {
+  assert(job.cores >= 1 && job.cores <= total_cores_);
+  assert(job.runtime_actual > 0);
+  if (job.runtime_estimate <= 0) job.runtime_estimate = job.runtime_actual;
+  queue_.push_back(Pending{job, engine_.now(), next_index_++, std::move(on_done)});
+  start_times_.push_back(-1);  // filled at start
+  schedule();
+}
+
+std::pair<double, unsigned> BatchQueue::reservation_for(unsigned cores) const {
+  // Walk running jobs by estimated end; accumulate freed cores until the
+  // requirement fits. Returns (shadow time, spare cores at that time).
+  std::vector<Running> by_end(running_);
+  std::sort(by_end.begin(), by_end.end(),
+            [](const Running& a, const Running& b) { return a.est_end < b.est_end; });
+  unsigned avail = free_cores_;
+  for (const Running& r : by_end) {
+    if (avail >= cores) break;
+    avail += r.cores;
+    if (avail >= cores) return {r.est_end, avail - cores};
+  }
+  // Fits immediately (callers only ask when it does not) or never — the
+  // assert in submit guarantees cores <= total, so "never" cannot happen.
+  return {engine_.now(), avail >= cores ? avail - cores : 0};
+}
+
+void BatchQueue::start(Pending p) {
+  free_cores_ -= p.job.cores;
+  waits_.add(engine_.now() - p.submit_time);
+  start_times_[p.submit_index] = engine_.now();
+  running_.push_back(Running{p.job.cores, engine_.now() + p.job.runtime_estimate});
+  used_core_seconds_ += p.job.cores * p.job.runtime_actual;
+  const double est_end = engine_.now() + p.job.runtime_estimate;
+  engine_.schedule_in(p.job.runtime_actual,
+                      [this, job = p.job, cb = std::move(p.on_done), est_end]() mutable {
+                        free_cores_ += job.cores;
+                        // Remove the matching reservation entry.
+                        auto it = std::find_if(running_.begin(), running_.end(),
+                                               [&](const Running& r) {
+                                                 return r.cores == job.cores &&
+                                                        r.est_end == est_end;
+                                               });
+                        if (it != running_.end()) running_.erase(it);
+                        ++completed_;
+                        if (cb) cb(job);
+                        schedule();
+                      });
+}
+
+void BatchQueue::schedule() {
+  // Start head jobs while they fit.
+  while (!queue_.empty() && queue_.front().job.cores <= free_cores_) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(p));
+  }
+  if (queue_.empty() || policy_ == BatchPolicy::kFcfs) return;
+
+  // EASY: reserve for the head, then backfill anything that fits now and
+  // cannot delay the reservation. Jobs whose estimate ends before the
+  // shadow time return their cores in time regardless; longer jobs may
+  // only consume the cores spare at the shadow instant, and each such
+  // admission shrinks that spare.
+  const auto [shadow, spare0] = reservation_for(queue_.front().job.cores);
+  unsigned spare = spare0;
+  const double now = engine_.now();
+  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+    const BatchJob& j = it->job;
+    const bool fits_now = j.cores <= free_cores_;
+    const bool ends_before_shadow = now + j.runtime_estimate <= shadow + 1e-12;
+    const bool within_spare = j.cores <= spare;
+    if (fits_now && (ends_before_shadow || within_spare)) {
+      if (!ends_before_shadow) spare -= j.cores;
+      Pending p = std::move(*it);
+      it = queue_.erase(it);
+      ++backfilled_;
+      start(std::move(p));
+    } else {
+      ++it;
+    }
+  }
+}
+
+double BatchQueue::utilization(double t_end) const {
+  if (t_end <= 0) return 0;
+  return used_core_seconds_ / (static_cast<double>(total_cores_) * t_end);
+}
+
+}  // namespace lsds::middleware

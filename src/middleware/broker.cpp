@@ -1,0 +1,127 @@
+#include "middleware/broker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace lsds::middleware {
+
+const char* to_string(DbcStrategy s) {
+  switch (s) {
+    case DbcStrategy::kTimeOptimization: return "time-optimization";
+    case DbcStrategy::kCostOptimization: return "cost-optimization";
+  }
+  return "?";
+}
+
+EconomyBroker::EconomyBroker(core::Engine& engine, std::vector<EconomyResource> resources,
+                             DbcStrategy s)
+    : engine_(engine), resources_(std::move(resources)), strategy_(s) {
+  assert(!resources_.empty());
+}
+
+void EconomyBroker::submit(hosts::Job job) {
+  job.submit_time = engine_.now();
+  bag_.push_back(std::move(job));
+}
+
+double EconomyBroker::runtime_on(std::size_t r, const hosts::Job& j) const {
+  return j.ops / resources_[r].cpu->speed();
+}
+
+EconomyBroker::Result EconomyBroker::run(double budget, double deadline, JobDoneFn on_done) {
+  on_done_ = std::move(on_done);
+  Result res;
+
+  const std::size_t n_res = resources_.size();
+  // Per-core ready times for completion estimates.
+  std::vector<std::vector<double>> core_ready(n_res);
+  for (std::size_t r = 0; r < n_res; ++r) {
+    core_ready[r].assign(resources_[r].cpu->cores(), engine_.now());
+  }
+  auto best_core = [&](std::size_t r) {
+    return static_cast<std::size_t>(
+        std::min_element(core_ready[r].begin(), core_ready[r].end()) - core_ready[r].begin());
+  };
+
+  // Plan longest jobs first: the standard DBC ordering (placing big jobs
+  // early gives better packing against the deadline).
+  std::vector<hosts::Job> plan(std::make_move_iterator(bag_.begin()),
+                               std::make_move_iterator(bag_.end()));
+  bag_.clear();
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const hosts::Job& a, const hosts::Job& b) { return a.ops > b.ops; });
+
+  // Cheapest-first resource order for cost optimization.
+  std::vector<std::size_t> by_price(n_res);
+  std::iota(by_price.begin(), by_price.end(), 0u);
+  std::sort(by_price.begin(), by_price.end(), [&](std::size_t a, std::size_t b) {
+    return resources_[a].price_per_cpu_second < resources_[b].price_per_cpu_second;
+  });
+
+  double spent = 0;
+  for (auto& job : plan) {
+    std::size_t chosen = n_res;  // sentinel: rejected
+    double chosen_finish = 0, chosen_cost = 0;
+
+    if (strategy_ == DbcStrategy::kTimeOptimization) {
+      double best_finish = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < n_res; ++r) {
+        const double rt = runtime_on(r, job);
+        const double finish = core_ready[r][best_core(r)] + rt;
+        const double cost = rt * resources_[r].price_per_cpu_second;
+        if (spent + cost > budget) continue;
+        if (finish > deadline) continue;
+        if (finish < best_finish) {
+          best_finish = finish;
+          chosen = r;
+          chosen_finish = finish;
+          chosen_cost = cost;
+        }
+      }
+    } else {  // kCostOptimization
+      for (std::size_t r : by_price) {
+        const double rt = runtime_on(r, job);
+        const double finish = core_ready[r][best_core(r)] + rt;
+        const double cost = rt * resources_[r].price_per_cpu_second;
+        if (spent + cost > budget) continue;
+        if (finish > deadline) continue;  // too slow/loaded: try pricier
+        chosen = r;
+        chosen_finish = finish;
+        chosen_cost = cost;
+        break;
+      }
+    }
+
+    if (chosen == n_res) {
+      ++res.rejected;
+      rejected_.push_back(std::move(job));
+      continue;
+    }
+
+    spent += chosen_cost;
+    ++res.accepted;
+    res.planned_cost = spent;
+    res.planned_makespan = std::max(res.planned_makespan, chosen_finish);
+    core_ready[chosen][best_core(chosen)] = chosen_finish;
+
+    job.dispatch_time = engine_.now();
+    const hosts::JobId id = job.id;
+    const double ops = job.ops;
+    const double price = resources_[chosen].price_per_cpu_second;
+    auto* cpu = resources_[chosen].cpu;
+    cpu->submit(id, ops,
+                [this, job = std::move(job), price, ops, speed = cpu->speed()](
+                    hosts::JobId) mutable {
+                  job.finish_time = engine_.now();
+                  makespan_ = std::max(makespan_, job.finish_time);
+                  actual_cost_ += (ops / speed) * price;
+                  ++completed_;
+                  if (on_done_) on_done_(job);
+                });
+  }
+  return res;
+}
+
+}  // namespace lsds::middleware

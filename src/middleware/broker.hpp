@@ -1,0 +1,83 @@
+// GridSim-style computational-economy resource broker.
+//
+// "GridSim is mainly used to study cost-time optimization algorithms for
+// scheduling task farming applications on heterogeneous Grids, considering
+// economy based distributed resource management, dealing with deadline and
+// budget constraints." This broker implements the two classic
+// deadline-and-budget-constrained (DBC) strategies:
+//
+//   kTimeOptimization — finish as early as possible while the *total* spend
+//     stays within budget: assign each job to the resource with the best
+//     estimated completion time whose marginal cost still fits.
+//   kCostOptimization — spend as little as possible while every job's
+//     estimated completion meets the deadline: fill cheapest resources
+//     first, overflowing to costlier ones only when the deadline forces it.
+//
+// Jobs that cannot be placed within both constraints are rejected — the
+// broker reports them rather than silently violating constraints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "hosts/job.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::middleware {
+
+enum class DbcStrategy { kTimeOptimization, kCostOptimization };
+
+const char* to_string(DbcStrategy s);
+
+struct EconomyResource {
+  hosts::CpuResource* cpu = nullptr;
+  double price_per_cpu_second = 0;  // currency / (core * second)
+};
+
+class EconomyBroker {
+ public:
+  struct Result {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    double planned_cost = 0;     // sum of accepted jobs' estimated costs
+    double planned_makespan = 0; // max estimated completion across accepted
+  };
+
+  using JobDoneFn = std::function<void(const hosts::Job&)>;
+
+  EconomyBroker(core::Engine& engine, std::vector<EconomyResource> resources, DbcStrategy s);
+
+  void submit(hosts::Job job);
+
+  /// Plan the whole bag under (budget, deadline), dispatch accepted jobs.
+  /// `budget` caps total spend; `deadline` is an absolute simulation time.
+  /// Either can be infinity for "unconstrained".
+  Result run(double budget, double deadline, JobDoneFn on_done = nullptr);
+
+  // --- outcome (valid after the engine drains) ----------------------------
+
+  double actual_cost() const { return actual_cost_; }
+  double makespan() const { return makespan_; }
+  std::uint64_t completed() const { return completed_; }
+  const std::vector<hosts::Job>& rejected_jobs() const { return rejected_; }
+
+ private:
+  /// Estimated runtime of a job on resource r (one core).
+  double runtime_on(std::size_t r, const hosts::Job& j) const;
+
+  core::Engine& engine_;
+  std::vector<EconomyResource> resources_;
+  DbcStrategy strategy_;
+  std::vector<hosts::Job> bag_;
+  std::vector<hosts::Job> rejected_;
+  JobDoneFn on_done_;
+  double actual_cost_ = 0;
+  double makespan_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace lsds::middleware

@@ -1,0 +1,267 @@
+#include "middleware/dag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lsds::middleware {
+
+// --- Dag --------------------------------------------------------------
+
+TaskId Dag::add_task(std::string name, double ops) {
+  tasks_.push_back(Task{std::move(name), ops, {}, {}});
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+bool Dag::reaches(TaskId from, TaskId target) const {
+  std::deque<TaskId> frontier{from};
+  std::vector<bool> seen(tasks_.size(), false);
+  while (!frontier.empty()) {
+    const TaskId t = frontier.front();
+    frontier.pop_front();
+    if (t == target) return true;
+    if (seen[t]) continue;
+    seen[t] = true;
+    for (const auto& [s, bytes] : tasks_[t].succs) frontier.push_back(s);
+  }
+  return false;
+}
+
+void Dag::add_edge(TaskId from, TaskId to, double bytes) {
+  assert(from < tasks_.size() && to < tasks_.size());
+  if (from == to || reaches(to, from)) {
+    throw std::invalid_argument("Dag::add_edge would create a cycle");
+  }
+  tasks_[from].succs.emplace_back(to, bytes);
+  tasks_[to].preds.emplace_back(from, bytes);
+}
+
+std::vector<TaskId> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (std::size_t t = 0; t < tasks_.size(); ++t) indegree[t] = tasks_[t].preds.size();
+  std::deque<TaskId> ready;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    if (indegree[t] == 0) ready.push_back(static_cast<TaskId>(t));
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (const auto& [s, bytes] : tasks_[t].succs) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  assert(order.size() == tasks_.size() && "graph has a cycle");
+  return order;
+}
+
+Dag Dag::chain(std::size_t n, double ops, double bytes) {
+  Dag d;
+  TaskId prev = kInvalidTask;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId t = d.add_task(util::strformat("t%zu", i), ops);
+    if (prev != kInvalidTask) d.add_edge(prev, t, bytes);
+    prev = t;
+  }
+  return d;
+}
+
+Dag Dag::fork_join(std::size_t width, double root_ops, double branch_ops, double bytes) {
+  Dag d;
+  const TaskId root = d.add_task("fork", root_ops);
+  const TaskId join = d.add_task("join", root_ops);
+  for (std::size_t i = 0; i < width; ++i) {
+    const TaskId b = d.add_task(util::strformat("branch%zu", i), branch_ops);
+    d.add_edge(root, b, bytes);
+    d.add_edge(b, join, bytes);
+  }
+  return d;
+}
+
+Dag Dag::random_layered(std::size_t layers, std::size_t width, double p, double mean_ops,
+                        double mean_bytes, core::RngStream& rng) {
+  Dag d;
+  std::vector<std::vector<TaskId>> layer_tasks(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t w = 0; w < width; ++w) {
+      layer_tasks[l].push_back(
+          d.add_task(util::strformat("l%zu_%zu", l, w), rng.exponential(mean_ops)));
+    }
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (TaskId t : layer_tasks[l]) {
+      bool has_pred = false;
+      for (TaskId prev : layer_tasks[l - 1]) {
+        if (rng.bernoulli(p)) {
+          d.add_edge(prev, t, rng.exponential(mean_bytes));
+          has_pred = true;
+        }
+      }
+      if (!has_pred) {  // guarantee layer connectivity
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+        d.add_edge(layer_tasks[l - 1][pick], t, rng.exponential(mean_bytes));
+      }
+    }
+  }
+  return d;
+}
+
+// --- DagScheduler ------------------------------------------------------
+
+const char* to_string(DagAlgorithm a) {
+  switch (a) {
+    case DagAlgorithm::kHeft: return "heft";
+    case DagAlgorithm::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+DagScheduler::DagScheduler(core::Engine& engine, const Dag& dag,
+                           std::vector<Resource> resources, net::FlowNetwork* net,
+                           DagAlgorithm algorithm)
+    : engine_(engine),
+      dag_(dag),
+      resources_(std::move(resources)),
+      net_(net),
+      algorithm_(algorithm) {
+  assert(!resources_.empty());
+}
+
+// Mean bandwidth between distinct resources; used for HEFT's rank
+// estimates (actual transfers go through the real flow network).
+namespace {
+double mean_pair_bandwidth(const std::vector<DagScheduler::Resource>& res,
+                           net::FlowNetwork* net) {
+  if (!net || res.size() < 2) return std::numeric_limits<double>::infinity();
+  // Approximation: the bandwidth of the narrowest link in the topology is a
+  // reasonable a-priori comm estimate without solving flows.
+  const auto& topo = net->topology();
+  double narrowest = std::numeric_limits<double>::infinity();
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    narrowest = std::min(narrowest, topo.link(l).bandwidth);
+  }
+  return narrowest;
+}
+}  // namespace
+
+std::vector<std::size_t> DagScheduler::map_heft() const {
+  const std::size_t n = dag_.task_count();
+  const std::size_t r = resources_.size();
+
+  // Mean execution time per task and mean comm time per edge byte.
+  double speed_sum = 0;
+  for (const auto& res : resources_) speed_sum += res.cpu->speed();
+  const double mean_speed = speed_sum / static_cast<double>(r);
+  const double bw = mean_pair_bandwidth(resources_, net_);
+
+  // Upward ranks, computed in reverse topological order.
+  const auto topo_order = dag_.topological_order();
+  std::vector<double> rank(n, 0);
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    const TaskId t = *it;
+    double best_succ = 0;
+    for (const auto& [s, bytes] : dag_.successors(t)) {
+      best_succ = std::max(best_succ, bytes / bw + rank[s]);
+    }
+    rank[t] = dag_.ops(t) / mean_speed + best_succ;
+  }
+
+  // Tasks by decreasing rank (stable for determinism).
+  std::vector<TaskId> order(topo_order);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](TaskId a, TaskId b) { return rank[a] > rank[b]; });
+
+  // Greedy EFT placement with per-core ready times and data-ready times.
+  std::vector<std::vector<double>> core_ready(r);
+  for (std::size_t i = 0; i < r; ++i) core_ready[i].assign(resources_[i].cpu->cores(), 0.0);
+  std::vector<double> finish(n, 0);
+  std::vector<std::size_t> place(n, 0);
+
+  for (TaskId t : order) {
+    double best_eft = std::numeric_limits<double>::infinity();
+    std::size_t best_r = 0;
+    for (std::size_t i = 0; i < r; ++i) {
+      // Data ready: all predecessor outputs arrived at resource i.
+      double data_ready = 0;
+      for (const auto& [p, bytes] : dag_.predecessors(t)) {
+        const double comm = place[p] == i ? 0.0 : bytes / bw;
+        data_ready = std::max(data_ready, finish[p] + comm);
+      }
+      const double core =
+          *std::min_element(core_ready[i].begin(), core_ready[i].end());
+      const double start = std::max(core, data_ready);
+      const double eft = start + dag_.ops(t) / resources_[i].cpu->speed();
+      if (eft < best_eft) {
+        best_eft = eft;
+        best_r = i;
+      }
+    }
+    place[t] = best_r;
+    finish[t] = best_eft;
+    auto& cores = core_ready[best_r];
+    *std::min_element(cores.begin(), cores.end()) = best_eft;
+  }
+  return place;
+}
+
+std::vector<std::size_t> DagScheduler::map_round_robin() const {
+  std::vector<std::size_t> place(dag_.task_count(), 0);
+  std::size_t next = 0;
+  for (TaskId t : dag_.topological_order()) {
+    place[t] = next;
+    next = (next + 1) % resources_.size();
+  }
+  return place;
+}
+
+void DagScheduler::start(std::function<void(TaskId)> on_task_done) {
+  on_done_ = std::move(on_task_done);
+  placement_ = algorithm_ == DagAlgorithm::kHeft ? map_heft() : map_round_robin();
+  result_.placement = placement_;
+  result_.task_finish.assign(dag_.task_count(), 0);
+  waiting_inputs_.assign(dag_.task_count(), 0);
+  remaining_ = dag_.task_count();
+
+  for (std::size_t t = 0; t < dag_.task_count(); ++t) {
+    waiting_inputs_[t] = dag_.predecessors(static_cast<TaskId>(t)).size();
+    if (waiting_inputs_[t] == 0) on_inputs_ready(static_cast<TaskId>(t));
+  }
+}
+
+void DagScheduler::on_inputs_ready(TaskId t) {
+  auto& res = resources_[placement_[t]];
+  res.cpu->submit(static_cast<hosts::JobId>(t + 1), dag_.ops(t),
+                  [this, t](hosts::JobId) { on_task_finished(t); });
+}
+
+void DagScheduler::on_task_finished(TaskId t) {
+  result_.task_finish[t] = engine_.now();
+  result_.makespan = std::max(result_.makespan, engine_.now());
+  --remaining_;
+  if (on_done_) on_done_(t);
+
+  for (const auto& [succ, bytes] : dag_.successors(t)) {
+    const std::size_t src_r = placement_[t];
+    const std::size_t dst_r = placement_[succ];
+    auto arrived = [this, succ = succ] {
+      if (--waiting_inputs_[succ] == 0) on_inputs_ready(succ);
+    };
+    if (src_r == dst_r || !net_ || bytes <= 0) {
+      engine_.schedule_in(0, arrived);  // local hand-off
+    } else {
+      ++result_.transfers;
+      result_.bytes_moved += bytes;
+      net_->start_flow(resources_[src_r].node, resources_[dst_r].node, bytes,
+                       [arrived](net::FlowId) { arrived(); });
+    }
+  }
+}
+
+}  // namespace lsds::middleware

@@ -1,0 +1,122 @@
+// DAG (workflow) scheduling — the "application scheduling" SimGrid was
+// built for.
+//
+// "SimGrid is a simulation toolkit that provides core functionalities for
+// the evaluation of scheduling algorithms in distributed applications in a
+// heterogeneous, computational distributed environment." The hard version
+// of that problem is a task graph: tasks with precedence edges carrying
+// data, to be mapped onto heterogeneous resources so that compute and
+// communication overlap well.
+//
+// This module provides:
+//   * Dag — the task-graph model with cycle detection and generators for
+//     the standard shapes (chain, fork-join, random layered);
+//   * DagScheduler — static mapping via HEFT (Topcuoglu et al. 2002;
+//     upward-rank list scheduling with earliest-finish-time insertion) or a
+//     round-robin baseline, executed event-driven over CpuResources with
+//     inter-task data moved through the flow network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "hosts/cpu.hpp"
+#include "net/flow.hpp"
+
+namespace lsds::middleware {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+class Dag {
+ public:
+  TaskId add_task(std::string name, double ops);
+  /// Data dependency: `to` needs `bytes` produced by `from`.
+  /// Throws std::invalid_argument if it would close a cycle.
+  void add_edge(TaskId from, TaskId to, double bytes);
+
+  std::size_t task_count() const { return tasks_.size(); }
+  double ops(TaskId t) const { return tasks_[t].ops; }
+  const std::string& name(TaskId t) const { return tasks_[t].name; }
+  const std::vector<std::pair<TaskId, double>>& successors(TaskId t) const {
+    return tasks_[t].succs;
+  }
+  const std::vector<std::pair<TaskId, double>>& predecessors(TaskId t) const {
+    return tasks_[t].preds;
+  }
+  /// Tasks in a valid topological order (stable across runs).
+  std::vector<TaskId> topological_order() const;
+
+  // --- generators -----------------------------------------------------------
+
+  static Dag chain(std::size_t n, double ops, double bytes);
+  static Dag fork_join(std::size_t width, double root_ops, double branch_ops, double bytes);
+  /// `layers` layers of `width` tasks; each task depends on every task of
+  /// the previous layer with probability `p` (at least one guaranteed).
+  static Dag random_layered(std::size_t layers, std::size_t width, double p, double mean_ops,
+                            double mean_bytes, core::RngStream& rng);
+
+ private:
+  struct Task {
+    std::string name;
+    double ops;
+    std::vector<std::pair<TaskId, double>> succs;  // (task, bytes)
+    std::vector<std::pair<TaskId, double>> preds;
+  };
+  bool reaches(TaskId from, TaskId target) const;
+
+  std::vector<Task> tasks_;
+};
+
+enum class DagAlgorithm { kHeft, kRoundRobin };
+
+const char* to_string(DagAlgorithm a);
+
+class DagScheduler {
+ public:
+  struct Resource {
+    hosts::CpuResource* cpu = nullptr;
+    net::NodeId node = net::kInvalidNode;
+  };
+
+  /// `net` may be null: communication then costs zero (compute-only study).
+  DagScheduler(core::Engine& engine, const Dag& dag, std::vector<Resource> resources,
+               net::FlowNetwork* net, DagAlgorithm algorithm);
+
+  struct Result {
+    double makespan = 0;
+    std::vector<double> task_finish;     // by TaskId
+    std::vector<std::size_t> placement;  // TaskId -> resource index
+    std::uint64_t transfers = 0;         // cross-resource edges moved
+    double bytes_moved = 0;
+  };
+
+  /// Map all tasks, start execution; run Engine::run() to completion, then
+  /// read result(). `on_done` fires per task completion.
+  void start(std::function<void(TaskId)> on_task_done = nullptr);
+  const Result& result() const { return result_; }
+
+ private:
+  std::vector<std::size_t> map_heft() const;
+  std::vector<std::size_t> map_round_robin() const;
+  void on_inputs_ready(TaskId t);
+  void on_task_finished(TaskId t);
+
+  core::Engine& engine_;
+  const Dag& dag_;
+  std::vector<Resource> resources_;
+  net::FlowNetwork* net_;
+  DagAlgorithm algorithm_;
+  std::vector<std::size_t> placement_;
+  std::vector<std::size_t> waiting_inputs_;  // per task: inputs not yet arrived
+  std::function<void(TaskId)> on_done_;
+  Result result_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace lsds::middleware

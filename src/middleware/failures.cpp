@@ -1,0 +1,47 @@
+#include "middleware/failures.hpp"
+
+namespace lsds::middleware {
+
+FailureInjector::FailureInjector(core::Engine& engine, std::string stream)
+    : engine_(engine), stream_(std::move(stream)) {}
+
+void FailureInjector::add_cpu(hosts::CpuResource& cpu) { cpus_.push_back({&cpu}); }
+
+void FailureInjector::add_link(net::FlowNetwork& net, net::LinkId link) {
+  links_.push_back({&net, link});
+}
+
+void FailureInjector::start(double mtbf, double mttr, double t_end) {
+  const std::size_t n = cpus_.size() + links_.size();
+  for (std::size_t t = 0; t < n; ++t) schedule_failure(t, mtbf, mttr, t_end);
+}
+
+void FailureInjector::apply(std::size_t target, bool up) {
+  if (target < cpus_.size()) {
+    cpus_[target].cpu->set_online(up);
+  } else {
+    auto& lt = links_[target - cpus_.size()];
+    lt.net->set_link_up(lt.link, up);
+  }
+}
+
+void FailureInjector::schedule_failure(std::size_t target, double mtbf, double mttr,
+                                       double t_end) {
+  auto& rng = engine_.rng(stream_);
+  const double fail_in = rng.exponential(mtbf);
+  if (engine_.now() + fail_in > t_end) return;  // survives the horizon
+  engine_.schedule_in(fail_in, [this, target, mtbf, mttr, t_end] {
+    ++outages_;
+    apply(target, false);
+    auto& r = engine_.rng(stream_);
+    const double repair_in = r.exponential(mttr);
+    downtime_ += repair_in;
+    engine_.schedule_in(repair_in, [this, target, mtbf, mttr, t_end] {
+      ++repairs_;
+      apply(target, true);
+      schedule_failure(target, mtbf, mttr, t_end);  // next cycle
+    });
+  });
+}
+
+}  // namespace lsds::middleware

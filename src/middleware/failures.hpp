@@ -1,0 +1,60 @@
+// Stochastic failure injection.
+//
+// Large-scale distributed systems fail routinely; a simulator that cannot
+// express outages cannot answer availability questions. FailureInjector
+// drives registered CPU resources and network links through exponential
+// fail/repair cycles (classic MTBF/MTTR model): each target independently
+// alternates up-time ~ Exp(mtbf) and down-time ~ Exp(mttr), drawn from a
+// named engine stream so chaos runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "net/flow.hpp"
+
+namespace lsds::middleware {
+
+class FailureInjector {
+ public:
+  /// `stream` names the RNG stream used for all draws.
+  FailureInjector(core::Engine& engine, std::string stream = "failures");
+
+  void add_cpu(hosts::CpuResource& cpu);
+  void add_link(net::FlowNetwork& net, net::LinkId link);
+
+  /// Start fail/repair cycles on every registered target. Outages whose
+  /// start would fall beyond `t_end` are not scheduled.
+  void start(double mean_time_between_failures, double mean_time_to_repair, double t_end);
+
+  // --- statistics -----------------------------------------------------------
+
+  std::uint64_t outages_started() const { return outages_; }
+  std::uint64_t repairs_completed() const { return repairs_; }
+  double total_downtime() const { return downtime_; }
+
+ private:
+  struct CpuTarget {
+    hosts::CpuResource* cpu;
+  };
+  struct LinkTarget {
+    net::FlowNetwork* net;
+    net::LinkId link;
+  };
+
+  void schedule_failure(std::size_t target, double mtbf, double mttr, double t_end);
+  void apply(std::size_t target, bool up);
+
+  core::Engine& engine_;
+  std::string stream_;
+  std::vector<CpuTarget> cpus_;
+  std::vector<LinkTarget> links_;  // target index = cpus_.size() + link index
+  std::uint64_t outages_ = 0;
+  std::uint64_t repairs_ = 0;
+  double downtime_ = 0;
+};
+
+}  // namespace lsds::middleware

@@ -1,0 +1,49 @@
+#include "middleware/forecast.hpp"
+
+#include <cmath>
+
+namespace lsds::middleware {
+
+NwsForecaster::NwsForecaster(std::size_t error_horizon) : horizon_(error_horizon) {
+  members_.push_back(std::make_unique<LastValuePredictor>());
+  members_.push_back(std::make_unique<RunningMeanPredictor>());
+  members_.push_back(std::make_unique<SlidingWindowPredictor>(5));
+  members_.push_back(std::make_unique<SlidingWindowPredictor>(20));
+  members_.push_back(std::make_unique<ExponentialSmoothingPredictor>(0.2));
+  members_.push_back(std::make_unique<ExponentialSmoothingPredictor>(0.5));
+  errors_.resize(members_.size());
+  error_sums_.assign(members_.size(), 0.0);
+}
+
+std::size_t NwsForecaster::best_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    if (error_sums_[i] < error_sums_[best]) best = i;
+  }
+  return best;
+}
+
+double NwsForecaster::predict() const { return members_[best_index()]->predict(); }
+
+const char* NwsForecaster::best_name() const { return members_[best_index()]->name(); }
+
+void NwsForecaster::observe(double v) {
+  // Score the meta-forecast first (what we would have predicted).
+  if (n_ > 0) err_sum_ += std::fabs(predict() - v);
+  // Score every member against this observation, then let it learn.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (n_ > 0) {
+      const double e = std::fabs(members_[i]->predict() - v);
+      errors_[i].push_back(e);
+      error_sums_[i] += e;
+      if (errors_[i].size() > horizon_) {
+        error_sums_[i] -= errors_[i].front();
+        errors_[i].pop_front();
+      }
+    }
+    members_[i]->observe(v);
+  }
+  ++n_;
+}
+
+}  // namespace lsds::middleware

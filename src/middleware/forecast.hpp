@@ -1,0 +1,137 @@
+// Load forecasting, Network-Weather-Service style.
+//
+// Bricks studied "resource scheduling algorithms [and] programming modules
+// for scheduling" in global computing systems, where the scheduler picks a
+// server using *predicted* (stale, sampled) load rather than oracle
+// knowledge — the role NWS played in that ecosystem. This module provides
+// the classic single-series predictors plus the NWS meta-predictor that
+// continuously tracks every predictor's error and forecasts with the
+// current best.
+//
+// Used by the Bricks facade's forecast-based server selection and usable
+// standalone on any monitored series (middleware/monitor.hpp samples).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsds::middleware {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual const char* name() const = 0;
+  /// Forecast the next observation. Defined after >= 1 observation;
+  /// returns 0 before that.
+  virtual double predict() const = 0;
+  /// Feed the actual next observation.
+  virtual void observe(double v) = 0;
+};
+
+/// Tomorrow equals today.
+class LastValuePredictor final : public Predictor {
+ public:
+  const char* name() const override { return "last-value"; }
+  double predict() const override { return last_; }
+  void observe(double v) override { last_ = v; }
+
+ private:
+  double last_ = 0;
+};
+
+/// Mean of everything seen.
+class RunningMeanPredictor final : public Predictor {
+ public:
+  const char* name() const override { return "running-mean"; }
+  double predict() const override { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  void observe(double v) override {
+    sum_ += v;
+    ++n_;
+  }
+
+ private:
+  double sum_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Mean of the last k observations.
+class SlidingWindowPredictor final : public Predictor {
+ public:
+  explicit SlidingWindowPredictor(std::size_t k) : k_(k), name_("window-" + std::to_string(k)) {}
+  const char* name() const override { return name_.c_str(); }
+  double predict() const override {
+    return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+  }
+  void observe(double v) override {
+    window_.push_back(v);
+    sum_ += v;
+    if (window_.size() > k_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+ private:
+  std::size_t k_;
+  std::string name_;
+  std::deque<double> window_;
+  double sum_ = 0;
+};
+
+/// s <- a*v + (1-a)*s.
+class ExponentialSmoothingPredictor final : public Predictor {
+ public:
+  explicit ExponentialSmoothingPredictor(double alpha)
+      : alpha_(alpha), name_("exp-" + std::to_string(alpha).substr(0, 4)) {}
+  const char* name() const override { return name_.c_str(); }
+  double predict() const override { return s_; }
+  void observe(double v) override {
+    if (!primed_) {
+      s_ = v;
+      primed_ = true;
+      return;
+    }
+    s_ = alpha_ * v + (1.0 - alpha_) * s_;
+  }
+
+ private:
+  double alpha_;
+  std::string name_;
+  double s_ = 0;
+  bool primed_ = false;
+};
+
+/// The NWS meta-predictor: runs a battery of predictors, scores each by
+/// cumulative absolute error over a sliding horizon, and forecasts with
+/// the current winner.
+class NwsForecaster final : public Predictor {
+ public:
+  /// Default battery: last-value, running-mean, window-5, window-20,
+  /// exp-0.2, exp-0.5. `error_horizon` bounds the error memory so the
+  /// winner can change with the series' regime.
+  explicit NwsForecaster(std::size_t error_horizon = 50);
+
+  const char* name() const override { return "nws"; }
+  double predict() const override;
+  void observe(double v) override;
+
+  /// Name of the currently winning member predictor.
+  const char* best_name() const;
+  /// Mean absolute error of the meta-forecast so far.
+  double mean_abs_error() const { return n_ ? err_sum_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t best_index() const;
+
+  std::size_t horizon_;
+  std::vector<std::unique_ptr<Predictor>> members_;
+  std::vector<std::deque<double>> errors_;       // per member, recent |error|
+  std::vector<double> error_sums_;
+  double err_sum_ = 0;  // error of the meta-forecast itself
+  std::size_t n_ = 0;
+};
+
+}  // namespace lsds::middleware

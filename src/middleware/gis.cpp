@@ -1,0 +1,66 @@
+#include "middleware/gis.hpp"
+
+#include <algorithm>
+
+namespace lsds::middleware {
+
+void GridInformationService::register_site(hosts::Site& site, double price,
+                                           std::vector<std::string> tags) {
+  entries_.push_back(Entry{&site, price, std::move(tags)});
+}
+
+bool GridInformationService::unregister_site(hosts::SiteId id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const Entry& e) { return e.site->id() == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<hosts::Site*> GridInformationService::query(
+    const std::function<bool(const Entry&)>& pred) const {
+  std::vector<hosts::Site*> out;
+  for (const auto& e : entries_) {
+    if (pred(e)) out.push_back(e.site);
+  }
+  return out;
+}
+
+std::vector<hosts::Site*> GridInformationService::by_tag(const std::string& tag) const {
+  return query([&](const Entry& e) {
+    return std::find(e.tags.begin(), e.tags.end(), tag) != e.tags.end();
+  });
+}
+
+hosts::Site* GridInformationService::least_loaded() const {
+  hosts::Site* best = nullptr;
+  double best_load = 0;
+  for (const auto& e : entries_) {
+    const auto& cpu = e.site->cpu();
+    const double load =
+        static_cast<double>(cpu.running() + cpu.queued()) / static_cast<double>(cpu.cores());
+    if (!best || load < best_load) {
+      best = e.site;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+hosts::Site* GridInformationService::cheapest() const {
+  const Entry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (!best || e.price_per_cpu_second < best->price_per_cpu_second) best = &e;
+  }
+  return best ? best->site : nullptr;
+}
+
+std::optional<GridInformationService::Entry> GridInformationService::find(
+    hosts::SiteId id) const {
+  for (const auto& e : entries_) {
+    if (e.site->id() == id) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lsds::middleware

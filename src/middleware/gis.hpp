@@ -1,0 +1,48 @@
+// Grid Information Service: resource registry and discovery.
+//
+// The middleware component every broker/scheduler consults — "brokers
+// discovering and allocating resources to users" (GridSim). Sites register
+// with attributes; queries filter/rank by load, speed, price or a custom
+// predicate. Deliberately synchronous (registry lookups are not the
+// phenomena these experiments study).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hosts/site.hpp"
+
+namespace lsds::middleware {
+
+class GridInformationService {
+ public:
+  struct Entry {
+    hosts::Site* site = nullptr;
+    double price_per_cpu_second = 0;
+    std::vector<std::string> tags;
+  };
+
+  void register_site(hosts::Site& site, double price = 0, std::vector<std::string> tags = {});
+  bool unregister_site(hosts::SiteId id);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& all() const { return entries_; }
+
+  /// Sites matching a predicate.
+  std::vector<hosts::Site*> query(const std::function<bool(const Entry&)>& pred) const;
+  /// Sites carrying a given tag.
+  std::vector<hosts::Site*> by_tag(const std::string& tag) const;
+  /// Site with the most idle cores (ties: lowest id); nullptr when none idle.
+  hosts::Site* least_loaded() const;
+  /// Cheapest site (ties: lowest id).
+  hosts::Site* cheapest() const;
+  /// Entry lookup.
+  std::optional<Entry> find(hosts::SiteId id) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lsds::middleware

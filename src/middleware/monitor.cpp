@@ -1,0 +1,42 @@
+#include "middleware/monitor.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace lsds::middleware {
+
+void MonitoringService::start(double t_end) {
+  engine_.schedule_in(period_, [this, t_end] { sample(t_end); });
+}
+
+void MonitoringService::sample(double t_end) {
+  const double now = engine_.now();
+  for (hosts::Site* site : sites_) {
+    core::TraceEvent ev;
+    ev.time = now;
+    ev.kind = "monitor";
+    ev.attrs = {
+        {"site", site->name()},
+        {"running", util::strformat("%zu", site->cpu().running())},
+        {"queued", util::strformat("%zu", site->cpu().queued())},
+        {"disk_used", util::strformat("%.0f", site->disk().used())},
+        {"jobs_done", util::strformat("%llu",
+                                      static_cast<unsigned long long>(site->cpu().jobs_completed()))},
+    };
+    samples_.push_back(std::move(ev));
+  }
+  if (now + period_ <= t_end) {
+    engine_.schedule_in(period_, [this, t_end] { sample(t_end); });
+  }
+}
+
+std::string MonitoringService::to_trace_text() const {
+  std::ostringstream out;
+  core::TraceWriter w(out);
+  w.write_comment("MonALISA-like monitoring samples (lsds)");
+  for (const auto& ev : samples_) w.write(ev);
+  return out.str();
+}
+
+}  // namespace lsds::middleware

@@ -1,0 +1,46 @@
+// MonALISA-like monitoring service.
+//
+// MONARC 2 "accepts both types of input (the monitoring data format is the
+// one produced by MonALISA)". This component closes that loop inside
+// LSDS-Sim: it samples per-site utilization metrics at a fixed period into
+// the core trace format (core/trace.hpp), which TraceDriver can replay into
+// another simulation — the taxonomy's "data sets collected by monitoring"
+// input class.
+//
+// Emitted trace events, one per site per period:
+//   <t> monitor site=<name> running=<n> queued=<n> disk_used=<bytes>
+//       jobs_done=<n>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/trace.hpp"
+#include "hosts/site.hpp"
+
+namespace lsds::middleware {
+
+class MonitoringService {
+ public:
+  MonitoringService(core::Engine& engine, double period) : engine_(engine), period_(period) {}
+
+  void watch(hosts::Site& site) { sites_.push_back(&site); }
+
+  /// Start sampling at t = now + period, until t_end.
+  void start(double t_end);
+
+  const std::vector<core::TraceEvent>& samples() const { return samples_; }
+  /// Render all samples in the trace file format.
+  std::string to_trace_text() const;
+
+ private:
+  void sample(double t_end);
+
+  core::Engine& engine_;
+  double period_;
+  std::vector<hosts::Site*> sites_;
+  std::vector<core::TraceEvent> samples_;
+};
+
+}  // namespace lsds::middleware

@@ -1,0 +1,62 @@
+#include "middleware/replica_catalog.hpp"
+
+#include <limits>
+
+namespace lsds::middleware {
+
+void ReplicaCatalog::add_replica(const std::string& lfn, hosts::SiteId site, net::NodeId node) {
+  entries_[lfn].insert(Location{site, node});
+}
+
+bool ReplicaCatalog::remove_replica(const std::string& lfn, hosts::SiteId site) {
+  auto it = entries_.find(lfn);
+  if (it == entries_.end()) return false;
+  const bool erased = it->second.erase(Location{site, {}}) > 0;
+  if (it->second.empty()) entries_.erase(it);
+  return erased;
+}
+
+bool ReplicaCatalog::has_replica_at(const std::string& lfn, hosts::SiteId site) const {
+  auto it = entries_.find(lfn);
+  return it != entries_.end() && it->second.count(Location{site, {}}) > 0;
+}
+
+std::size_t ReplicaCatalog::replica_count(const std::string& lfn) const {
+  auto it = entries_.find(lfn);
+  return it == entries_.end() ? 0 : it->second.size();
+}
+
+std::vector<hosts::SiteId> ReplicaCatalog::locations(const std::string& lfn) const {
+  std::vector<hosts::SiteId> out;
+  auto it = entries_.find(lfn);
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& loc : it->second) out.push_back(loc.site);
+  return out;
+}
+
+std::optional<hosts::SiteId> ReplicaCatalog::best_source(const std::string& lfn,
+                                                         net::NodeId consumer_node) const {
+  auto it = entries_.find(lfn);
+  if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  double best = std::numeric_limits<double>::infinity();
+  hosts::SiteId best_site = hosts::kInvalidSite;
+  for (const auto& loc : it->second) {
+    double lat;
+    if (loc.node == consumer_node) {
+      lat = 0;  // local replica always wins
+    } else {
+      const auto& r = routing_.route(consumer_node, loc.node);
+      if (!r.valid) continue;
+      lat = r.total_latency;
+    }
+    if (lat < best) {
+      best = lat;
+      best_site = loc.site;
+    }
+  }
+  if (best_site == hosts::kInvalidSite) return std::nullopt;
+  return best_site;
+}
+
+}  // namespace lsds::middleware

@@ -1,0 +1,52 @@
+// Replica catalog: logical file name -> locations.
+//
+// The data-grid substrate shared by the OptorSim, ChicagoSim and MONARC
+// facades. Maps each logical file to the set of sites holding a physical
+// replica and selects the "best" source for a consumer site (closest by
+// route latency, ties broken by site id for determinism).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hosts/site.hpp"
+#include "net/routing.hpp"
+
+namespace lsds::middleware {
+
+class ReplicaCatalog {
+ public:
+  explicit ReplicaCatalog(net::Routing& routing) : routing_(routing) {}
+
+  /// Register/unregister a replica at a site (metadata only; callers manage
+  /// the actual StorageDevice contents).
+  void add_replica(const std::string& lfn, hosts::SiteId site, net::NodeId node);
+  bool remove_replica(const std::string& lfn, hosts::SiteId site);
+
+  bool exists(const std::string& lfn) const { return entries_.count(lfn) > 0; }
+  bool has_replica_at(const std::string& lfn, hosts::SiteId site) const;
+  std::size_t replica_count(const std::string& lfn) const;
+  std::vector<hosts::SiteId> locations(const std::string& lfn) const;
+
+  /// Closest replica (by route latency) to `consumer_node`; nullopt when no
+  /// replica exists anywhere.
+  std::optional<hosts::SiteId> best_source(const std::string& lfn,
+                                           net::NodeId consumer_node) const;
+
+  std::size_t file_count() const { return entries_.size(); }
+
+ private:
+  struct Location {
+    hosts::SiteId site;
+    net::NodeId node;
+    bool operator<(const Location& o) const { return site < o.site; }
+  };
+  net::Routing& routing_;
+  std::map<std::string, std::set<Location>> entries_;
+};
+
+}  // namespace lsds::middleware

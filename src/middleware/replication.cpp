@@ -1,0 +1,118 @@
+#include "middleware/replication.hpp"
+
+#include <algorithm>
+
+namespace lsds::middleware {
+
+const char* to_string(ReplicationPolicy p) {
+  switch (p) {
+    case ReplicationPolicy::kNone: return "none";
+    case ReplicationPolicy::kLru: return "lru";
+    case ReplicationPolicy::kLfu: return "lfu";
+    case ReplicationPolicy::kEconomic: return "economic";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplicationStrategy> make_replication_strategy(ReplicationPolicy p) {
+  switch (p) {
+    case ReplicationPolicy::kNone: return std::make_unique<NoReplication>();
+    case ReplicationPolicy::kLru: return std::make_unique<LruReplication>();
+    case ReplicationPolicy::kLfu: return std::make_unique<LfuReplication>();
+    case ReplicationPolicy::kEconomic: return std::make_unique<EconomicReplication>();
+  }
+  return nullptr;
+}
+
+std::optional<ReplicationPlan> EvictingReplication::plan_replication(
+    hosts::SiteId, const hosts::StorageDevice& disk, const std::string& lfn, double bytes) {
+  if (disk.has(lfn)) return std::nullopt;     // already local
+  if (bytes > disk.capacity()) return std::nullopt;  // can never fit
+  ReplicationPlan plan;
+  double free = disk.free();
+  if (free >= bytes) return plan;  // no evictions needed
+  for (const auto& victim : ranked_candidates(disk)) {
+    plan.evictions.push_back(victim);
+    free += disk.file(victim)->bytes;
+    if (free >= bytes) return plan;
+  }
+  return std::nullopt;  // pinned files block the required space
+}
+
+std::vector<std::string> LruReplication::ranked_candidates(
+    const hosts::StorageDevice& disk) const {
+  std::vector<const hosts::StoredFile*> files;
+  for (const auto& lfn : disk.list()) {
+    const auto* f = disk.file(lfn);
+    if (!f->pinned) files.push_back(f);
+  }
+  std::sort(files.begin(), files.end(), [](const auto* a, const auto* b) {
+    if (a->last_access != b->last_access) return a->last_access < b->last_access;
+    return a->lfn < b->lfn;
+  });
+  std::vector<std::string> out;
+  out.reserve(files.size());
+  for (const auto* f : files) out.push_back(f->lfn);
+  return out;
+}
+
+std::vector<std::string> LfuReplication::ranked_candidates(
+    const hosts::StorageDevice& disk) const {
+  std::vector<const hosts::StoredFile*> files;
+  for (const auto& lfn : disk.list()) {
+    const auto* f = disk.file(lfn);
+    if (!f->pinned) files.push_back(f);
+  }
+  std::sort(files.begin(), files.end(), [](const auto* a, const auto* b) {
+    if (a->access_count != b->access_count) return a->access_count < b->access_count;
+    if (a->last_access != b->last_access) return a->last_access < b->last_access;
+    return a->lfn < b->lfn;
+  });
+  std::vector<std::string> out;
+  out.reserve(files.size());
+  for (const auto* f : files) out.push_back(f->lfn);
+  return out;
+}
+
+void EconomicReplication::on_access(hosts::SiteId site, const std::string& lfn) {
+  auto& h = history_[site];
+  h.push_back(lfn);
+  if (h.size() > window_) h.pop_front();
+}
+
+std::size_t EconomicReplication::value_of(hosts::SiteId site, const std::string& lfn) const {
+  auto it = history_.find(site);
+  if (it == history_.end()) return 0;
+  return static_cast<std::size_t>(std::count(it->second.begin(), it->second.end(), lfn));
+}
+
+std::optional<ReplicationPlan> EconomicReplication::plan_replication(
+    hosts::SiteId site, const hosts::StorageDevice& disk, const std::string& lfn, double bytes) {
+  if (disk.has(lfn)) return std::nullopt;
+  if (bytes > disk.capacity()) return std::nullopt;
+  ReplicationPlan plan;
+  double free = disk.free();
+  if (free >= bytes) return plan;  // free space is free: always accept
+
+  // Candidate order: least valuable first (recent-window popularity).
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& name : disk.list()) {
+    const auto* f = disk.file(name);
+    if (f->pinned) continue;
+    ranked.emplace_back(value_of(site, name), name);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  const std::size_t incoming_value = value_of(site, lfn);
+  for (const auto& [value, victim] : ranked) {
+    // Economic test: never sacrifice a file judged more valuable than the
+    // incoming one.
+    if (value > incoming_value) return std::nullopt;
+    plan.evictions.push_back(victim);
+    free += disk.file(victim)->bytes;
+    if (free >= bytes) return plan;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lsds::middleware

@@ -1,0 +1,130 @@
+// Replica optimization strategies (OptorSim's problem domain).
+//
+// "The objective of OptorSim is to investigate the stability and transient
+// behavior of replication optimization methods." When a job at a site reads
+// a file that is only available remotely, the site's strategy decides
+// whether to create a local replica and which cached files to sacrifice:
+//
+//   kNone      — never replicate; always read remotely.
+//   kLru       — always replicate, evicting least-recently-used files.
+//   kLfu       — always replicate, evicting least-frequently-used files.
+//   kEconomic  — replicate only when the incoming file's recent popularity
+//                (accesses within a sliding window) exceeds the least
+//                valuable eviction candidate's — OptorSim's economic model
+//                in its binomial-prediction spirit.
+//
+// Strategies only *plan* (which files to evict, whether to accept); the
+// data-grid facade executes the plan against StorageDevice + ReplicaCatalog,
+// so planning stays side-effect free and unit-testable.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hosts/site.hpp"
+#include "hosts/storage.hpp"
+
+namespace lsds::middleware {
+
+enum class ReplicationPolicy { kNone, kLru, kLfu, kEconomic };
+
+const char* to_string(ReplicationPolicy p);
+
+inline constexpr ReplicationPolicy kAllReplicationPolicies[] = {
+    ReplicationPolicy::kNone,
+    ReplicationPolicy::kLru,
+    ReplicationPolicy::kLfu,
+    ReplicationPolicy::kEconomic,
+};
+
+struct ReplicationPlan {
+  std::vector<std::string> evictions;  // apply in order, then store the file
+};
+
+class ReplicationStrategy {
+ public:
+  virtual ~ReplicationStrategy() = default;
+  virtual const char* name() const = 0;
+
+  /// Popularity bookkeeping hook: called on *every* access a site makes,
+  /// local or remote.
+  virtual void on_access(hosts::SiteId site, const std::string& lfn) {
+    (void)site;
+    (void)lfn;
+  }
+
+  /// Decide whether `site` should locally replicate `lfn` (`bytes` large)
+  /// given its disk contents. Returns the eviction plan, or nullopt to
+  /// decline (or when room cannot be made).
+  virtual std::optional<ReplicationPlan> plan_replication(hosts::SiteId site,
+                                                          const hosts::StorageDevice& disk,
+                                                          const std::string& lfn,
+                                                          double bytes) = 0;
+};
+
+std::unique_ptr<ReplicationStrategy> make_replication_strategy(ReplicationPolicy p);
+
+// --- implementations (exposed for unit tests) -------------------------------
+
+class NoReplication final : public ReplicationStrategy {
+ public:
+  const char* name() const override { return "none"; }
+  std::optional<ReplicationPlan> plan_replication(hosts::SiteId, const hosts::StorageDevice&,
+                                                  const std::string&, double) override {
+    return std::nullopt;
+  }
+};
+
+/// Shared machinery for "always replicate, evict by ranking" policies.
+class EvictingReplication : public ReplicationStrategy {
+ public:
+  std::optional<ReplicationPlan> plan_replication(hosts::SiteId site,
+                                                  const hosts::StorageDevice& disk,
+                                                  const std::string& lfn,
+                                                  double bytes) override;
+
+ protected:
+  /// Rank eviction candidates, best-to-evict first.
+  virtual std::vector<std::string> ranked_candidates(const hosts::StorageDevice& disk) const = 0;
+};
+
+class LruReplication final : public EvictingReplication {
+ public:
+  const char* name() const override { return "lru"; }
+
+ protected:
+  std::vector<std::string> ranked_candidates(const hosts::StorageDevice& disk) const override;
+};
+
+class LfuReplication final : public EvictingReplication {
+ public:
+  const char* name() const override { return "lfu"; }
+
+ protected:
+  std::vector<std::string> ranked_candidates(const hosts::StorageDevice& disk) const override;
+};
+
+class EconomicReplication final : public ReplicationStrategy {
+ public:
+  explicit EconomicReplication(std::size_t window = 100) : window_(window) {}
+  const char* name() const override { return "economic"; }
+
+  void on_access(hosts::SiteId site, const std::string& lfn) override;
+  std::optional<ReplicationPlan> plan_replication(hosts::SiteId site,
+                                                  const hosts::StorageDevice& disk,
+                                                  const std::string& lfn,
+                                                  double bytes) override;
+
+  /// Recent-window access count of `lfn` at `site` (the "value" estimate).
+  std::size_t value_of(hosts::SiteId site, const std::string& lfn) const;
+
+ private:
+  std::size_t window_;
+  std::map<hosts::SiteId, std::deque<std::string>> history_;
+};
+
+}  // namespace lsds::middleware

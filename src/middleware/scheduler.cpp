@@ -1,0 +1,175 @@
+#include "middleware/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lsds::middleware {
+
+const char* to_string(Heuristic h) {
+  switch (h) {
+    case Heuristic::kFifo: return "fifo";
+    case Heuristic::kSjf: return "sjf";
+    case Heuristic::kLjf: return "ljf";
+    case Heuristic::kRoundRobin: return "round-robin";
+    case Heuristic::kMinMin: return "min-min";
+    case Heuristic::kMaxMin: return "max-min";
+    case Heuristic::kSufferage: return "sufferage";
+  }
+  return "?";
+}
+
+BagScheduler::BagScheduler(core::Engine& engine, std::vector<hosts::CpuResource*> resources,
+                           Heuristic h)
+    : engine_(engine),
+      resources_(std::move(resources)),
+      heuristic_(h),
+      per_resource_(resources_.size(), 0) {
+  assert(!resources_.empty());
+}
+
+void BagScheduler::submit(hosts::Job job) {
+  job.submit_time = engine_.now();
+  bag_.push_back(std::move(job));
+}
+
+void BagScheduler::sort_bag_for_online() {
+  switch (heuristic_) {
+    case Heuristic::kSjf:
+      std::stable_sort(bag_.begin(), bag_.end(),
+                       [](const hosts::Job& a, const hosts::Job& b) { return a.ops < b.ops; });
+      break;
+    case Heuristic::kLjf:
+      std::stable_sort(bag_.begin(), bag_.end(),
+                       [](const hosts::Job& a, const hosts::Job& b) { return a.ops > b.ops; });
+      break;
+    default:
+      break;  // FIFO keeps submission order
+  }
+}
+
+void BagScheduler::run(JobDoneFn on_done) {
+  on_done_ = std::move(on_done);
+  switch (heuristic_) {
+    case Heuristic::kMinMin:
+    case Heuristic::kMaxMin:
+    case Heuristic::kSufferage:
+      run_static_mapping();
+      return;
+    case Heuristic::kRoundRobin: {
+      // Pre-assign speed-blind; resources queue internally.
+      while (!bag_.empty()) {
+        hosts::Job job = std::move(bag_.front());
+        bag_.pop_front();
+        start_job(rr_next_, std::move(job));
+        rr_next_ = (rr_next_ + 1) % resources_.size();
+      }
+      return;
+    }
+    default: {
+      // Online pull: prime every idle core, refill on completion.
+      sort_bag_for_online();
+      for (std::size_t r = 0; r < resources_.size(); ++r) {
+        while (!bag_.empty() && resources_[r]->has_idle_core()) pull_next(r);
+      }
+      return;
+    }
+  }
+}
+
+void BagScheduler::pull_next(std::size_t r) {
+  if (bag_.empty()) return;
+  hosts::Job job = std::move(bag_.front());
+  bag_.pop_front();
+  start_job(r, std::move(job));
+}
+
+void BagScheduler::start_job(std::size_t r, hosts::Job job) {
+  job.dispatch_time = engine_.now();
+  ++per_resource_[r];
+  ++dispatched_;
+  const bool online = heuristic_ == Heuristic::kFifo || heuristic_ == Heuristic::kSjf ||
+                      heuristic_ == Heuristic::kLjf;
+  const double ops = job.ops;
+  const hosts::JobId id = job.id;
+  resources_[r]->submit(
+      id, ops, [this, r, job = std::move(job), online](hosts::JobId) mutable {
+        job.finish_time = engine_.now();
+        makespan_ = std::max(makespan_, job.finish_time);
+        responses_.add(job.response_time());
+        ++completed_;
+        if (on_done_) on_done_(job);
+        if (online) pull_next(r);  // self-scheduling refill
+      });
+}
+
+void BagScheduler::run_static_mapping() {
+  const std::size_t n_res = resources_.size();
+  // Per-core ready times for ECT bookkeeping (space-shared semantics).
+  std::vector<std::vector<double>> core_ready(n_res);
+  for (std::size_t r = 0; r < n_res; ++r) {
+    core_ready[r].assign(resources_[r]->cores(), engine_.now());
+  }
+  auto best_core = [&](std::size_t r) {
+    return static_cast<std::size_t>(
+        std::min_element(core_ready[r].begin(), core_ready[r].end()) - core_ready[r].begin());
+  };
+  auto ect = [&](std::size_t r, double ops) {
+    return core_ready[r][best_core(r)] + ops / resources_[r]->speed();
+  };
+
+  std::vector<hosts::Job> tasks(std::make_move_iterator(bag_.begin()),
+                                std::make_move_iterator(bag_.end()));
+  bag_.clear();
+  std::vector<char> mapped(tasks.size(), 0);
+  std::size_t left = tasks.size();
+
+  while (left > 0) {
+    std::size_t pick = tasks.size();
+    std::size_t pick_res = 0;
+    double pick_key = 0;
+    bool first = true;
+
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (mapped[t]) continue;
+      // Best and second-best ECT across resources for this task.
+      double best = std::numeric_limits<double>::infinity();
+      double second = std::numeric_limits<double>::infinity();
+      std::size_t best_r = 0;
+      for (std::size_t r = 0; r < n_res; ++r) {
+        const double e = ect(r, tasks[t].ops);
+        if (e < best) {
+          second = best;
+          best = e;
+          best_r = r;
+        } else if (e < second) {
+          second = e;
+        }
+      }
+      double key = 0;
+      switch (heuristic_) {
+        case Heuristic::kMinMin: key = -best; break;            // smallest min-ECT wins
+        case Heuristic::kMaxMin: key = best; break;             // largest min-ECT wins
+        case Heuristic::kSufferage:
+          key = (second == std::numeric_limits<double>::infinity()) ? 0 : second - best;
+          break;
+        default: assert(false);
+      }
+      if (first || key > pick_key) {
+        first = false;
+        pick = t;
+        pick_res = best_r;
+        pick_key = key;
+      }
+    }
+
+    // Commit the pick.
+    const std::size_t core = best_core(pick_res);
+    core_ready[pick_res][core] += tasks[pick].ops / resources_[pick_res]->speed();
+    mapped[pick] = 1;
+    --left;
+    start_job(pick_res, std::move(tasks[pick]));
+  }
+}
+
+}  // namespace lsds::middleware

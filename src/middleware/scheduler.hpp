@@ -1,0 +1,93 @@
+// Bag-of-tasks scheduling across heterogeneous resources.
+//
+// The scope most surveyed simulators were built for: "some simulators were
+// designed specifically for evaluating scheduling algorithms" (Bricks,
+// SimGrid, GridSim). BagScheduler dispatches a set of independent tasks
+// over a pool of CpuResources under one of the classic heuristics:
+//
+//   online (pull; an idle core takes the next task):
+//     kFifo        — oldest task first
+//     kSjf         — shortest task first
+//     kLjf         — longest task first (usually best online for makespan)
+//     kRoundRobin  — pre-assigned round-robin, speed-blind
+//   static ECT-based (use estimated completion times; compile-time
+//   scheduling in SimGrid's vocabulary):
+//     kMinMin      — repeatedly map the task with the smallest minimum ECT
+//     kMaxMin      — map the task with the largest minimum ECT first
+//     kSufferage   — map the task that suffers most if denied its best host
+//
+// Experiment E8 (bench_scheduling) compares makespans across heterogeneity
+// levels.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "hosts/job.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::middleware {
+
+enum class Heuristic {
+  kFifo,
+  kSjf,
+  kLjf,
+  kRoundRobin,
+  kMinMin,
+  kMaxMin,
+  kSufferage,
+};
+
+const char* to_string(Heuristic h);
+
+inline constexpr Heuristic kAllHeuristics[] = {
+    Heuristic::kFifo,   Heuristic::kSjf,    Heuristic::kLjf,      Heuristic::kRoundRobin,
+    Heuristic::kMinMin, Heuristic::kMaxMin, Heuristic::kSufferage,
+};
+
+class BagScheduler {
+ public:
+  using JobDoneFn = std::function<void(const hosts::Job&)>;
+
+  BagScheduler(core::Engine& engine, std::vector<hosts::CpuResource*> resources, Heuristic h);
+
+  /// Add a task to the bag (before run()).
+  void submit(hosts::Job job);
+
+  /// Map and dispatch every task; `on_done` fires per completion.
+  /// Call Engine::run() afterwards to execute.
+  void run(JobDoneFn on_done = nullptr);
+
+  // --- results (valid once the engine drained) -----------------------------
+
+  double makespan() const { return makespan_; }
+  std::uint64_t completed() const { return completed_; }
+  const stats::SampleSet& response_times() const { return responses_; }
+  /// Tasks dispatched to each resource (mapping histogram).
+  const std::vector<std::uint64_t>& per_resource_counts() const { return per_resource_; }
+
+ private:
+  void sort_bag_for_online();
+  void pull_next(std::size_t r);  // idle resource r takes the next task
+  void run_static_mapping();
+  void start_job(std::size_t r, hosts::Job job);
+
+  core::Engine& engine_;
+  std::vector<hosts::CpuResource*> resources_;
+  Heuristic heuristic_;
+  std::deque<hosts::Job> bag_;
+  JobDoneFn on_done_;
+  double makespan_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dispatched_ = 0;
+  stats::SampleSet responses_;
+  std::vector<std::uint64_t> per_resource_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace lsds::middleware

@@ -1,0 +1,118 @@
+// Flow-level network model with progressive max-min fair bandwidth sharing.
+//
+// This is the granularity the paper describes as modeling "only the flows of
+// packets going from one end to another in the network" — the approach
+// SimGrid made standard for Grid simulation. A transfer is a fluid flow that
+// receives a max-min fair share of every link on its (static) route:
+//
+//   repeat: find the most constrained link (remaining capacity / unfixed
+//   flows), fix those flows at that fair share, remove them, until all
+//   flows are fixed.
+//
+// Whenever the set of active flows changes, all flows are progressed to the
+// current instant, shares are re-solved, and the earliest completion is
+// (re)scheduled. The model is validated against closed forms in
+// tests/net_flow_test.cpp (max-min invariants as TEST_P properties) and in
+// experiment E5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/routing.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lsds::net {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+class FlowNetwork {
+ public:
+  using CompletionFn = std::function<void(FlowId)>;
+
+  FlowNetwork(core::Engine& engine, Routing& routing);
+
+  /// Begin a transfer of `bytes` from src to dst. The flow first experiences
+  /// the route's propagation latency, then shares bandwidth. `on_complete`
+  /// fires when the last byte arrives. src == dst completes after zero time.
+  /// Throws std::invalid_argument when dst is unreachable.
+  FlowId start_flow(NodeId src, NodeId dst, double bytes, CompletionFn on_complete = nullptr);
+
+  /// Weighted variant: the max-min shares become weighted — on a saturated
+  /// link, a weight-2 flow receives twice the rate of a weight-1 flow
+  /// (SimGrid-style flow priorities). weight must be > 0.
+  FlowId start_flow_weighted(NodeId src, NodeId dst, double bytes, double weight,
+                             CompletionFn on_complete = nullptr);
+
+  /// Abort an in-flight flow. Returns false if already finished/unknown.
+  bool cancel(FlowId id);
+
+  /// Failure injection: a down link contributes zero capacity, so every
+  /// flow crossing it stalls (rate 0) until the link returns. Routing is
+  /// static — flows are not re-routed around outages, they wait them out
+  /// (the behavior of a transport connection riding out a flap).
+  void set_link_up(LinkId id, bool up);
+  bool link_up(LinkId id) const { return link_up_[id]; }
+
+  // --- inspection --------------------------------------------------------
+
+  const Topology& topology() const { return routing_.topology(); }
+  std::size_t active_flows() const { return flows_.size(); }
+  /// Current fair-share rate of a flow (0 when latency-phase or unknown).
+  double flow_rate(FlowId id) const;
+  /// Sum of flow rates currently allocated on a link.
+  double link_load(LinkId id) const { return link_rate_[id]; }
+  double link_utilization(LinkId id) const {
+    return link_rate_[id] / routing_.topology().link(id).bandwidth;
+  }
+
+  // --- statistics ---------------------------------------------------------
+
+  double total_bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  /// Cumulative bytes carried per link.
+  double link_bytes(LinkId id) const { return link_bytes_[id]; }
+
+  /// Opt-in utilization time series (records at every re-solve).
+  void track_link(LinkId id);
+  const stats::TimeSeries& link_series(LinkId id) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    std::vector<LinkId> links;
+    double remaining;
+    double rate = 0;
+    double weight = 1.0;
+    bool sharing = false;  // false during the latency phase
+    CompletionFn on_complete;
+  };
+
+  void activate(FlowId id);
+  /// Progress all sharing flows to now, crediting per-link byte counters.
+  void progress_to_now();
+  /// Re-solve max-min shares and reschedule the next completion event.
+  void resolve_and_reschedule();
+  void solve_maxmin();
+  void on_completion_event(std::uint64_t generation);
+  void finish_flow(FlowId id);
+
+  core::Engine& engine_;
+  Routing& routing_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<double> link_rate_;
+  std::vector<double> link_bytes_;
+  std::vector<char> link_up_;
+  std::unordered_map<LinkId, stats::TimeSeries> tracked_;
+  FlowId next_id_ = 1;
+  double last_update_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates stale completion events
+  double bytes_delivered_ = 0;
+  std::uint64_t flows_completed_ = 0;
+};
+
+}  // namespace lsds::net

@@ -1,0 +1,169 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace lsds::net {
+
+PacketNetwork::PacketNetwork(core::Engine& engine, Routing& routing)
+    : PacketNetwork(engine, routing, Config{}) {}
+
+PacketNetwork::PacketNetwork(core::Engine& engine, Routing& routing, Config cfg)
+    : engine_(engine), routing_(routing), cfg_(cfg), links_(routing.topology().link_count()) {}
+
+TransferId PacketNetwork::start_transfer(NodeId src, NodeId dst, double bytes,
+                                         CompletionFn on_complete) {
+  const Route& route = routing_.route(src, dst);
+  if (src != dst && !route.valid) {
+    throw std::invalid_argument("PacketNetwork: no route between nodes");
+  }
+  const TransferId id = next_id_++;
+  Transfer tr;
+  tr.id = id;
+  tr.links = src == dst ? std::vector<LinkId>{} : route.links;
+  tr.fwd_latency = src == dst ? 0.0 : route.total_latency;
+  tr.total_packets = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                                     std::ceil(bytes / cfg_.mtu)));
+  tr.cwnd = cfg_.init_cwnd;
+  tr.ssthresh = cfg_.init_ssthresh;
+  tr.srtt = 2.0 * tr.fwd_latency + 0.001;  // initial guess: RTT + 1ms
+  tr.on_complete = std::move(on_complete);
+
+  if (tr.links.empty()) {
+    // Local copy: complete immediately (next event).
+    engine_.schedule_in(0, [this, id] {
+      auto it = transfers_.find(id);
+      if (it == transfers_.end()) return;
+      ++stats_.transfers_completed;
+      auto cb = std::move(it->second.on_complete);
+      transfers_.erase(it);
+      if (cb) cb(id);
+    });
+    transfers_.emplace(id, std::move(tr));
+    return id;
+  }
+
+  auto [it, ok] = transfers_.emplace(id, std::move(tr));
+  pump(it->second);
+  return id;
+}
+
+void PacketNetwork::pump(Transfer& tr) {
+  const auto window = static_cast<std::uint64_t>(std::max(1.0, std::floor(tr.cwnd)));
+  while (tr.outstanding.size() < window) {
+    std::uint64_t seq;
+    if (!tr.retransmit_queue.empty()) {
+      seq = tr.retransmit_queue.front();
+      tr.retransmit_queue.pop_front();
+      ++stats_.retransmits;
+    } else if (tr.next_new_seq < tr.total_packets) {
+      seq = tr.next_new_seq++;
+    } else {
+      return;  // nothing left to send
+    }
+    send_packet(tr, seq);
+  }
+}
+
+void PacketNetwork::send_packet(Transfer& tr, std::uint64_t seq) {
+  tr.outstanding.insert(seq);
+  send_time_[tr.id][seq] = engine_.now();
+  ++stats_.packets_sent;
+  forward(tr.id, seq, 0, cfg_.mtu);
+}
+
+void PacketNetwork::forward(TransferId tid, std::uint64_t seq, std::size_t hop,
+                            double pkt_bytes) {
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  Transfer& tr = it->second;
+  if (hop >= tr.links.size()) {
+    on_delivered(tid, seq);
+    return;
+  }
+  const LinkId lid = tr.links[hop];
+  LinkState& link = links_[lid];
+  const LinkInfo& info = routing_.topology().link(lid);
+  const double now = engine_.now();
+  const double tx = pkt_bytes / info.bandwidth;
+
+  // Drop-tail: backlog expressed in packets of this size.
+  const double backlog = std::max(0.0, link.busy_until - now);
+  if (backlog / tx >= static_cast<double>(cfg_.queue_packets)) {
+    ++link.drops;
+    ++stats_.packets_dropped;
+    on_drop(tid, seq);
+    return;
+  }
+
+  const double start = std::max(now, link.busy_until);
+  link.busy_until = start + tx;
+  const double arrival = start + tx + info.latency;
+  engine_.schedule_at(arrival, [this, tid, seq, hop, pkt_bytes] {
+    forward(tid, seq, hop + 1, pkt_bytes);
+  });
+}
+
+void PacketNetwork::on_delivered(TransferId tid, std::uint64_t seq) {
+  ++stats_.packets_delivered;
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  // ACK returns over the reverse path, latency-only (ACKs are tiny).
+  const double back = it->second.fwd_latency;
+  const double sent_at = send_time_[tid].count(seq) ? send_time_[tid][seq] : engine_.now();
+  engine_.schedule_in(back, [this, tid, seq, sent_at] { on_ack(tid, seq, sent_at); });
+}
+
+void PacketNetwork::on_ack(TransferId tid, std::uint64_t seq, double sent_at) {
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  Transfer& tr = it->second;
+  if (!tr.outstanding.erase(seq)) return;  // duplicate (retransmit raced the original)
+  send_time_[tid].erase(seq);
+  ++tr.acked;
+
+  // RTT estimate and window growth.
+  const double rtt = engine_.now() - sent_at;
+  tr.srtt = 0.875 * tr.srtt + 0.125 * rtt;
+  if (tr.cwnd < tr.ssthresh) {
+    tr.cwnd += 1.0;  // slow start
+  } else {
+    tr.cwnd += 1.0 / tr.cwnd;  // congestion avoidance
+  }
+
+  if (tr.acked >= tr.total_packets) {
+    ++stats_.transfers_completed;
+    auto cb = std::move(tr.on_complete);
+    send_time_.erase(tid);
+    transfers_.erase(it);
+    if (cb) cb(tid);
+    return;
+  }
+  pump(tr);
+}
+
+void PacketNetwork::on_drop(TransferId tid, std::uint64_t seq) {
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  Transfer& tr = it->second;
+  if (!tr.outstanding.erase(seq)) return;
+  send_time_[tid].erase(seq);
+
+  // Multiplicative decrease.
+  tr.ssthresh = std::max(1.0, tr.cwnd / 2.0);
+  tr.cwnd = std::max(1.0, tr.cwnd / 2.0);
+
+  // Retransmit after an RTO; the timeout models loss-detection delay.
+  const double rto = std::max(cfg_.min_rto, 2.0 * tr.srtt);
+  const TransferId id = tr.id;
+  engine_.schedule_in(rto, [this, id, seq] {
+    auto jt = transfers_.find(id);
+    if (jt == transfers_.end()) return;
+    jt->second.retransmit_queue.push_back(seq);
+    pump(jt->second);
+  });
+}
+
+}  // namespace lsds::net

@@ -1,0 +1,57 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace lsds::net {
+
+const Route& Routing::route(NodeId src, NodeId dst) {
+  assert(src < topo_.node_count() && dst < topo_.node_count());
+  if (cache_[src].empty()) run_dijkstra(src);
+  return cache_[src][dst];
+}
+
+void Routing::run_dijkstra(NodeId src) {
+  const std::size_t n = topo_.node_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via_link(n, kInvalidLink);
+  std::vector<NodeId> via_node(n, kInvalidNode);
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (LinkId l : topo_.links_of(u)) {
+      const NodeId v = topo_.other_end(l, u);
+      const double w = metric_ == RouteMetric::kLatency ? topo_.link(l).latency : 1.0;
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        via_link[v] = l;
+        via_node[v] = u;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+
+  auto& routes = cache_[src];
+  routes.assign(n, Route{});
+  for (NodeId dst = 0; dst < n; ++dst) {
+    Route& r = routes[dst];
+    if (dist[dst] == kInf) continue;  // unreachable: r.valid stays false
+    r.valid = true;
+    for (NodeId cur = dst; cur != src; cur = via_node[cur]) {
+      r.links.push_back(via_link[cur]);
+      r.total_latency += topo_.link(via_link[cur]).latency;
+    }
+    std::reverse(r.links.begin(), r.links.end());
+  }
+}
+
+}  // namespace lsds::net

@@ -1,0 +1,43 @@
+// Static shortest-path routing over a Topology.
+//
+// Paths are computed by Dijkstra with a pluggable metric (propagation
+// latency by default, hop count as an option) and cached per source. All
+// models (flow- and packet-level) share one Routing so both granularities
+// simulate identical paths.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace lsds::net {
+
+enum class RouteMetric { kLatency, kHops };
+
+struct Route {
+  std::vector<LinkId> links;  // in order src -> dst
+  double total_latency = 0;
+  bool valid = false;
+};
+
+class Routing {
+ public:
+  explicit Routing(const Topology& topo, RouteMetric metric = RouteMetric::kLatency)
+      : topo_(topo), metric_(metric), cache_(topo.node_count()) {}
+
+  /// Route from src to dst. Returns an invalid Route when unreachable.
+  /// Cached; the topology must not change after the first query.
+  const Route& route(NodeId src, NodeId dst);
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  void run_dijkstra(NodeId src);
+
+  const Topology& topo_;
+  RouteMetric metric_;
+  // cache_[src] is empty until Dijkstra ran for src, then has node_count entries.
+  std::vector<std::vector<Route>> cache_;
+};
+
+}  // namespace lsds::net

@@ -1,0 +1,64 @@
+#include "net/transfer.hpp"
+
+namespace lsds::net {
+
+TransferService::TransferService(core::Engine& engine, FlowNetwork& net)
+    : TransferService(engine, net, Config{}) {}
+
+TransferService::TransferService(core::Engine& engine, FlowNetwork& net, Config cfg)
+    : engine_(engine), net_(net), cfg_(cfg) {}
+
+std::uint64_t TransferService::submit(NodeId src, NodeId dst, double bytes, DoneFn on_done) {
+  Pending p;
+  p.rec.id = next_id_++;
+  p.rec.src = src;
+  p.rec.dst = dst;
+  p.rec.bytes = bytes;
+  p.rec.submit_time = engine_.now();
+  p.on_done = std::move(on_done);
+  const std::uint64_t id = p.rec.id;
+
+  const PairKey key{src, dst};
+  if (cfg_.max_streams_per_pair > 0 && in_flight_[key] >= cfg_.max_streams_per_pair) {
+    queues_[key].push_back(std::move(p));
+  } else {
+    ++in_flight_[key];
+    start_now(std::move(p));
+  }
+  return id;
+}
+
+std::size_t TransferService::queued() const {
+  std::size_t n = 0;
+  for (const auto& [key, q] : queues_) n += q.size();
+  return n;
+}
+
+void TransferService::start_now(Pending p) {
+  p.rec.start_time = engine_.now();
+  waits_.add(p.rec.start_time - p.rec.submit_time);
+  const PairKey key{p.rec.src, p.rec.dst};
+  // The completion lambda owns the record and callback.
+  auto done = [this, p = std::move(p), key](FlowId) mutable {
+    p.rec.finish_time = engine_.now();
+    durations_.add(p.rec.finish_time - p.rec.start_time);
+    bytes_completed_ += p.rec.bytes;
+    ++completed_;
+    --in_flight_[key];
+    if (p.on_done) p.on_done(p.rec);
+    try_start(key);
+  };
+  net_.start_flow(p.rec.src, p.rec.dst, p.rec.bytes, std::move(done));
+}
+
+void TransferService::try_start(PairKey key) {
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) return;
+  if (cfg_.max_streams_per_pair > 0 && in_flight_[key] >= cfg_.max_streams_per_pair) return;
+  Pending p = std::move(it->second.front());
+  it->second.pop_front();
+  ++in_flight_[key];
+  start_now(std::move(p));
+}
+
+}  // namespace lsds::net

@@ -1,0 +1,78 @@
+// FTP-like file transfer service on top of the flow-level network.
+//
+// Adds what raw flows lack: per-(src,dst) concurrent-stream limits (GridFTP
+// style) with FIFO queueing, and per-transfer records for analysis. This is
+// the "higher-level application protocols such as FTP" rung of the
+// taxonomy's protocol axis; the data-grid facades (OptorSim, MONARC) move
+// all replicas through it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "net/flow.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::net {
+
+struct TransferRecord {
+  std::uint64_t id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double bytes = 0;
+  double submit_time = 0;
+  double start_time = 0;   // when the flow actually started (after queueing)
+  double finish_time = 0;
+};
+
+class TransferService {
+ public:
+  struct Config {
+    /// Max simultaneous streams per (src,dst) pair; 0 = unlimited.
+    std::size_t max_streams_per_pair = 0;
+  };
+
+  using DoneFn = std::function<void(const TransferRecord&)>;
+
+  TransferService(core::Engine& engine, FlowNetwork& net);  // default Config
+  TransferService(core::Engine& engine, FlowNetwork& net, Config cfg);
+
+  /// Queue a transfer; `on_done` fires at completion with the full record.
+  std::uint64_t submit(NodeId src, NodeId dst, double bytes, DoneFn on_done = nullptr);
+
+  // --- statistics -----------------------------------------------------------
+
+  /// Durations (start -> finish) of completed transfers.
+  const stats::SampleSet& durations() const { return durations_; }
+  /// Queueing delays (submit -> start).
+  const stats::SampleSet& queue_waits() const { return waits_; }
+  double bytes_completed() const { return bytes_completed_; }
+  std::uint64_t completed() const { return completed_; }
+  std::size_t queued() const;
+
+ private:
+  struct Pending {
+    TransferRecord rec;
+    DoneFn on_done;
+  };
+  using PairKey = std::pair<NodeId, NodeId>;
+
+  void try_start(PairKey key);
+  void start_now(Pending p);
+
+  core::Engine& engine_;
+  FlowNetwork& net_;
+  Config cfg_;
+  std::map<PairKey, std::deque<Pending>> queues_;
+  std::map<PairKey, std::size_t> in_flight_;
+  stats::SampleSet durations_;
+  stats::SampleSet waits_;
+  double bytes_completed_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lsds::net

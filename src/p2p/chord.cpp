@@ -1,0 +1,268 @@
+#include "p2p/chord.hpp"
+
+#include <cassert>
+
+#include "core/rng.hpp"
+#include "util/strings.hpp"
+
+namespace lsds::p2p {
+
+ChordNetwork::ChordNetwork(core::Engine& engine, net::Routing& routing, std::uint32_t m)
+    : engine_(engine), routing_(routing), m_(m) {
+  assert(m_ >= 1 && m_ <= 63);
+  mask_ = (ChordId{1} << m_) - 1;
+}
+
+ChordId ChordNetwork::hash_key(const std::string& s) const { return core::fnv1a(s) & mask_; }
+
+PeerIndex ChordNetwork::add_peer(net::NodeId node) {
+  Peer p;
+  p.node = node;
+  // Peer id: hash of the peer index — uniform, deterministic, and stable
+  // across runs. Collisions are resolved by probing (vanishingly rare for
+  // m >= 32).
+  const auto index = peers_.size();
+  ChordId id = core::fnv1a(util::strformat("chord-peer-%zu", index)) & mask_;
+  while (ring_.count(id)) id = (id + 1) & mask_;
+  p.id = id;
+  p.live = true;
+  peers_.push_back(p);
+  ring_[id] = index;
+  ++live_count_;
+  return index;
+}
+
+void ChordNetwork::remove_peer(PeerIndex peer) {
+  assert(peer < peers_.size() && peers_[peer].live);
+  peers_[peer].live = false;
+  ring_.erase(peers_[peer].id);
+  --live_count_;
+}
+
+void ChordNetwork::build() {
+  assert(!ring_.empty());
+  // Successor pointers + finger tables from the global ring view.
+  auto successor_of = [&](ChordId key) -> PeerIndex {
+    auto it = ring_.lower_bound(key);
+    if (it == ring_.end()) it = ring_.begin();  // wrap
+    return it->second;
+  };
+  for (auto& [id, idx] : ring_) {
+    Peer& p = peers_[idx];
+    p.successor = successor_of((p.id + 1) & mask_);
+    p.fingers.assign(m_, 0);
+    for (std::uint32_t k = 0; k < m_; ++k) {
+      const ChordId start = (p.id + (ChordId{1} << k)) & mask_;
+      p.fingers[k] = successor_of(start);
+    }
+  }
+}
+
+bool ChordNetwork::in_arc(ChordId x, ChordId a, ChordId b) const {
+  // (a, b] on the ring; a == b means the full ring (single peer).
+  if (a == b) return true;
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped arc
+}
+
+PeerIndex ChordNetwork::responsible_peer(ChordId key) const {
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+PeerIndex ChordNetwork::closest_preceding(PeerIndex from, ChordId key) const {
+  const Peer& p = peers_[from];
+  for (std::size_t k = p.fingers.size(); k-- > 0;) {
+    const PeerIndex f = p.fingers[k];
+    if (!peers_[f].live || f == from) continue;
+    // finger strictly inside (p.id, key): safe to jump.
+    if (in_arc(peers_[f].id, p.id, (key - 1) & mask_) && peers_[f].id != key) return f;
+  }
+  return p.successor;
+}
+
+double ChordNetwork::link_latency(PeerIndex a, PeerIndex b) {
+  if (a == b) return 0;
+  const auto& route = routing_.route(peers_[a].node, peers_[b].node);
+  return route.valid ? route.total_latency : 0.001;
+}
+
+// --- protocol mode -----------------------------------------------------
+
+void ChordNetwork::enable_protocol_mode(double stabilize_period, double horizon) {
+  protocol_mode_ = true;
+  stabilize_period_ = stabilize_period;
+  horizon_ = horizon;
+  // Seed predecessor pointers and successor lists from the current ring so
+  // the protocol starts converged; churn will perturb them.
+  for (auto& [id, idx] : ring_) {
+    refresh_succ_list(idx);
+  }
+  for (auto& [id, idx] : ring_) {
+    peers_[peers_[idx].successor].predecessor = idx;
+  }
+  for (auto& [id, idx] : ring_) {
+    maintenance_loop(engine_, idx, stabilize_period, horizon);
+  }
+}
+
+void ChordNetwork::fail_peer(PeerIndex peer) {
+  assert(peer < peers_.size() && peers_[peer].live);
+  peers_[peer].live = false;
+  ring_.erase(peers_[peer].id);
+  --live_count_;
+  // Crash-stop: no state on other peers is touched; their stale pointers
+  // are exactly what stabilization must repair.
+}
+
+PeerIndex ChordNetwork::join_via(net::NodeId node, PeerIndex bootstrap) {
+  const PeerIndex newcomer = add_peer(node);
+  Peer& p = peers_[newcomer];
+  p.fingers.assign(m_, bootstrap);  // coarse: fix-fingers will refine
+  p.succ_list.clear();
+  p.predecessor = kNoPeer;
+  p.successor = bootstrap;  // provisional, replaced by the lookup below
+  ++messages_;
+  lookup(bootstrap, (p.id + 1) & mask_, [this, newcomer](const LookupResult& r) {
+    if (!r.ok) return;  // retried implicitly by the next stabilize round
+    peers_[newcomer].successor = r.home;
+    refresh_succ_list(newcomer);
+  });
+  if (protocol_mode_) maintenance_loop(engine_, newcomer, stabilize_period_, horizon_);
+  return newcomer;
+}
+
+void ChordNetwork::refresh_succ_list(PeerIndex self) {
+  // Backup successors: walk the *local view* successor chain.
+  Peer& p = peers_[self];
+  p.succ_list.clear();
+  PeerIndex cur = p.successor;
+  for (int i = 0; i < 3; ++i) {
+    if (cur == self || !peers_[cur].live) break;
+    p.succ_list.push_back(cur);
+    cur = peers_[cur].successor;
+  }
+}
+
+void ChordNetwork::stabilize(PeerIndex self) {
+  Peer& p = peers_[self];
+  ++stabilize_rounds_;
+
+  // 1. Successor failure detection: fall back through the successor list,
+  //    then to the first live finger (last resort: self).
+  if (!peers_[p.successor].live || p.successor == self) {
+    PeerIndex replacement = self;
+    for (PeerIndex s : p.succ_list) {
+      if (peers_[s].live && s != self) {
+        replacement = s;
+        break;
+      }
+    }
+    if (replacement == self) {
+      for (PeerIndex f : p.fingers) {
+        if (peers_[f].live && f != self) {
+          replacement = f;
+          break;
+        }
+      }
+    }
+    p.successor = replacement;
+  }
+  if (p.successor == self) return;  // isolated; nothing to stabilize against
+
+  // 2. Classic stabilize: adopt successor's predecessor when it sits
+  //    between us; then notify.
+  Peer& succ = peers_[p.successor];
+  const PeerIndex x = succ.predecessor;
+  if (x != kNoPeer && peers_[x].live && x != self &&
+      in_arc(peers_[x].id, p.id, (succ.id + mask_) & mask_)) {
+    p.successor = x;
+  }
+  Peer& new_succ = peers_[p.successor];
+  const PeerIndex cur_pred = new_succ.predecessor;
+  if (cur_pred == kNoPeer || !peers_[cur_pred].live ||
+      in_arc(p.id, peers_[cur_pred].id, (new_succ.id + mask_) & mask_)) {
+    new_succ.predecessor = self;
+  }
+  refresh_succ_list(self);
+  messages_ += 2;  // predecessor query + notify
+}
+
+void ChordNetwork::fix_one_finger(PeerIndex self) {
+  Peer& p = peers_[self];
+  const std::uint32_t k = p.next_finger;
+  p.next_finger = (p.next_finger + 1) % m_;
+  const ChordId start = (p.id + (ChordId{1} << k)) & mask_;
+  lookup(self, start, [this, self, k](const LookupResult& r) {
+    if (r.ok && peers_[self].live) peers_[self].fingers[k] = r.home;
+  });
+}
+
+core::Process ChordNetwork::maintenance_loop(core::Engine& eng, PeerIndex self, double period,
+                                             double horizon) {
+  auto& rng = eng.rng("chord.maintenance");
+  // Desynchronize rounds across peers.
+  co_await core::delay(eng, rng.uniform(0, period));
+  while (eng.now() < horizon && peers_[self].live) {
+    // One round costs a successor RTT; charged before the state update.
+    co_await core::delay(eng, 2.0 * link_latency(self, peers_[self].successor));
+    if (!peers_[self].live) co_return;
+    stabilize(self);
+    fix_one_finger(self);
+    co_await core::delay(eng, period);
+  }
+}
+
+void ChordNetwork::lookup(PeerIndex origin, ChordId key, LookupFn done) {
+  forward(origin, origin, key, 0, engine_.now(), std::move(done));
+}
+
+void ChordNetwork::forward(PeerIndex origin, PeerIndex current, ChordId key, std::size_t hops,
+                           double started, LookupFn done) {
+  if (!peers_[current].live) {  // hop target churned away mid-lookup
+    LookupResult res;
+    res.ok = false;
+    res.hops = hops;
+    res.latency = engine_.now() - started;
+    done(res);
+    return;
+  }
+  const Peer& p = peers_[current];
+  // Am I (exclusive) the predecessor of the key's owner? Owner = successor.
+  const Peer& succ = peers_[p.successor];
+  if (in_arc(key, p.id, succ.id)) {
+    // Answer travels straight back to the origin.
+    const double back = link_latency(current, origin);
+    ++messages_;
+    const PeerIndex home = p.successor;
+    engine_.schedule_in(back, [this, done = std::move(done), home, hops, started] {
+      LookupResult res;
+      res.ok = true;
+      res.home = home;
+      res.hops = hops;
+      res.latency = engine_.now() - started;
+      done(res);
+    });
+    return;
+  }
+  if (in_arc(key, (p.id + mask_) & mask_, p.id) || p.id == key) {
+    // The key maps to this peer itself (rare direct hit).
+    LookupResult res;
+    res.ok = true;
+    res.home = current;
+    res.hops = hops;
+    res.latency = engine_.now() - started;
+    done(res);
+    return;
+  }
+  const PeerIndex next = closest_preceding(current, key);
+  const double lat = link_latency(current, next);
+  ++messages_;
+  engine_.schedule_in(lat, [this, origin, next, key, hops, started,
+                            done = std::move(done)]() mutable {
+    forward(origin, next, key, hops + 1, started, std::move(done));
+  });
+}
+
+}  // namespace lsds::p2p

@@ -1,0 +1,131 @@
+// Chord distributed hash table over the network substrate.
+//
+// The taxonomy's scope axis includes "P2P networks", and the paper groups
+// "Grid and/or P2P simulation instruments" as the family under study; this
+// module makes the P2P scope a real code path. Chord (Stoica et al. 2001)
+// is the canonical structured overlay: peers own 2^m-space arcs, lookups
+// route greedily through finger tables in O(log n) hops.
+//
+// Simulation model: peers sit on topology nodes; protocol messages are
+// latency-only (DHT control traffic is tiny next to link capacity), using
+// the shortest-path latency between peer nodes. Lookups are *recursive*:
+// forwarded hop by hop, answered directly to the origin. Finger tables are
+// built from the global ring (the steady state a stabilization protocol
+// converges to); joins and leaves rebuild affected state, so churn can be
+// modeled at the fidelity these experiments need.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/process.hpp"
+#include "net/routing.hpp"
+
+namespace lsds::p2p {
+
+using ChordId = std::uint64_t;
+using PeerIndex = std::size_t;
+
+class ChordNetwork {
+ public:
+  /// `m` is the identifier-space width in bits (ids live in [0, 2^m)).
+  ChordNetwork(core::Engine& engine, net::Routing& routing, std::uint32_t m = 32);
+
+  /// Add a peer attached to a topology node. Returns the peer's index.
+  /// Call build() after the initial population (or after churn).
+  PeerIndex add_peer(net::NodeId node);
+  /// Remove a peer (churn). Lookups started before removal may fail.
+  void remove_peer(PeerIndex peer);
+  /// (Re)build successors + finger tables from the current population.
+  void build();
+
+  // --- protocol mode (self-maintaining overlay) ---------------------------
+  //
+  // Instead of the omniscient build(), run Chord's own maintenance:
+  // periodic *stabilization* repairs successor/predecessor pointers after
+  // churn and *fix-fingers* refreshes one finger per round via a real
+  // lookup. With maintenance running, peers may crash (fail_peer) or join
+  // (join_via) without any global rebuild; lookups degrade and then heal —
+  // the behavior a churn study measures.
+
+  /// Spawn maintenance processes on every live peer. Maintenance runs
+  /// until the horizon (processes end there, so Engine::run terminates).
+  void enable_protocol_mode(double stabilize_period, double horizon);
+  /// Crash-stop a peer: no goodbye messages; neighbors discover the death
+  /// through stabilization timeouts.
+  void fail_peer(PeerIndex peer);
+  /// Protocol join: the newcomer finds its successor through `bootstrap`
+  /// and is integrated by subsequent stabilization rounds.
+  PeerIndex join_via(net::NodeId node, PeerIndex bootstrap);
+
+  std::uint64_t stabilize_rounds() const { return stabilize_rounds_; }
+
+  std::size_t size() const { return live_count_; }
+  ChordId id_of(PeerIndex peer) const { return peers_[peer].id; }
+  /// Ground truth: the live peer whose arc contains `key`.
+  PeerIndex responsible_peer(ChordId key) const;
+  /// Hash helper for arbitrary keys.
+  ChordId hash_key(const std::string& s) const;
+
+  struct LookupResult {
+    bool ok = false;
+    PeerIndex home = 0;   // peer responsible for the key
+    std::size_t hops = 0; // forwarding steps (0 = origin owned it)
+    double latency = 0;   // simulated seconds until the origin learned it
+  };
+  using LookupFn = std::function<void(const LookupResult&)>;
+
+  /// Asynchronous recursive lookup from `origin`.
+  void lookup(PeerIndex origin, ChordId key, LookupFn done);
+
+  // --- statistics -----------------------------------------------------------
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::size_t finger_count(PeerIndex peer) const { return peers_[peer].fingers.size(); }
+
+ private:
+  struct Peer {
+    net::NodeId node = net::kInvalidNode;
+    ChordId id = 0;
+    bool live = false;
+    PeerIndex successor = 0;
+    PeerIndex predecessor = kNoPeer;     // protocol mode
+    std::vector<PeerIndex> succ_list;    // protocol mode: backup successors
+    std::vector<PeerIndex> fingers;      // fingers[k] ~ successor(id + 2^k)
+    std::uint32_t next_finger = 0;       // fix-fingers round-robin cursor
+  };
+
+  static constexpr PeerIndex kNoPeer = static_cast<PeerIndex>(-1);
+
+  core::Process maintenance_loop(core::Engine& eng, PeerIndex self, double period,
+                                 double horizon);
+  void stabilize(PeerIndex self);
+  void fix_one_finger(PeerIndex self);
+  void refresh_succ_list(PeerIndex self);
+
+  /// True iff x is in the half-open arc (a, b] on the ring.
+  bool in_arc(ChordId x, ChordId a, ChordId b) const;
+  PeerIndex closest_preceding(PeerIndex from, ChordId key) const;
+  void forward(PeerIndex origin, PeerIndex current, ChordId key, std::size_t hops,
+               double started, LookupFn done);
+  double link_latency(PeerIndex a, PeerIndex b);
+
+  core::Engine& engine_;
+  net::Routing& routing_;
+  std::uint32_t m_;
+  ChordId mask_;
+  std::vector<Peer> peers_;
+  std::map<ChordId, PeerIndex> ring_;  // live peers by id (ground truth)
+  std::size_t live_count_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t stabilize_rounds_ = 0;
+  bool protocol_mode_ = false;
+  double stabilize_period_ = 1.0;
+  double horizon_ = 0;
+};
+
+}  // namespace lsds::p2p

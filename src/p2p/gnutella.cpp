@@ -1,0 +1,97 @@
+#include "p2p/gnutella.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsds::p2p {
+
+GnutellaNetwork::GnutellaNetwork(core::Engine& engine, net::Routing& routing)
+    : engine_(engine), routing_(routing) {}
+
+GnutellaNetwork::PeerIndex GnutellaNetwork::add_peer(net::NodeId node) {
+  peers_.push_back(Peer{node, {}, {}});
+  return peers_.size() - 1;
+}
+
+void GnutellaNetwork::build_random_overlay(std::size_t degree, core::RngStream& rng) {
+  const std::size_t n = peers_.size();
+  assert(n >= 2);
+  degree = std::min(degree, n - 1);
+  for (PeerIndex p = 0; p < n; ++p) {
+    while (peers_[p].neighbors.size() < degree) {
+      auto q = static_cast<PeerIndex>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      if (q >= p) ++q;
+      auto& np = peers_[p].neighbors;
+      if (std::find(np.begin(), np.end(), q) != np.end()) continue;
+      np.push_back(q);
+      peers_[q].neighbors.push_back(p);  // symmetric (q may exceed degree)
+    }
+  }
+}
+
+void GnutellaNetwork::place_object(PeerIndex peer, const std::string& name) {
+  peers_[peer].objects.insert(name);
+}
+
+bool GnutellaNetwork::has_object(PeerIndex peer, const std::string& name) const {
+  return peers_[peer].objects.count(name) > 0;
+}
+
+double GnutellaNetwork::link_latency(PeerIndex a, PeerIndex b) {
+  if (a == b) return 0;
+  const auto& route = routing_.route(peers_[a].node, peers_[b].node);
+  return route.valid ? route.total_latency : 0.001;
+}
+
+void GnutellaNetwork::search(PeerIndex origin, const std::string& name, std::size_t ttl,
+                             SearchFn done) {
+  const std::uint64_t qid = next_query_++;
+  Query& q = queries_[qid];
+  q.name = name;
+  q.origin = origin;
+  q.started = engine_.now();
+  q.done = std::move(done);
+  q.in_flight = 1;
+  deliver(qid, origin, ttl, 0);
+}
+
+void GnutellaNetwork::deliver(std::uint64_t query_id, PeerIndex at, std::size_t ttl,
+                              std::size_t hops) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  Query& q = it->second;
+  --q.in_flight;
+
+  const bool first_visit = q.visited.insert(at).second;
+  if (first_visit && peers_[at].objects.count(q.name) && !q.result.found) {
+    // First hit: the response travels back to the origin; record the
+    // latency including that reply leg.
+    q.result.found = true;
+    q.result.holder = at;
+    q.result.hops = hops;
+    q.result.latency = (engine_.now() - q.started) + link_latency(at, q.origin);
+  }
+
+  if (first_visit && ttl > 0) {
+    for (PeerIndex nb : peers_[at].neighbors) {
+      if (q.visited.count(nb)) continue;  // cheap suppression of known dupes
+      ++q.result.messages;
+      ++q.in_flight;
+      const double lat = link_latency(at, nb);
+      engine_.schedule_in(lat, [this, query_id, nb, ttl, hops] {
+        deliver(query_id, nb, ttl - 1, hops + 1);
+      });
+    }
+  }
+  finish_if_drained(query_id);
+}
+
+void GnutellaNetwork::finish_if_drained(std::uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || it->second.in_flight > 0) return;
+  Query q = std::move(it->second);
+  queries_.erase(it);
+  q.done(q.result);
+}
+
+}  // namespace lsds::p2p

@@ -1,0 +1,80 @@
+// Unstructured (Gnutella-style) overlay with TTL-limited flooding search.
+//
+// The baseline the structured-DHT literature measures against: each peer
+// keeps `degree` random neighbors; a query floods hop by hop with a TTL,
+// duplicate-suppressed per query id. Search cost grows with the flooded
+// frontier (O(n) messages to cover the network) where Chord pays O(log n)
+// hops — the comparison examples/p2p_overlay.cpp reproduces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "net/routing.hpp"
+
+namespace lsds::p2p {
+
+class GnutellaNetwork {
+ public:
+  using PeerIndex = std::size_t;
+
+  GnutellaNetwork(core::Engine& engine, net::Routing& routing);
+
+  PeerIndex add_peer(net::NodeId node);
+  /// Wire each peer to `degree` distinct random neighbors (symmetric).
+  void build_random_overlay(std::size_t degree, core::RngStream& rng);
+
+  /// Place a named object at a peer.
+  void place_object(PeerIndex peer, const std::string& name);
+  bool has_object(PeerIndex peer, const std::string& name) const;
+
+  std::size_t size() const { return peers_.size(); }
+  std::size_t degree_of(PeerIndex peer) const { return peers_[peer].neighbors.size(); }
+
+  struct SearchResult {
+    bool found = false;
+    PeerIndex holder = 0;      // first responder
+    std::size_t hops = 0;      // overlay hops to the first hit
+    std::size_t messages = 0;  // total query messages flooded
+    double latency = 0;        // time until the origin got the first hit
+  };
+  using SearchFn = std::function<void(const SearchResult&)>;
+
+  /// Flood a query with the given TTL. `done` fires when the flood dies
+  /// out (all in-flight messages processed), with the first hit if any.
+  void search(PeerIndex origin, const std::string& name, std::size_t ttl, SearchFn done);
+
+ private:
+  struct Peer {
+    net::NodeId node = net::kInvalidNode;
+    std::vector<PeerIndex> neighbors;
+    std::set<std::string> objects;
+  };
+
+  struct Query {
+    std::string name;
+    PeerIndex origin = 0;
+    std::size_t in_flight = 0;
+    std::set<PeerIndex> visited;
+    SearchResult result;
+    double started = 0;
+    SearchFn done;
+  };
+
+  void deliver(std::uint64_t query_id, PeerIndex at, std::size_t ttl, std::size_t hops);
+  void finish_if_drained(std::uint64_t query_id);
+  double link_latency(PeerIndex a, PeerIndex b);
+
+  core::Engine& engine_;
+  net::Routing& routing_;
+  std::vector<Peer> peers_;
+  std::map<std::uint64_t, Query> queries_;
+  std::uint64_t next_query_ = 1;
+};
+
+}  // namespace lsds::p2p

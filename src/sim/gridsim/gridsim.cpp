@@ -1,0 +1,56 @@
+#include "sim/gridsim/gridsim.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "hosts/cpu.hpp"
+#include "util/strings.hpp"
+
+namespace lsds::sim::gridsim {
+
+Result run(core::Engine& engine, const Config& cfg) {
+  // Priced heterogeneous resource pool.
+  std::vector<std::unique_ptr<hosts::CpuResource>> cpus;
+  std::vector<middleware::EconomyResource> pool;
+  for (std::size_t r = 0; r < cfg.num_resources; ++r) {
+    const double f = cfg.num_resources > 1
+                         ? static_cast<double>(r) / static_cast<double>(cfg.num_resources - 1)
+                         : 0.0;
+    const double speed = cfg.speed_min + f * (cfg.speed_max - cfg.speed_min);
+    const double price =
+        cfg.base_price * std::pow(speed / cfg.speed_min, cfg.price_exponent);
+    cpus.push_back(std::make_unique<hosts::CpuResource>(
+        engine, util::strformat("res%zu", r), cfg.cores_each, speed,
+        cfg.time_shared ? hosts::SharingPolicy::kTimeShared
+                        : hosts::SharingPolicy::kSpaceShared));
+    pool.push_back(middleware::EconomyResource{cpus.back().get(), price});
+  }
+
+  middleware::EconomyBroker broker(engine, pool, cfg.strategy);
+  auto& rng = engine.rng("gridsim.jobs");
+  for (std::size_t i = 0; i < cfg.num_jobs; ++i) {
+    hosts::Job job;
+    job.id = static_cast<hosts::JobId>(i + 1);
+    job.ops = rng.exponential(cfg.mean_ops);
+    job.budget = cfg.budget;
+    job.deadline = cfg.deadline;
+    broker.submit(std::move(job));
+  }
+
+  Result res;
+  const auto plan = broker.run(cfg.budget, cfg.deadline, [&](const hosts::Job& job) {
+    res.response_times.add(job.response_time());
+  });
+  engine.run();
+
+  res.accepted = plan.accepted;
+  res.rejected = plan.rejected;
+  res.completed = broker.completed();
+  res.cost = broker.actual_cost();
+  res.makespan = broker.makespan();
+  res.deadline_met = res.makespan <= cfg.deadline;
+  return res;
+}
+
+}  // namespace lsds::sim::gridsim

@@ -1,0 +1,53 @@
+// GridSim facade: computational-economy resource brokering.
+//
+// "GridSim focuses on Grid economy, where the scheduling involves the
+// notions of producers (resource owners), consumers (end-users) and brokers
+// discovering and allocating resources to users … dealing with deadline and
+// budget constraints." The facade builds a pool of priced heterogeneous
+// resources (fast ones cost more, the classic economy setup) and runs a
+// deadline-and-budget-constrained broker over a task-farming workload.
+// Experiment E8 sweeps the budget to show the time-opt / cost-opt
+// trade-off.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "middleware/broker.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::sim::gridsim {
+
+struct Config {
+  std::size_t num_resources = 5;
+  unsigned cores_each = 2;
+  /// Speeds interpolate from speed_min to speed_max; price scales
+  /// super-linearly with speed (fast resources are disproportionately
+  /// expensive): price_i = base_price * (speed_i/speed_min)^price_exponent.
+  double speed_min = 500;
+  double speed_max = 2500;
+  double base_price = 1.0;
+  double price_exponent = 1.5;
+  bool time_shared = false;  // space-shared by default (batch resources)
+
+  std::size_t num_jobs = 60;
+  double mean_ops = 2000;
+
+  middleware::DbcStrategy strategy = middleware::DbcStrategy::kCostOptimization;
+  double budget = 1e18;    // effectively unconstrained by default
+  double deadline = 1e18;  // absolute simulation time
+};
+
+struct Result {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  double cost = 0;      // actually spent
+  double makespan = 0;  // actual
+  stats::SampleSet response_times;
+  bool deadline_met = false;
+};
+
+Result run(core::Engine& engine, const Config& cfg);
+
+}  // namespace lsds::sim::gridsim

@@ -1,0 +1,154 @@
+#include "sim/optorsim/optorsim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/process.hpp"
+#include "hosts/site.hpp"
+#include "middleware/replica_catalog.hpp"
+#include "sim/common.hpp"
+#include "util/strings.hpp"
+
+namespace lsds::sim::optorsim {
+
+namespace {
+
+struct Ctx {
+  const Config* cfg;
+  hosts::Grid* grid;
+  middleware::ReplicaCatalog* catalog;
+  middleware::ReplicationStrategy* strategy;
+  Result* res;
+  std::map<std::string, double> file_bytes;
+  std::vector<std::unique_ptr<core::Resource>> job_slots;  // per compute site
+};
+
+// Fetch one input file for a job running at `site`: local read, or remote
+// stream + (strategy-dependent) local replication.
+core::Process fetch_input(core::Engine& eng, Ctx& ctx, hosts::SiteId site_id,
+                          const std::string& lfn, core::Condition& done) {
+  (void)eng;  // binds the process to the engine via the promise
+  auto& site = ctx.grid->site(site_id);
+  ctx.strategy->on_access(site_id, lfn);
+
+  if (site.disk().has(lfn)) {
+    ++ctx.res->local_reads;
+    co_await disk_read(site.disk(), lfn);
+    done.notify_all();
+    co_return;
+  }
+
+  ++ctx.res->remote_reads;
+  const double bytes = ctx.file_bytes.at(lfn);
+  const auto src = ctx.catalog->best_source(lfn, site.node());
+  // The master store always holds every file, so a source must exist.
+  auto& src_site = ctx.grid->site(*src);
+  co_await transfer(ctx.grid->net(), src_site.node(), site.node(), bytes);
+  ctx.res->network_bytes += bytes;
+
+  // Pull-model replication decision.
+  auto plan = ctx.strategy->plan_replication(site_id, site.disk(), lfn, bytes);
+  if (plan) {
+    for (const auto& victim : plan->evictions) {
+      site.disk().evict(victim);
+      ctx.catalog->remove_replica(victim, site_id);
+      ++ctx.res->evictions;
+    }
+    if (site.disk().store(lfn, bytes)) {
+      ctx.catalog->add_replica(lfn, site_id, site.node());
+      ++ctx.res->replications;
+    }
+  }
+  done.notify_all();
+}
+
+// One grid job: acquire a job slot, fetch every input (sequentially, as
+// OptorSim jobs access files in order), compute, release.
+core::Process job_process(core::Engine& eng, Ctx& ctx, hosts::SiteId site_id, hosts::Job job) {
+  auto& slots = *ctx.job_slots[site_id - 1];  // compute sites start at id 1
+  co_await slots.acquire(1);
+  const double t0 = eng.now();
+
+  for (const auto& lfn : job.input_files) {
+    core::Condition fetched(eng);
+    fetch_input(eng, ctx, site_id, lfn, fetched);
+    co_await fetched.wait();
+  }
+  co_await core::delay(eng, job.ops / ctx.cfg->cpu_speed);
+
+  slots.release(1);
+  ctx.res->job_times.add(eng.now() - t0);
+  ctx.res->makespan = std::max(ctx.res->makespan, eng.now());
+  ++ctx.res->jobs;
+}
+
+}  // namespace
+
+Result run(core::Engine& engine, const Config& cfg) {
+  hosts::Grid grid(engine);
+
+  // Workload first: cache capacity is a fraction of the dataset size.
+  auto& wrng = engine.rng("optorsim.workload");
+  const auto workload = apps::generate_data_grid(wrng, cfg.workload);
+  double dataset_bytes = 0;
+  for (const auto& [lfn, bytes] : workload.files) dataset_bytes += bytes;
+
+  // Site 0: master storage element holding every file, no compute.
+  hosts::SiteSpec master;
+  master.name = "master-SE";
+  master.cores = 1;
+  master.cpu_speed = 1;
+  master.disk_capacity = dataset_bytes * 2 + 1;
+  master.disk_read_bw = cfg.disk_bw;
+  master.disk_write_bw = cfg.disk_bw;
+  grid.add_site(master);
+
+  for (std::size_t i = 0; i < cfg.num_sites; ++i) {
+    hosts::SiteSpec s;
+    s.name = lsds::util::strformat("site%zu", i);
+    s.cores = cfg.cores_per_site;
+    s.cpu_speed = cfg.cpu_speed;
+    s.disk_capacity = std::max(1.0, dataset_bytes * cfg.cache_fraction);
+    s.disk_read_bw = cfg.disk_bw;
+    s.disk_write_bw = cfg.disk_bw;
+    grid.add_site(s);
+  }
+
+  // Star around a hub router.
+  auto& topo = grid.topology();
+  const net::NodeId hub = topo.add_node("hub", net::NodeKind::kRouter);
+  for (std::size_t s = 0; s < grid.site_count(); ++s) {
+    topo.add_link(grid.site(static_cast<hosts::SiteId>(s)).node(), hub, cfg.site_bw,
+                  cfg.site_latency);
+  }
+  grid.finalize();
+
+  middleware::ReplicaCatalog catalog(grid.routing());
+  auto strategy = middleware::make_replication_strategy(cfg.policy);
+
+  Result res;
+  Ctx ctx{&cfg, &grid, &catalog, strategy.get(), &res, {}, {}};
+  for (const auto& [lfn, bytes] : workload.files) {
+    ctx.file_bytes[lfn] = bytes;
+    grid.site(0).disk().store(lfn, bytes, /*pinned=*/true);
+    catalog.add_replica(lfn, 0, grid.site(0).node());
+  }
+  for (std::size_t i = 0; i < cfg.num_sites; ++i) {
+    ctx.job_slots.push_back(std::make_unique<core::Resource>(engine, cfg.cores_per_site));
+  }
+
+  // Dispatch jobs round-robin over compute sites at their arrival times.
+  std::size_t next_site = 0;
+  for (const auto& tj : workload.jobs) {
+    const auto site_id = static_cast<hosts::SiteId>(1 + next_site);
+    next_site = (next_site + 1) % cfg.num_sites;
+    engine.schedule_at(tj.arrival, [&engine, &ctx, site_id, job = tj.job]() mutable {
+      job_process(engine, ctx, site_id, std::move(job));
+    });
+  }
+  engine.run();
+  return res;
+}
+
+}  // namespace lsds::sim::optorsim

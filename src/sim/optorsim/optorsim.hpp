@@ -1,0 +1,59 @@
+// OptorSim facade: Data Grid with pull-model replica optimization.
+//
+// "Given a Grid topology and resources, a set of jobs to be executed and an
+// optimization strategy as input, OptorSim runs a number of Grid jobs on
+// the simulated Grid. It provides a set of measurements which can be used
+// to quantify the effectiveness of the optimization strategy."
+//
+// Sites sit around a hub; all master files start pinned at site 0 (the
+// "CERN" storage element). Jobs run at the other sites, read their input
+// files (locally when a replica exists, otherwise streamed from the closest
+// replica), and the site's replication strategy decides — pull model —
+// whether to cache a local replica and what to evict. Experiment E6 sweeps
+// strategies and Zipf skew.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/workload.hpp"
+#include "core/engine.hpp"
+#include "middleware/replication.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::sim::optorsim {
+
+struct Config {
+  std::size_t num_sites = 6;  // compute sites (excluding the master store)
+  unsigned cores_per_site = 2;
+  double cpu_speed = 1000;
+  /// Per-site cache capacity as a fraction of the total dataset size.
+  double cache_fraction = 0.2;
+  double disk_bw = 200e6;
+
+  double site_bw = 125e6;  // site <-> hub
+  double site_latency = 0.01;
+
+  apps::DataGridWorkloadSpec workload;
+  middleware::ReplicationPolicy policy = middleware::ReplicationPolicy::kLru;
+};
+
+struct Result {
+  std::uint64_t jobs = 0;
+  double makespan = 0;
+  stats::SampleSet job_times;      // dispatch -> completion
+  std::uint64_t local_reads = 0;   // input found on the local SE
+  std::uint64_t remote_reads = 0;  // streamed from another site
+  std::uint64_t replications = 0;  // local replicas created
+  std::uint64_t evictions = 0;
+  double network_bytes = 0;        // total bytes moved between sites
+
+  double local_hit_ratio() const {
+    const auto total = local_reads + remote_reads;
+    return total ? static_cast<double>(local_reads) / static_cast<double>(total) : 0.0;
+  }
+  double mean_job_time() const { return job_times.mean(); }
+};
+
+Result run(core::Engine& engine, const Config& cfg);
+
+}  // namespace lsds::sim::optorsim

@@ -1,0 +1,72 @@
+#include "stats/analytical.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lsds::stats {
+
+double MM1::mean_in_system() const {
+  assert(stable());
+  const double r = rho();
+  return r / (1.0 - r);
+}
+
+double MM1::mean_in_queue() const {
+  assert(stable());
+  const double r = rho();
+  return r * r / (1.0 - r);
+}
+
+double MM1::mean_sojourn() const {
+  assert(stable());
+  return 1.0 / (mu - lambda);
+}
+
+double MM1::mean_wait() const {
+  assert(stable());
+  return rho() / (mu - lambda);
+}
+
+double MMc::erlang_c() const {
+  assert(stable());
+  const double a = lambda / mu;  // offered load in Erlangs
+  const auto cn = static_cast<double>(c);
+  // Compute a^c / c! iteratively to avoid overflow.
+  double term = 1.0;  // a^k / k!
+  double sum = 1.0;   // sum over k = 0..c-1
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  term *= a / cn;  // now a^c / c!
+  const double last = term * cn / (cn - a);
+  return last / (sum + last);
+}
+
+double MMc::mean_wait() const {
+  assert(stable());
+  const auto cn = static_cast<double>(c);
+  return erlang_c() / (cn * mu - lambda);
+}
+
+double MG1::mean_wait() const {
+  assert(stable());
+  return lambda * second_moment_service / (2.0 * (1.0 - rho()));
+}
+
+double MM1PS::mean_sojourn() const {
+  assert(stable());
+  return 1.0 / (mu - lambda);
+}
+
+double MM1PS::conditional_sojourn(double service) const {
+  assert(stable());
+  return service / (1.0 - rho());
+}
+
+double maxmin_equal_share_completion(double bytes, double capacity, std::size_t nflows) {
+  assert(capacity > 0 && nflows > 0);
+  return static_cast<double>(nflows) * bytes / capacity;
+}
+
+}  // namespace lsds::stats

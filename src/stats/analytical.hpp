@@ -1,0 +1,91 @@
+// Analytical queueing models for simulation validation.
+//
+// Section 5 of the paper: "Another mechanism designed to facilitate the
+// evaluation of the simulation models consists in the use of queuing
+// theory. The formalism provided by the queuing models is important for the
+// definition and validation of the simulation stochastic models."
+//
+// These closed forms are compared against simulation in
+// tests/stats_validation_test.cpp and bench_validation (experiment E5) —
+// the same style of validation SimGrid's first paper performed against a
+// mathematically tractable scheduling problem (Casanova 2001).
+#pragma once
+
+#include <cstddef>
+
+namespace lsds::stats {
+
+/// M/M/1 FCFS queue with arrival rate lambda and service rate mu.
+struct MM1 {
+  double lambda;
+  double mu;
+
+  double rho() const { return lambda / mu; }
+  bool stable() const { return rho() < 1.0; }
+
+  /// Mean number in system, L = rho / (1 - rho).
+  double mean_in_system() const;
+  /// Mean number in queue, Lq = rho^2 / (1 - rho).
+  double mean_in_queue() const;
+  /// Mean time in system (sojourn), W = 1 / (mu - lambda).
+  double mean_sojourn() const;
+  /// Mean waiting time (before service), Wq = rho / (mu - lambda).
+  double mean_wait() const;
+};
+
+/// M/M/c FCFS queue (c parallel servers, shared queue).
+struct MMc {
+  double lambda;
+  double mu;  // per-server service rate
+  std::size_t c;
+
+  double rho() const { return lambda / (static_cast<double>(c) * mu); }
+  bool stable() const { return rho() < 1.0; }
+
+  /// Erlang-C: probability an arrival must wait.
+  double erlang_c() const;
+  /// Mean waiting time in queue.
+  double mean_wait() const;
+  /// Mean sojourn time.
+  double mean_sojourn() const { return mean_wait() + 1.0 / mu; }
+  /// Mean number in queue.
+  double mean_in_queue() const { return lambda * mean_wait(); }
+};
+
+/// M/G/1 FCFS — Pollaczek–Khinchine. Validates the queue against
+/// *non-exponential* service laws (deterministic, lognormal, …):
+/// Wq = lambda * E[S^2] / (2 (1 - rho)).
+struct MG1 {
+  double lambda;
+  double mean_service;           // E[S]
+  double second_moment_service;  // E[S^2]
+
+  double rho() const { return lambda * mean_service; }
+  bool stable() const { return rho() < 1.0; }
+  double mean_wait() const;
+  double mean_sojourn() const { return mean_wait() + mean_service; }
+  double mean_in_queue() const { return lambda * mean_wait(); }
+};
+
+/// M/M/1 with processor sharing (the time-shared CPU model). The mean
+/// sojourn of a job equals the FCFS value 1/(mu - lambda) and — by the PS
+/// insensitivity property — the *conditional* sojourn of a job of size x is
+/// x / (1 - rho), regardless of the service-time distribution.
+struct MM1PS {
+  double lambda;
+  double mu;
+
+  double rho() const { return lambda / mu; }
+  bool stable() const { return rho() < 1.0; }
+  double mean_sojourn() const;
+  /// E[T | service requirement s] = s / (1 - rho).
+  double conditional_sojourn(double service) const;
+};
+
+/// Max-min fair share on a single bottleneck: n flows, capacity C -> C/n
+/// each. The dumbbell closed form used to validate the flow-level network
+/// model: completion time of n simultaneous equal transfers of size S over
+/// a shared link C is n*S/C.
+double maxmin_equal_share_completion(double bytes, double capacity, std::size_t nflows);
+
+}  // namespace lsds::stats

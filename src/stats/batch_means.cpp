@@ -1,0 +1,41 @@
+#include "stats/batch_means.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lsds::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_size, std::size_t warmup)
+    : batch_size_(batch_size), warmup_(warmup) {
+  assert(batch_size_ > 0);
+}
+
+void BatchMeans::add(double x) {
+  if (seen_++ < warmup_) return;
+  current_sum_ += x;
+  if (++current_n_ == batch_size_) {
+    batch_means_.add(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0;
+    current_n_ = 0;
+  }
+}
+
+double BatchMeans::ci95_halfwidth() const {
+  const std::size_t k = batches();
+  if (k < 2) return 0.0;
+  const double s = std::sqrt(batch_means_.sample_variance() / static_cast<double>(k));
+  return t_critical_95(k - 1) * s;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% (alpha/2 = 0.025) critical values.
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return kTable[1];
+  if (df <= 30) return kTable[df];
+  return 1.96;  // normal approximation
+}
+
+}  // namespace lsds::stats

@@ -1,0 +1,49 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// DES observations (waiting times, queue lengths) are autocorrelated, so
+// the naive CI from Accumulator::ci95_halfwidth underestimates the true
+// uncertainty — the classic output-analysis trap. The batch-means method
+// groups consecutive observations into batches large enough to be nearly
+// independent and builds the CI from the batch means (Law & Kelton, ch. 9).
+//
+//   BatchMeans bm(/*batch_size=*/1000, /*warmup=*/500);
+//   for (double w : waits) bm.add(w);
+//   bm.mean(), bm.ci95_halfwidth()   // honest interval
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace lsds::stats {
+
+class BatchMeans {
+ public:
+  /// `warmup` initial observations are discarded (initialization bias).
+  explicit BatchMeans(std::size_t batch_size, std::size_t warmup = 0);
+
+  void add(double x);
+
+  std::size_t batches() const { return batch_means_.count(); }
+  std::size_t observations() const { return seen_; }
+  /// Grand mean over completed batches.
+  double mean() const { return batch_means_.mean(); }
+  /// 95% CI half-width using a Student-t quantile on the batch means.
+  /// Requires >= 2 completed batches (returns 0 otherwise).
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t warmup_;
+  std::size_t seen_ = 0;
+  double current_sum_ = 0;
+  std::size_t current_n_ = 0;
+  Accumulator batch_means_;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (exact table through 30, normal approximation beyond).
+double t_critical_95(std::size_t df);
+
+}  // namespace lsds::stats

@@ -1,0 +1,48 @@
+#include "stats/histogram.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace lsds::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(nbins)), counts_(nbins, 0) {
+  assert(hi > lo && nbins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // float edge case at hi
+  ++counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::cdf_at_bin(std::size_t i) const {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) cum += counts_[k];
+  return static_cast<double>(cum) / static_cast<double>(in_range);
+}
+
+std::string Histogram::to_csv() const {
+  std::string out = "bin_lo,bin_hi,count\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out += util::strformat("%.9g,%.9g,%llu\n", bin_lo(i), bin_hi(i),
+                           static_cast<unsigned long long>(counts_[i]));
+  }
+  return out;
+}
+
+}  // namespace lsds::stats

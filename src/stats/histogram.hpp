@@ -1,0 +1,39 @@
+// Fixed-bin histogram with under/overflow tracking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsds::stats {
+
+class Histogram {
+ public:
+  /// `nbins` equal-width bins over [lo, hi); values outside land in the
+  /// underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  void add(double x);
+
+  std::size_t nbins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction of in-range samples at or below bin i's upper edge.
+  double cdf_at_bin(std::size_t i) const;
+
+  /// "lo,hi,count" lines, one per bin.
+  std::string to_csv() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace lsds::stats

@@ -1,0 +1,80 @@
+// Streaming summary statistics.
+//
+// Accumulator: Welford-updated count/mean/variance/min/max — numerically
+// stable, O(1) memory, safe for the hundreds of millions of samples a large
+// simulation produces. SampleSet additionally stores samples for exact
+// percentiles; use it for bounded-cardinality metrics (per-job times),
+// not per-event ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsds::stats {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (n); 0 for fewer than 2 samples.
+  double variance() const { return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Unbiased sample variance (n-1).
+  double sample_variance() const { return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the ~95% confidence interval of the mean (normal approx).
+  double ci95_halfwidth() const;
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const Accumulator& other);
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Stores samples; exact quantiles on demand.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    acc_.add(x);
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return acc_.mean(); }
+  double stddev() const { return acc_.stddev(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+  double sum() const { return acc_.sum(); }
+  const Accumulator& accumulator() const { return acc_; }
+
+  /// Quantile in [0,1] by linear interpolation; 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void reset();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  Accumulator acc_;
+};
+
+}  // namespace lsds::stats

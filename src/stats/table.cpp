@@ -1,0 +1,78 @@
+#include "stats/table.hpp"
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/strings.hpp"
+
+namespace lsds::stats {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(double v) {
+  cells_.push_back(util::strformat("%.4g", v));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(util::strformat("%llu", static_cast<unsigned long long>(v)));
+  return *this;
+}
+
+AsciiTable::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string rule = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += std::string(widths[c] + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule + render_row(headers_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+void AsciiTable::print(std::ostream& out) const { out << render(); }
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), ncols_(columns.size()) {
+  out_ << util::join(columns, ",") << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  assert(values.size() == ncols_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << util::strformat("%.9g", values[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  assert(values.size() == ncols_);
+  out_ << util::join(values, ",") << "\n";
+}
+
+}  // namespace lsds::stats

@@ -1,0 +1,62 @@
+// ASCII table and CSV writers — the framework's "textual output" and
+// "plots" capabilities on the taxonomy's user-interface / output-analysis
+// axes. Bench binaries use AsciiTable for the paper-style tables and
+// CsvWriter for gnuplot-ready series.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lsds::stats {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %g and passes strings through.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(AsciiTable& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v);
+    RowBuilder& cell(std::uint64_t v);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    AsciiTable& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Render with aligned columns and a header rule.
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  void row(const std::vector<double>& values);
+  void row_strings(const std::vector<std::string>& values);
+
+ private:
+  std::ostream& out_;
+  std::size_t ncols_;
+};
+
+}  // namespace lsds::stats

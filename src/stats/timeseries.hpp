@@ -1,0 +1,58 @@
+// Piecewise-constant time series for simulation outputs.
+//
+// Records step changes of a quantity over simulated time (queue length, link
+// utilization, CPU load…) and computes *time-weighted* aggregates — the
+// statistically correct way to average a state variable in DES.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lsds::stats {
+
+class TimeSeries {
+ public:
+  /// Record that the quantity has value `v` from time `t` onward.
+  /// Times must be non-decreasing.
+  void record(double t, double v);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Time-weighted mean over [first record, t_end].
+  double time_weighted_mean(double t_end) const;
+
+  /// Maximum recorded value.
+  double max_value() const;
+
+  /// Value in effect at time t (last record with time <= t); 0 before first.
+  double value_at(double t) const;
+
+  /// Integral of the series over [first record, t_end] (e.g. byte-seconds).
+  double integral(double t_end) const;
+
+  struct Point {
+    double t, v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  /// "t,v" CSV lines.
+  std::string to_csv() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Monotone event counter with rate computation.
+class Counter {
+ public:
+  void increment(double amount = 1) { value_ += amount; }
+  double value() const { return value_; }
+  double rate(double elapsed) const { return elapsed > 0 ? value_ / elapsed : 0.0; }
+
+ private:
+  double value_ = 0;
+};
+
+}  // namespace lsds::stats

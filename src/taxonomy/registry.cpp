@@ -1,0 +1,212 @@
+#include "taxonomy/registry.hpp"
+
+#include "stats/table.hpp"
+
+namespace lsds::taxonomy {
+
+namespace {
+
+ScopeSet scopes(std::initializer_list<Scope> list) {
+  ScopeSet s = 0;
+  for (Scope v : list) s |= static_cast<ScopeSet>(v);
+  return s;
+}
+
+SimulatorProfile bricks() {
+  SimulatorProfile p;
+  p.name = "Bricks";
+  p.organization = "central model";
+  // "resource scheduling algorithms, programming modules for scheduling,
+  // network topology of clients and servers"; later extended "with replica
+  // and disk management simulation capabilities".
+  p.scope = scopes({Scope::kScheduling, Scope::kDataReplication});
+  p.components = {true, true, true, false};
+  p.dynamic_components = false;  // the paper's explicit counter-example
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;
+  p.engine_notes = "single global queue at one site";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "Java";
+  p.input = InputData::kGenerators;
+  p.ui = {false, false, false};
+  p.validation = Validation::kTestbed;  // one of the few with validation studies
+  return p;
+}
+
+SimulatorProfile optorsim() {
+  SimulatorProfile p;
+  p.name = "OptorSim";
+  p.organization = "EU DataGrid sites";
+  p.scope = scopes({Scope::kDataReplication, Scope::kDataTransport});
+  p.components = {true, true, true, false};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;
+  p.engine_notes = "pull replication optimizers per site";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "Java";
+  p.input = InputData::kGenerators;
+  p.ui = {false, false, true};  // ships plotting of optimizer measurements
+  p.validation = Validation::kNone;
+  return p;
+}
+
+SimulatorProfile simgrid() {
+  SimulatorProfile p;
+  p.name = "SimGrid";
+  p.organization = "agents over channels";
+  p.scope = scopes({Scope::kScheduling});
+  // "does not provide any of the system support facilities as discussed in
+  // the taxonomy": no middleware layer modeling.
+  p.components = {true, true, false, true};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;
+  p.engine_notes = "compile-time + runtime scheduling of agent decisions";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "C";
+  p.input = InputData::kGenerators;
+  p.ui = {false, false, false};
+  p.validation = Validation::kMathematical;  // Casanova 2001 analytic comparison
+  return p;
+}
+
+SimulatorProfile gridsim() {
+  SimulatorProfile p;
+  p.name = "GridSim";
+  p.organization = "brokered resources";
+  p.scope = scopes({Scope::kScheduling, Scope::kEconomy});
+  p.components = {true, true, true, true};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;
+  p.engine_notes = "time- and space-shared resources; multiple brokers";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "Java";
+  p.input = InputData::kGenerators;
+  p.ui = {true, false, false};  // visual design interface (paper, Sec. 3)
+  p.validation = Validation::kNone;
+  return p;
+}
+
+SimulatorProfile chicsim() {
+  SimulatorProfile p;
+  p.name = "ChicagoSim";
+  p.organization = "sites, n schedulers";
+  p.scope = scopes({Scope::kScheduling, Scope::kDataReplication});
+  p.components = {true, true, true, false};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;
+  p.engine_notes = "push replication; configurable scheduler count";
+  p.model_spec = ModelSpec::kLanguage;  // built on the Parsec simulation language
+  p.implementation_language = "Parsec/C";
+  p.input = InputData::kGenerators;  // "accepts only input data generators"
+  p.ui = {false, false, false};
+  p.validation = Validation::kNone;
+  return p;
+}
+
+SimulatorProfile monarc2() {
+  SimulatorProfile p;
+  p.name = "MONARC 2";
+  p.organization = "tier model";
+  p.scope = scopes({Scope::kScheduling, Scope::kDataReplication, Scope::kDataTransport,
+                    Scope::kGenericGrid});
+  p.components = {true, true, true, true};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;
+  p.execution = Execution::kCentralized;  // threaded on one host
+  p.engine_notes = "process-oriented 'active objects' on threads";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "Java";
+  p.input = InputData::kBoth;  // generators + MonALISA monitoring data
+  p.ui = {true, true, true};   // visual design interface + output analysis
+  p.validation = Validation::kTestbed;  // LHC T0/T1 study vs deployment
+  return p;
+}
+
+}  // namespace
+
+std::vector<SimulatorProfile> surveyed_simulators() {
+  return {bricks(), optorsim(), simgrid(), gridsim(), chicsim(), monarc2()};
+}
+
+SimulatorProfile lsds_profile() {
+  SimulatorProfile p;
+  p.name = "LSDS-Sim";
+  p.organization = "central + tier (builders)";
+  p.scope = scopes({Scope::kScheduling, Scope::kDataReplication, Scope::kDataTransport,
+                    Scope::kEconomy, Scope::kGenericGrid});
+  p.components = {true, true, true, true};
+  p.dynamic_components = true;
+  p.behavior = Behavior::kBoth;
+  p.time_base = TimeBase::kDiscrete;
+  p.mechanics = Mechanics::kDiscreteEvent;
+  p.des_kind = DesKind::kEventDriven;  // + time-driven & trace-driven modes
+  p.execution = Execution::kDistributed;  // threaded conservative LP engine
+  p.engine_notes = "pluggable event lists (O(1)..O(n)); coroutine processes";
+  p.model_spec = ModelSpec::kLibrary;
+  p.implementation_language = "C++20";
+  p.input = InputData::kBoth;
+  p.ui = {false, false, true};  // CSV/gnuplot-ready output, no GUI
+  p.validation = Validation::kMathematical;  // queueing-theory suite (E5)
+  return p;
+}
+
+std::string render_table1(bool include_lsds) {
+  std::vector<SimulatorProfile> profiles = surveyed_simulators();
+  if (include_lsds) profiles.push_back(lsds_profile());
+
+  // Rows = taxonomy axes, columns = simulators (the paper's layout).
+  std::vector<std::string> headers{"axis"};
+  for (const auto& p : profiles) headers.push_back(p.name);
+  stats::AsciiTable table(headers);
+
+  auto row = [&](const std::string& axis, auto getter) {
+    std::vector<std::string> cells{axis};
+    for (const auto& p : profiles) cells.push_back(getter(p));
+    table.add_row(std::move(cells));
+  };
+
+  row("scope", [](const SimulatorProfile& p) { return scope_to_string(p.scope); });
+  row("organization", [](const SimulatorProfile& p) { return p.organization; });
+  row("components (H/N/M/A)",
+      [](const SimulatorProfile& p) { return components_to_string(p.components); });
+  row("dynamic components",
+      [](const SimulatorProfile& p) { return std::string(p.dynamic_components ? "yes" : "no"); });
+  row("behavior", [](const SimulatorProfile& p) { return std::string(to_string(p.behavior)); });
+  row("time base", [](const SimulatorProfile& p) { return std::string(to_string(p.time_base)); });
+  row("mechanics", [](const SimulatorProfile& p) { return std::string(to_string(p.mechanics)); });
+  row("DES kind", [](const SimulatorProfile& p) { return std::string(to_string(p.des_kind)); });
+  row("execution", [](const SimulatorProfile& p) { return std::string(to_string(p.execution)); });
+  row("engine notes", [](const SimulatorProfile& p) { return p.engine_notes; });
+  row("model spec", [](const SimulatorProfile& p) { return std::string(to_string(p.model_spec)); });
+  row("language", [](const SimulatorProfile& p) { return p.implementation_language; });
+  row("input data", [](const SimulatorProfile& p) { return std::string(to_string(p.input)); });
+  row("user interface", [](const SimulatorProfile& p) { return ui_to_string(p.ui); });
+  row("validation",
+      [](const SimulatorProfile& p) { return std::string(to_string(p.validation)); });
+
+  return table.render();
+}
+
+}  // namespace lsds::taxonomy

@@ -1,0 +1,31 @@
+// Classification registry for the six simulators surveyed in Section 4,
+// plus LSDS-Sim itself.
+//
+// The profiles encode the paper's prose descriptions: Bricks' central model
+// and lack of dynamic components, OptorSim's pull replication scope,
+// SimGrid's scheduling toolkit without "system support facilities",
+// GridSim's economy brokering, ChicagoSim's scheduling+data-location scope
+// on Parsec, and MONARC 2's tier model with process-oriented active objects
+// and MonALISA monitoring input. Table 1 is rendered from these profiles by
+// render_table1().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace lsds::taxonomy {
+
+/// Profiles of the six surveyed simulators, in the paper's order:
+/// Bricks, OptorSim, SimGrid, GridSim, ChicagoSim, MONARC 2.
+std::vector<SimulatorProfile> surveyed_simulators();
+
+/// LSDS-Sim's own honest classification.
+SimulatorProfile lsds_profile();
+
+/// Render Table 1 ("Design comparison of surveyed Grid simulation
+/// projects") from the profiles; `include_lsds` appends our own column.
+std::string render_table1(bool include_lsds = true);
+
+}  // namespace lsds::taxonomy

@@ -1,0 +1,109 @@
+#include "taxonomy/taxonomy.hpp"
+
+namespace lsds::taxonomy {
+
+std::string scope_to_string(ScopeSet scopes) {
+  std::vector<std::string> parts;
+  if (scopes & static_cast<ScopeSet>(Scope::kScheduling)) parts.push_back("scheduling");
+  if (scopes & static_cast<ScopeSet>(Scope::kDataReplication)) parts.push_back("replication");
+  if (scopes & static_cast<ScopeSet>(Scope::kDataTransport)) parts.push_back("transport");
+  if (scopes & static_cast<ScopeSet>(Scope::kEconomy)) parts.push_back("economy");
+  if (scopes & static_cast<ScopeSet>(Scope::kGenericGrid)) parts.push_back("generic-grid");
+  if (scopes & static_cast<ScopeSet>(Scope::kP2P)) parts.push_back("p2p");
+  if (parts.empty()) return "-";
+  std::string out = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) out += "+" + parts[i];
+  return out;
+}
+
+std::string components_to_string(const Components& c) {
+  std::string out;
+  out += c.hosts ? 'H' : '-';
+  out += c.network ? 'N' : '-';
+  out += c.middleware ? 'M' : '-';
+  out += c.applications ? 'A' : '-';
+  return out;
+}
+
+std::string ui_to_string(const UserInterface& ui) {
+  if (!ui.visual_design && !ui.visual_execution && !ui.visual_output) return "textual";
+  std::string out;
+  out += ui.visual_design ? 'D' : '-';
+  out += ui.visual_execution ? 'E' : '-';
+  out += ui.visual_output ? 'O' : '-';
+  return "visual:" + out;
+}
+
+const char* to_string(Behavior b) {
+  switch (b) {
+    case Behavior::kDeterministic: return "deterministic";
+    case Behavior::kProbabilistic: return "probabilistic";
+    case Behavior::kBoth: return "det+prob";
+  }
+  return "?";
+}
+
+const char* to_string(TimeBase t) {
+  switch (t) {
+    case TimeBase::kDiscrete: return "discrete";
+    case TimeBase::kContinuous: return "continuous";
+  }
+  return "?";
+}
+
+const char* to_string(Mechanics m) {
+  switch (m) {
+    case Mechanics::kContinuous: return "continuous";
+    case Mechanics::kDiscreteEvent: return "DES";
+    case Mechanics::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* to_string(DesKind k) {
+  switch (k) {
+    case DesKind::kNotApplicable: return "n/a";
+    case DesKind::kTraceDriven: return "trace-driven";
+    case DesKind::kTimeDriven: return "time-driven";
+    case DesKind::kEventDriven: return "event-driven";
+  }
+  return "?";
+}
+
+const char* to_string(Execution e) {
+  switch (e) {
+    case Execution::kCentralized: return "centralized";
+    case Execution::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+const char* to_string(ModelSpec m) {
+  switch (m) {
+    case ModelSpec::kLanguage: return "language";
+    case ModelSpec::kLibrary: return "library";
+    case ModelSpec::kVisual: return "visual";
+  }
+  return "?";
+}
+
+const char* to_string(InputData i) {
+  switch (i) {
+    case InputData::kGenerators: return "generators";
+    case InputData::kMonitoring: return "monitoring";
+    case InputData::kBoth: return "gen+monitoring";
+  }
+  return "?";
+}
+
+const char* to_string(Validation v) {
+  switch (v) {
+    case Validation::kNone: return "none";
+    case Validation::kMathematical: return "mathematical";
+    case Validation::kTestbed: return "testbed";
+    case Validation::kBoth: return "math+testbed";
+  }
+  return "?";
+}
+
+}  // namespace lsds::taxonomy

@@ -1,0 +1,101 @@
+// The paper's taxonomy of large-scale distributed systems simulators
+// (Section 3), as data.
+//
+// Every classification axis is an enum (or flag set) with printers, so a
+// simulator's profile is a plain struct and Table 1 is generated — not
+// transcribed — from profiles (see taxonomy/registry.hpp and
+// bench/bench_table1.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsds::taxonomy {
+
+// --- simulation model: scope / motivation --------------------------------
+
+enum class Scope : std::uint32_t {
+  kScheduling = 1u << 0,        // evaluating scheduling algorithms
+  kDataReplication = 1u << 1,   // replica optimization strategies
+  kDataTransport = 1u << 2,     // data movement technologies
+  kEconomy = 1u << 3,           // computational economy / brokering
+  kGenericGrid = 1u << 4,       // whole-system Grid modeling
+  kP2P = 1u << 5,               // peer-to-peer networks
+};
+using ScopeSet = std::uint32_t;
+
+std::string scope_to_string(ScopeSet scopes);
+
+// --- simulation model: simulated components ---------------------------------
+
+struct Components {
+  bool hosts = false;
+  bool network = false;
+  bool middleware = false;
+  bool applications = false;
+};
+
+std::string components_to_string(const Components& c);
+
+// --- supported model --------------------------------------------------------
+
+enum class Behavior { kDeterministic, kProbabilistic, kBoth };
+enum class TimeBase { kDiscrete, kContinuous };
+
+// --- implementation: engine -----------------------------------------------
+
+enum class Mechanics { kContinuous, kDiscreteEvent, kHybrid };
+enum class DesKind { kNotApplicable, kTraceDriven, kTimeDriven, kEventDriven };
+enum class Execution { kCentralized, kDistributed };
+
+// --- implementation: model specification -----------------------------------
+
+enum class ModelSpec { kLanguage, kLibrary, kVisual };
+
+// --- implementation: input / output -----------------------------------------
+
+enum class InputData { kGenerators, kMonitoring, kBoth };
+
+struct UserInterface {
+  bool visual_design = false;     // drag-and-drop model construction
+  bool visual_execution = false;  // animations / runtime interactivity
+  bool visual_output = false;     // plots / output analyzers
+};
+
+std::string ui_to_string(const UserInterface& ui);
+
+// --- validation -------------------------------------------------------------
+
+enum class Validation { kNone, kMathematical, kTestbed, kBoth };
+
+const char* to_string(Behavior b);
+const char* to_string(TimeBase t);
+const char* to_string(Mechanics m);
+const char* to_string(DesKind k);
+const char* to_string(Execution e);
+const char* to_string(ModelSpec m);
+const char* to_string(InputData i);
+const char* to_string(Validation v);
+
+/// A simulator's full classification — one column of Table 1.
+struct SimulatorProfile {
+  std::string name;
+  std::string organization;  // resource organization, e.g. "central model"
+  ScopeSet scope = 0;
+  Components components;
+  bool dynamic_components = false;  // user-defined components at runtime
+  Behavior behavior = Behavior::kBoth;
+  TimeBase time_base = TimeBase::kDiscrete;
+  Mechanics mechanics = Mechanics::kDiscreteEvent;
+  DesKind des_kind = DesKind::kEventDriven;
+  Execution execution = Execution::kCentralized;
+  std::string engine_notes;  // event list / job-thread mapping specifics
+  ModelSpec model_spec = ModelSpec::kLibrary;
+  std::string implementation_language;
+  InputData input = InputData::kGenerators;
+  UserInterface ui;
+  Validation validation = Validation::kNone;
+};
+
+}  // namespace lsds::taxonomy

@@ -1,0 +1,46 @@
+// Tiny CLI flag parser used by the example programs and bench drivers.
+//
+//   lsds::util::Flags flags(argc, argv);
+//   const int jobs = flags.get_int("jobs", 1000);          // --jobs=1000
+//   const bool verbose = flags.get_bool("verbose", false); // --verbose
+//   auto rest = flags.positional();
+//
+// Values attach with '='; a bare --name is boolean true. This keeps the
+// grammar unambiguous when boolean flags precede positional arguments.
+//
+// Unknown flags are collected rather than rejected so google-benchmark's own
+// flags pass through bench binaries untouched.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsds::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, std::string def = "") const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Unit-aware lookups (see util/units.hpp). Throw std::runtime_error on
+  /// malformed values.
+  double get_rate(const std::string& name, double def_bytes_per_sec) const;
+  double get_size(const std::string& name, double def_bytes) const;
+  double get_duration(const std::string& name, double def_sec) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lsds::util

@@ -1,0 +1,75 @@
+// INI-style scenario configuration.
+//
+// Simulation scenarios (topologies, workloads, sweeps) are described in a
+// small INI dialect:
+//
+//   [network]
+//   t0_t1_link = 2.5Gbps      ; rates/sizes/durations parse via util/units
+//   latency    = 15ms
+//
+//   [workload]
+//   jobs = 1000
+//
+// Sections and keys are case-sensitive; `;` and `#` start comments; values
+// may be quoted to preserve spaces. Typed getters return a default when the
+// key is missing and throw lsds::util::ConfigError when present but
+// malformed — a silent fallback on a typo'd "2.5Gbsp" would invalidate an
+// entire experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsds::util {
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class IniConfig {
+ public:
+  /// Parse from text. Throws ConfigError on syntax errors.
+  static IniConfig parse(std::string_view text);
+
+  /// Parse from a file. Throws ConfigError when unreadable.
+  static IniConfig load(const std::string& path);
+
+  bool has(const std::string& section, const std::string& key) const;
+
+  /// Raw string lookup.
+  std::optional<std::string> get(const std::string& section, const std::string& key) const;
+
+  std::string get_string(const std::string& section, const std::string& key,
+                         std::string def = "") const;
+  double get_double(const std::string& section, const std::string& key, double def) const;
+  long long get_int(const std::string& section, const std::string& key, long long def) const;
+  bool get_bool(const std::string& section, const std::string& key, bool def) const;
+
+  /// Unit-aware getters (see util/units.hpp).
+  double get_size(const std::string& section, const std::string& key, double def_bytes) const;
+  double get_rate(const std::string& section, const std::string& key, double def_bps) const;
+  double get_duration(const std::string& section, const std::string& key, double def_sec) const;
+
+  /// All section names in file order.
+  std::vector<std::string> sections() const;
+  /// All keys of a section in file order.
+  std::vector<std::string> keys(const std::string& section) const;
+
+  /// Programmatic construction (used by tests and sweep drivers).
+  void set(const std::string& section, const std::string& key, std::string value);
+
+ private:
+  const std::string* find(const std::string& section, const std::string& key) const;
+
+  // (section, key) -> value; insertion order tracked separately.
+  std::map<std::string, std::map<std::string, std::string>> values_;
+  std::vector<std::string> section_order_;
+  std::map<std::string, std::vector<std::string>> key_order_;
+};
+
+}  // namespace lsds::util

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace lsds::util {
+
+std::atomic<int> Log::level_{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+std::mutex g_sink_mu;
+Log::Sink g_sink;  // empty => default stderr sink
+
+void default_sink(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", to_string(lvl), msg.c_str());
+}
+}  // namespace
+
+const char* to_string(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  std::lock_guard lock(g_sink_mu);
+  if (g_sink)
+    g_sink(lvl, msg);
+  else
+    default_sink(lvl, msg);
+}
+
+}  // namespace lsds::util

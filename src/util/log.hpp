@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Simulation frameworks tend to produce torrents of output; the logger keeps
+// hot paths cheap (a single relaxed atomic load when the level is disabled)
+// and writes through a pluggable sink so tests can capture output.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace lsds::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+const char* to_string(LogLevel lvl);
+
+/// Global logger configuration. Thread-safe.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel lvl) { level_.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+  static LogLevel level() { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) >= level_.load(std::memory_order_relaxed); }
+
+  /// Replace the sink (default: stderr). Pass nullptr to restore the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel lvl, const std::string& msg);
+
+  template <typename... Args>
+  static void logf(LogLevel lvl, const char* fmt, Args&&... args) {
+    if (!enabled(lvl)) return;
+    write(lvl, strformat(fmt, std::forward<Args>(args)...));
+  }
+
+ private:
+  static std::atomic<int> level_;
+};
+
+#define LSDS_LOG_TRACE(...) ::lsds::util::Log::logf(::lsds::util::LogLevel::kTrace, __VA_ARGS__)
+#define LSDS_LOG_DEBUG(...) ::lsds::util::Log::logf(::lsds::util::LogLevel::kDebug, __VA_ARGS__)
+#define LSDS_LOG_INFO(...) ::lsds::util::Log::logf(::lsds::util::LogLevel::kInfo, __VA_ARGS__)
+#define LSDS_LOG_WARN(...) ::lsds::util::Log::logf(::lsds::util::LogLevel::kWarn, __VA_ARGS__)
+#define LSDS_LOG_ERROR(...) ::lsds::util::Log::logf(::lsds::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace lsds::util

@@ -1,0 +1,165 @@
+// Cluster batch queue: FCFS vs EASY backfilling.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "middleware/batch_queue.hpp"
+
+namespace core = lsds::core;
+namespace mw = lsds::middleware;
+using mw::BatchJob;
+using mw::BatchPolicy;
+using mw::BatchQueue;
+
+namespace {
+
+BatchJob job(lsds::hosts::JobId id, unsigned cores, double runtime, double estimate = 0) {
+  BatchJob j;
+  j.id = id;
+  j.cores = cores;
+  j.runtime_actual = runtime;
+  j.runtime_estimate = estimate > 0 ? estimate : runtime;
+  return j;
+}
+
+}  // namespace
+
+TEST(BatchQueue, FcfsRunsInOrder) {
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kFcfs);
+  std::vector<lsds::hosts::JobId> order;
+  for (lsds::hosts::JobId i = 1; i <= 3; ++i) {
+    q.submit(job(i, 4, 10), [&](const BatchJob& j) { order.push_back(j.id); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<lsds::hosts::JobId>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 30.0);
+  EXPECT_EQ(q.completed(), 3u);
+  EXPECT_EQ(q.backfilled(), 0u);
+}
+
+TEST(BatchQueue, FcfsHeadOfLineBlocking) {
+  // narrow(2 cores,10s) running; wide(4) queued; tiny(1, 1s) behind it.
+  // FCFS: tiny waits for the wide job even though a core is free.
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kFcfs);
+  double tiny_start = -1;
+  q.submit(job(1, 2, 10));
+  q.submit(job(2, 4, 10));
+  q.submit(job(3, 1, 1), [&](const BatchJob&) { tiny_start = eng.now() - 1; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(tiny_start, 20.0);  // after the wide job finishes
+}
+
+TEST(BatchQueue, EasyBackfillsWithoutDelayingHead) {
+  // Same scenario under EASY: tiny(1s) fits in the 2 idle cores and ends
+  // before the wide job's reservation (t=10), so it backfills immediately —
+  // and the wide job still starts at t=10.
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kEasyBackfill);
+  double tiny_start = -1, wide_start = -1;
+  q.submit(job(1, 2, 10));
+  q.submit(job(2, 4, 10), [&](const BatchJob&) { wide_start = eng.now() - 10; });
+  q.submit(job(3, 1, 1), [&](const BatchJob&) { tiny_start = eng.now() - 1; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(tiny_start, 0.0);   // backfilled at once
+  EXPECT_DOUBLE_EQ(wide_start, 10.0);  // reservation honored
+  EXPECT_EQ(q.backfilled(), 1u);
+}
+
+TEST(BatchQueue, BackfillRefusesJobsThatWouldDelayHead) {
+  // A 2-core 20s job fits the idle cores but would overlap the wide job's
+  // reservation at t=10 and exceed the spare — EASY must hold it back.
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kEasyBackfill);
+  double wide_start = -1, long_start = -1;
+  q.submit(job(1, 2, 10));                                                    // runs now
+  q.submit(job(2, 4, 10), [&](const BatchJob&) { wide_start = eng.now() - 10; });
+  q.submit(job(3, 2, 20), [&](const BatchJob&) { long_start = eng.now() - 20; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(wide_start, 10.0);  // never delayed
+  EXPECT_GE(long_start, 10.0);         // had to wait for the head
+  EXPECT_EQ(q.backfilled(), 0u);
+}
+
+TEST(BatchQueue, SpareCoresAllowLongBackfill) {
+  // Head needs 3 cores; shadow at t=10 frees 4 => spare = 1. A 1-core
+  // long job may backfill into the spare even though it outlives the
+  // shadow time.
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kEasyBackfill);
+  double head_start = -1, long_start = -1;
+  q.submit(job(1, 4, 10));  // occupies everything until t=10
+  q.submit(job(2, 3, 5), [&](const BatchJob&) { head_start = eng.now() - 5; });
+  q.submit(job(3, 1, 50), [&](const BatchJob&) { long_start = eng.now() - 50; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(head_start, 10.0);
+  EXPECT_DOUBLE_EQ(long_start, 10.0);  // started beside the head, in the spare
+  EXPECT_EQ(q.backfilled(), 0u);       // started by the normal loop at t=10
+}
+
+TEST(BatchQueue, SpareShrinksAcrossBackfills) {
+  // 8 cores; blocker holds 6 until t=10; head needs 8 (shadow t=10,
+  // spare 0). Two 1-core 30s jobs fit the 2 idle cores but both outlive
+  // the shadow and spare is 0 — neither may backfill.
+  core::Engine eng;
+  BatchQueue q(eng, 8, BatchPolicy::kEasyBackfill);
+  double head_start = -1;
+  q.submit(job(1, 6, 10));
+  q.submit(job(2, 8, 5), [&](const BatchJob&) { head_start = eng.now() - 5; });
+  q.submit(job(3, 1, 30));
+  q.submit(job(4, 1, 30));
+  eng.run();
+  EXPECT_DOUBLE_EQ(head_start, 10.0);
+  EXPECT_EQ(q.backfilled(), 0u);
+}
+
+TEST(BatchQueue, EasyImprovesUtilizationOnMixedLoad) {
+  auto run_policy = [](BatchPolicy policy) {
+    core::Engine eng(core::QueueKind::kBinaryHeap, 9);
+    BatchQueue q(eng, 16, policy);
+    auto& rng = eng.rng("wl");
+    for (lsds::hosts::JobId i = 1; i <= 120; ++i) {
+      const auto cores = static_cast<unsigned>(rng.uniform_int(1, 16));
+      const double rt = rng.exponential(20.0) + 1.0;
+      eng.schedule_at(rng.uniform(0, 100), [&q, i, cores, rt] {
+        BatchJob j;
+        j.id = i;
+        j.cores = cores;
+        j.runtime_actual = rt;
+        j.runtime_estimate = rt * 1.5;  // padded estimates, as users do
+        q.submit(j);
+      });
+    }
+    eng.run();
+    return std::tuple{eng.now(), q.waits().mean(), q.backfilled()};
+  };
+  const auto [fcfs_end, fcfs_wait, fcfs_bf] = run_policy(BatchPolicy::kFcfs);
+  const auto [easy_end, easy_wait, easy_bf] = run_policy(BatchPolicy::kEasyBackfill);
+  EXPECT_EQ(fcfs_bf, 0u);
+  EXPECT_GT(easy_bf, 0u);
+  EXPECT_LE(easy_end, fcfs_end);    // backfilling never lengthens the schedule here
+  EXPECT_LT(easy_wait, fcfs_wait);  // and cuts queue waits
+}
+
+TEST(BatchQueue, UnderestimatedRuntimesStillComplete) {
+  // Actual runtime far beyond the estimate: reservations go stale but
+  // nothing deadlocks or loses jobs.
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kEasyBackfill);
+  int done = 0;
+  q.submit(job(1, 4, 50, /*estimate=*/5), [&](const BatchJob&) { ++done; });
+  q.submit(job(2, 2, 5), [&](const BatchJob&) { ++done; });
+  q.submit(job(3, 2, 5), [&](const BatchJob&) { ++done; });
+  eng.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(q.queued(), 0u);
+  EXPECT_EQ(q.running(), 0u);
+}
+
+TEST(BatchQueue, UtilizationAccounting) {
+  core::Engine eng;
+  BatchQueue q(eng, 4, BatchPolicy::kFcfs);
+  q.submit(job(1, 2, 10));  // 20 core-seconds on 40 available
+  eng.run();
+  EXPECT_NEAR(q.utilization(10.0), 0.5, 1e-9);
+}

@@ -1,0 +1,250 @@
+// Time-driven and trace-driven DES modes, and the parallel engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/parallel.hpp"
+#include "core/time_driven.hpp"
+#include "core/trace.hpp"
+
+namespace core = lsds::core;
+
+// --- time-driven ------------------------------------------------------
+
+TEST(TimeDriven, CountsEmptyTicks) {
+  core::Engine eng;
+  int fired = 0;
+  eng.schedule_at(2.5, [&] { ++fired; });
+  eng.schedule_at(7.1, [&] { ++fired; });
+  core::TimeDrivenRunner runner(eng, 1.0);
+  const auto res = runner.run(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(res.ticks, 10u);
+  EXPECT_EQ(res.events, 2u);
+  EXPECT_EQ(res.empty_ticks, 8u);  // only ticks 3 and 8 contain events
+}
+
+TEST(TimeDriven, TickHandlersRunEveryTick) {
+  core::Engine eng;
+  std::vector<double> tick_times;
+  core::TimeDrivenRunner runner(eng, 0.5);
+  runner.add_tick_handler([&](double t) { tick_times.push_back(t); });
+  runner.run(2.0);
+  ASSERT_EQ(tick_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(tick_times[0], 0.5);
+  EXPECT_DOUBLE_EQ(tick_times[3], 2.0);
+}
+
+TEST(TimeDriven, PartialFinalTick) {
+  core::Engine eng;
+  core::TimeDrivenRunner runner(eng, 3.0);
+  const auto res = runner.run(7.0);  // ticks at 3, 6, 7(partial)
+  EXPECT_EQ(res.ticks, 3u);
+  EXPECT_DOUBLE_EQ(eng.now(), 7.0);
+}
+
+TEST(TimeDriven, EventDrivenDoesSameWorkWithoutTicks) {
+  // The paper's efficiency claim in miniature: same model, the event-driven
+  // run touches exactly 2 events while the time-driven run steps 1000 ticks.
+  core::Engine ed;
+  int n1 = 0;
+  ed.schedule_at(2.5, [&] { ++n1; });
+  ed.schedule_at(999.5, [&] { ++n1; });
+  ed.run();
+  EXPECT_EQ(ed.stats().executed, 2u);
+
+  core::Engine td;
+  int n2 = 0;
+  td.schedule_at(2.5, [&] { ++n2; });
+  td.schedule_at(999.5, [&] { ++n2; });
+  core::TimeDrivenRunner runner(td, 1.0);
+  const auto res = runner.run(1000.0);
+  EXPECT_EQ(n2, n1);
+  EXPECT_EQ(res.ticks, 1000u);
+  EXPECT_GE(res.empty_ticks, 998u);
+}
+
+// --- trace-driven ---------------------------------------------------------
+
+TEST(Trace, ParseBasic) {
+  const auto events = core::TraceReader::parse_text(
+      "# header comment\n"
+      "0.5 job_arrival site=T1_FR cpu=1500 input=2GB\n"
+      "1.25 transfer_start rate=1Gbps\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 0.5);
+  EXPECT_EQ(events[0].kind, "job_arrival");
+  EXPECT_EQ(*events[0].attr("site"), "T1_FR");
+  EXPECT_DOUBLE_EQ(events[0].num("cpu", 0), 1500.0);
+  EXPECT_DOUBLE_EQ(events[0].size("input", 0), 2e9);
+  EXPECT_DOUBLE_EQ(events[1].rate("rate", 0), 1e9 / 8);
+}
+
+TEST(Trace, MissingAttrsUseDefaults) {
+  const auto events = core::TraceReader::parse_text("1 x\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].attr("nope").has_value());
+  EXPECT_DOUBLE_EQ(events[0].num("nope", 3.5), 3.5);
+}
+
+TEST(Trace, MalformedLinesThrow) {
+  EXPECT_THROW(core::TraceReader::parse_text("notatime x\n"), std::runtime_error);
+  EXPECT_THROW(core::TraceReader::parse_text("1.0\n"), std::runtime_error);
+  EXPECT_THROW(core::TraceReader::parse_text("1.0 kind badattr\n"), std::runtime_error);
+}
+
+TEST(Trace, WriterReaderRoundTrip) {
+  std::ostringstream out;
+  core::TraceWriter w(out);
+  w.write_comment("round trip");
+  core::TraceEvent ev;
+  ev.time = 12.5;
+  ev.kind = "sample";
+  ev.attrs = {{"site", "T0"}, {"util", "0.85"}};
+  w.write(ev);
+  const auto back = core::TraceReader::parse_text(out.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0].time, 12.5);
+  EXPECT_EQ(back[0].kind, "sample");
+  EXPECT_EQ(*back[0].attr("site"), "T0");
+  EXPECT_DOUBLE_EQ(back[0].num("util", 0), 0.85);
+}
+
+TEST(Trace, DriverDispatchesAtTraceTimes) {
+  core::Engine eng;
+  const auto events = core::TraceReader::parse_text(
+      "1 a\n"
+      "2 b\n"
+      "5 c\n");
+  std::vector<std::pair<double, std::string>> seen;
+  core::TraceDriver driver(eng, events, [&](const core::TraceEvent& ev) {
+    seen.emplace_back(eng.now(), ev.kind);
+  });
+  driver.arm();
+  eng.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<double, std::string>{1.0, "a"}));
+  EXPECT_EQ(seen[2], (std::pair<double, std::string>{5.0, "c"}));
+}
+
+TEST(Trace, UnsortedTraceRejected) {
+  core::Engine eng;
+  const auto events = core::TraceReader::parse_text("2 a\n1 b\n");
+  EXPECT_THROW(core::TraceDriver(eng, events, [](const core::TraceEvent&) {}),
+               std::runtime_error);
+}
+
+// --- parallel engine -------------------------------------------------------
+
+namespace {
+
+// PHOLD-like workload: each LP starts `pop` messages; every message hop picks
+// a destination LP from the LP's own RNG and reschedules at
+// now + lookahead + exp(mean). Returns total events executed per LP.
+std::vector<std::uint64_t> run_phold(unsigned num_lps, unsigned num_threads, double t_end,
+                                     std::uint64_t seed) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = num_lps;
+  cfg.num_threads = num_threads;
+  cfg.lookahead = 1.0;
+  cfg.seed = seed;
+  core::ParallelEngine eng(cfg);
+
+  // Hop closure: must be copyable and self-scheduling.
+  std::function<void(unsigned)> hop = [&](unsigned lp_idx) {
+    auto& lp = eng.lp(lp_idx);
+    const auto dst = static_cast<unsigned>(lp.rng().uniform_int(0, num_lps - 1));
+    const double t = lp.now() + cfg.lookahead + lp.rng().exponential(0.5);
+    if (dst == lp_idx) {
+      lp.schedule_at(t, [&hop, dst] { hop(dst); });
+    } else {
+      lp.send(dst, t, [&hop, dst] { hop(dst); });
+    }
+  };
+  for (unsigned i = 0; i < num_lps; ++i) {
+    for (int m = 0; m < 4; ++m) {
+      eng.lp(i).schedule_at(0.0, [&hop, i] { hop(i); });
+    }
+  }
+  eng.run_until(t_end);
+  std::vector<std::uint64_t> out;
+  for (unsigned i = 0; i < num_lps; ++i) out.push_back(eng.lp(i).events_executed());
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelEngine, RunsToHorizon) {
+  const auto counts = run_phold(4, 2, 100.0, 7);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  // 16 messages, one hop per ~1.5s each, 100s horizon: ~1000 events.
+  EXPECT_GT(total, 500u);
+  EXPECT_LT(total, 2000u);
+}
+
+TEST(ParallelEngine, DeterministicAcrossThreadCounts) {
+  // The whole point of the deterministic merge: thread count must not change
+  // the simulation outcome.
+  const auto a = run_phold(4, 1, 50.0, 99);
+  const auto b = run_phold(4, 2, 50.0, 99);
+  const auto c = run_phold(4, 4, 50.0, 99);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(ParallelEngine, SeedChangesOutcome) {
+  const auto a = run_phold(4, 2, 50.0, 1);
+  const auto b = run_phold(4, 2, 50.0, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(ParallelEngine, LookaheadViolationsClampedAndCounted) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 1;
+  cfg.lookahead = 5.0;
+  core::ParallelEngine eng(cfg);
+  double delivered_at = -1;
+  eng.lp(0).schedule_at(0.0, [&] {
+    // Attempt to deliver "immediately": violates the 5s lookahead.
+    eng.lp(0).send(1, 0.1, [&] { delivered_at = eng.lp(1).now(); });
+  });
+  const auto stats = eng.run_until(20.0);
+  EXPECT_EQ(stats.lookahead_violations, 1u);
+  EXPECT_GE(delivered_at, 5.0);  // clamped to the window boundary
+}
+
+TEST(ParallelEngine, StopsWhenDrained) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  core::ParallelEngine eng(cfg);
+  int count = 0;
+  eng.lp(0).schedule_at(0.5, [&] { ++count; });
+  eng.lp(1).schedule_at(1.5, [&] { ++count; });
+  const auto stats = eng.run_until(1e9);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_LT(stats.windows, 10u);  // terminates early, not at the horizon
+}
+
+TEST(ParallelEngine, CrossMessagesCounted) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 1;
+  cfg.lookahead = 1.0;
+  core::ParallelEngine eng(cfg);
+  int received = 0;
+  eng.lp(0).schedule_at(0.0, [&] {
+    for (int i = 0; i < 5; ++i) {
+      eng.lp(0).send(1, 2.0 + i, [&] { ++received; });
+    }
+  });
+  const auto stats = eng.run_until(100.0);
+  EXPECT_EQ(received, 5);
+  EXPECT_EQ(stats.cross_messages, 5u);
+}

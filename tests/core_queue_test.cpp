@@ -1,0 +1,210 @@
+// Pending-event-set tests: each of the five implementations must be a
+// drop-in replacement for the others. The parameterized suites run every
+// structure through the same workloads (the DES contract: timestamps pushed
+// are never below the last popped timestamp) and compare against a
+// reference ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+
+namespace core = lsds::core;
+
+namespace {
+
+struct PopRecord {
+  double time;
+  core::EventId seq;
+};
+
+std::vector<PopRecord> drain(core::EventQueue& q) {
+  std::vector<PopRecord> out;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    out.push_back({ev.time, ev.seq});
+  }
+  return out;
+}
+
+}  // namespace
+
+class QueueTest : public ::testing::TestWithParam<core::QueueKind> {
+ protected:
+  std::unique_ptr<core::EventQueue> make() { return core::make_event_queue(GetParam()); }
+};
+
+TEST_P(QueueTest, EmptyInitially) {
+  auto q = make();
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
+  EXPECT_EQ(q->min_time(), core::kInfTime);
+}
+
+TEST_P(QueueTest, SingleElement) {
+  auto q = make();
+  q->push({3.5, 1, nullptr});
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_DOUBLE_EQ(q->min_time(), 3.5);
+  auto ev = q->pop();
+  EXPECT_DOUBLE_EQ(ev.time, 3.5);
+  EXPECT_EQ(ev.seq, 1u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST_P(QueueTest, PushThenPopAllSorted) {
+  auto q = make();
+  core::RngStream rng(12345);
+  std::vector<PopRecord> expected;
+  for (core::EventId i = 1; i <= 1000; ++i) {
+    const double t = rng.uniform(0, 1e6);
+    q->push({t, i, nullptr});
+    expected.push_back({t, i});
+  }
+  std::sort(expected.begin(), expected.end(), [](const PopRecord& a, const PopRecord& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  const auto got = drain(*q);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].time, expected[i].time) << "at index " << i;
+    EXPECT_EQ(got[i].seq, expected[i].seq) << "at index " << i;
+  }
+}
+
+TEST_P(QueueTest, FifoAmongSimultaneous) {
+  auto q = make();
+  for (core::EventId i = 1; i <= 100; ++i) q->push({7.0, i, nullptr});
+  for (core::EventId i = 1; i <= 100; ++i) {
+    auto ev = q->pop();
+    EXPECT_EQ(ev.seq, i);
+  }
+}
+
+TEST_P(QueueTest, HoldModelNeverDecreases) {
+  // Classic hold model: pop one, push one at popped_time + increment.
+  auto q = make();
+  core::RngStream rng(777);
+  core::EventId seq = 1;
+  for (int i = 0; i < 64; ++i) q->push({rng.exponential(10.0), seq++, nullptr});
+  double last = -1;
+  for (int i = 0; i < 20000; ++i) {
+    auto ev = q->pop();
+    EXPECT_GE(ev.time, last) << "non-monotonic pop at step " << i;
+    last = ev.time;
+    q->push({ev.time + rng.exponential(10.0), seq++, nullptr});
+  }
+  EXPECT_EQ(q->size(), 64u);
+}
+
+TEST_P(QueueTest, HoldModelSkewedIncrements) {
+  // Heavy-tailed (Pareto) increments stress calendar bucket-width tuning
+  // and ladder rung spawning.
+  auto q = make();
+  core::RngStream rng(4242);
+  core::EventId seq = 1;
+  for (int i = 0; i < 128; ++i) q->push({rng.pareto(0.01, 1.2), seq++, nullptr});
+  double last = -1;
+  for (int i = 0; i < 20000; ++i) {
+    auto ev = q->pop();
+    ASSERT_GE(ev.time, last);
+    last = ev.time;
+    q->push({ev.time + rng.pareto(0.01, 1.2), seq++, nullptr});
+  }
+}
+
+TEST_P(QueueTest, GrowShrinkCycles) {
+  auto q = make();
+  core::RngStream rng(9);
+  core::EventId seq = 1;
+  double clock = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    // Grow to 2000 pending, then drain to 10, always pushing >= clock.
+    while (q->size() < 2000) q->push({clock + rng.exponential(1.0), seq++, nullptr});
+    while (q->size() > 10) {
+      auto ev = q->pop();
+      ASSERT_GE(ev.time, clock);
+      clock = ev.time;
+    }
+  }
+}
+
+TEST_P(QueueTest, SimultaneousBurstsMixedWithSpread) {
+  // Many equal timestamps interleaved with spread ones (barrier-like models).
+  auto q = make();
+  core::RngStream rng(31337);
+  core::EventId seq = 1;
+  double clock = 0;
+  for (int round = 0; round < 50; ++round) {
+    const double barrier = clock + 1.0;
+    for (int i = 0; i < 40; ++i) q->push({barrier, seq++, nullptr});
+    for (int i = 0; i < 10; ++i) q->push({clock + rng.uniform(0.0, 1.0), seq++, nullptr});
+    // Drain half.
+    for (int i = 0; i < 25; ++i) {
+      auto ev = q->pop();
+      ASSERT_GE(ev.time, clock);
+      clock = ev.time;
+    }
+  }
+  // Drain rest; monotonicity holds throughout.
+  double last = clock;
+  while (!q->empty()) {
+    auto ev = q->pop();
+    ASSERT_GE(ev.time, last);
+    last = ev.time;
+  }
+}
+
+TEST_P(QueueTest, MinTimeMatchesPop) {
+  auto q = make();
+  core::RngStream rng(5150);
+  core::EventId seq = 1;
+  for (int i = 0; i < 300; ++i) q->push({rng.uniform(0, 100), seq++, nullptr});
+  while (!q->empty()) {
+    const double mt = q->min_time();
+    auto ev = q->pop();
+    EXPECT_DOUBLE_EQ(ev.time, mt);
+  }
+}
+
+TEST_P(QueueTest, CrossImplementationEquivalence) {
+  // Every structure must produce the identical pop sequence as the binary
+  // heap on a randomized hold-model workload.
+  auto q = make();
+  auto ref = core::make_event_queue(core::QueueKind::kBinaryHeap);
+  core::RngStream rng_a(2024), rng_b(2024);
+  core::EventId seq = 1;
+  for (int i = 0; i < 97; ++i) {
+    const double t = rng_a.uniform(0, 50);
+    rng_b.uniform(0, 50);
+    q->push({t, seq, nullptr});
+    ref->push({t, seq, nullptr});
+    ++seq;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    auto a = q->pop();
+    auto b = ref->pop();
+    ASSERT_DOUBLE_EQ(a.time, b.time) << "step " << i;
+    ASSERT_EQ(a.seq, b.seq) << "step " << i;
+    const double nt = a.time + rng_a.exponential(3.0);
+    rng_b.exponential(3.0);
+    q->push({nt, seq, nullptr});
+    ref->push({nt, seq, nullptr});
+    ++seq;
+  }
+}
+
+TEST_P(QueueTest, NameIsStable) {
+  auto q = make();
+  EXPECT_STREQ(q->name(), core::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStructures, QueueTest, ::testing::ValuesIn(core::kAllQueueKinds),
+                         [](const ::testing::TestParamInfo<core::QueueKind>& info) {
+                           std::string n = core::to_string(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });

@@ -1,0 +1,186 @@
+// DAG model and workflow scheduling (HEFT vs round-robin).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "middleware/dag.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace mw = lsds::middleware;
+namespace net = lsds::net;
+
+// --- Dag model ---------------------------------------------------------
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  mw::Dag d;
+  const auto a = d.add_task("a", 1);
+  const auto b = d.add_task("b", 1);
+  const auto c = d.add_task("c", 1);
+  d.add_edge(a, c, 0);
+  d.add_edge(b, c, 0);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), c);
+}
+
+TEST(Dag, CycleRejected) {
+  mw::Dag d;
+  const auto a = d.add_task("a", 1);
+  const auto b = d.add_task("b", 1);
+  d.add_edge(a, b, 0);
+  EXPECT_THROW(d.add_edge(b, a, 0), std::invalid_argument);
+  EXPECT_THROW(d.add_edge(a, a, 0), std::invalid_argument);
+}
+
+TEST(Dag, TransitiveCycleRejected) {
+  mw::Dag d;
+  const auto a = d.add_task("a", 1);
+  const auto b = d.add_task("b", 1);
+  const auto c = d.add_task("c", 1);
+  d.add_edge(a, b, 0);
+  d.add_edge(b, c, 0);
+  EXPECT_THROW(d.add_edge(c, a, 0), std::invalid_argument);
+}
+
+TEST(Dag, GeneratorsProduceExpectedShapes) {
+  const auto chain = mw::Dag::chain(5, 100, 10);
+  EXPECT_EQ(chain.task_count(), 5u);
+  EXPECT_EQ(chain.successors(0).size(), 1u);
+  EXPECT_EQ(chain.predecessors(4).size(), 1u);
+
+  const auto fj = mw::Dag::fork_join(4, 50, 100, 10);
+  EXPECT_EQ(fj.task_count(), 6u);       // fork + join + 4 branches
+  EXPECT_EQ(fj.successors(0).size(), 4u);
+  EXPECT_EQ(fj.predecessors(1).size(), 4u);
+
+  core::RngStream rng(5);
+  const auto rl = mw::Dag::random_layered(4, 5, 0.3, 100, 1e6, rng);
+  EXPECT_EQ(rl.task_count(), 20u);
+  // Every non-first-layer task has at least one predecessor.
+  const auto order = rl.topological_order();
+  EXPECT_EQ(order.size(), 20u);
+  for (mw::TaskId t = 5; t < 20; ++t) EXPECT_GE(rl.predecessors(t).size(), 1u);
+}
+
+// --- DagScheduler ------------------------------------------------------
+
+namespace {
+
+struct DagWorld {
+  core::Engine eng{core::QueueKind::kBinaryHeap, 6};
+  net::Topology topo;
+  std::unique_ptr<net::Routing> routing;
+  std::unique_ptr<net::FlowNetwork> fnet;
+  std::vector<std::unique_ptr<hosts::CpuResource>> cpus;
+  std::vector<mw::DagScheduler::Resource> resources;
+
+  DagWorld(std::vector<double> speeds, double bw) {
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      topo.add_node("host" + std::to_string(i));
+    }
+    const auto hub = topo.add_node("hub", net::NodeKind::kRouter);
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      topo.add_link(static_cast<net::NodeId>(i), hub, bw, 0.001);
+    }
+    routing = std::make_unique<net::Routing>(topo);
+    fnet = std::make_unique<net::FlowNetwork>(eng, *routing);
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      cpus.push_back(std::make_unique<hosts::CpuResource>(
+          eng, "cpu" + std::to_string(i), 1, speeds[i], hosts::SharingPolicy::kSpaceShared));
+      resources.push_back({cpus.back().get(), static_cast<net::NodeId>(i)});
+    }
+  }
+};
+
+}  // namespace
+
+TEST(DagScheduler, ChainMakespanExactWithoutComm) {
+  DagWorld w({100.0}, 1e9);
+  const auto dag = mw::Dag::chain(5, 200, 0);  // 5 x 2s, zero-byte edges
+  mw::DagScheduler sched(w.eng, dag, w.resources, w.fnet.get(), mw::DagAlgorithm::kHeft);
+  sched.start();
+  w.eng.run();
+  EXPECT_DOUBLE_EQ(sched.result().makespan, 10.0);
+  EXPECT_EQ(sched.result().transfers, 0u);
+}
+
+TEST(DagScheduler, ForkJoinParallelizesBranches) {
+  DagWorld w({100.0, 100.0, 100.0, 100.0}, 1e9);
+  // fork(1s) -> 4 branches(10s each) -> join(1s); tiny data.
+  const auto dag = mw::Dag::fork_join(4, 100, 1000, 1e3);
+  mw::DagScheduler sched(w.eng, dag, w.resources, w.fnet.get(), mw::DagAlgorithm::kHeft);
+  sched.start();
+  w.eng.run();
+  // Perfect parallelism would be 1 + 10 + 1 = 12s (+epsilon comm).
+  EXPECT_LT(sched.result().makespan, 13.0);
+  EXPECT_GE(sched.result().makespan, 12.0);
+}
+
+TEST(DagScheduler, AllTasksFinishOnce) {
+  DagWorld w({100.0, 200.0}, 1e8);
+  core::RngStream rng(11);
+  const auto dag = mw::Dag::random_layered(5, 4, 0.4, 500, 1e5, rng);
+  int done = 0;
+  mw::DagScheduler sched(w.eng, dag, w.resources, w.fnet.get(), mw::DagAlgorithm::kHeft);
+  sched.start([&](mw::TaskId) { ++done; });
+  w.eng.run();
+  EXPECT_EQ(done, 20);
+  for (mw::TaskId t = 0; t < 20; ++t) EXPECT_GT(sched.result().task_finish[t], 0.0);
+  // Precedence respected: every task finishes after all predecessors.
+  for (mw::TaskId t = 0; t < 20; ++t) {
+    for (const auto& [p, bytes] : dag.predecessors(t)) {
+      EXPECT_GE(sched.result().task_finish[t], sched.result().task_finish[p]);
+    }
+  }
+}
+
+TEST(DagScheduler, HeftBeatsRoundRobinOnHeterogeneous) {
+  auto run_algo = [](mw::DagAlgorithm algo) {
+    DagWorld w({50.0, 100.0, 800.0}, 1e8);
+    core::RngStream rng(13);
+    const auto dag = mw::Dag::random_layered(6, 5, 0.35, 2000, 1e5, rng);
+    mw::DagScheduler sched(w.eng, dag, w.resources, w.fnet.get(), algo);
+    sched.start();
+    w.eng.run();
+    return sched.result().makespan;
+  };
+  const double heft = run_algo(mw::DagAlgorithm::kHeft);
+  const double rr = run_algo(mw::DagAlgorithm::kRoundRobin);
+  EXPECT_LT(heft, rr * 0.8);
+}
+
+TEST(DagScheduler, CommAwarenessReducesTraffic) {
+  // Heavy edges, equal speeds: HEFT co-locates chains; round-robin ships
+  // every edge across the network.
+  auto run_algo = [](mw::DagAlgorithm algo) {
+    DagWorld w({100.0, 100.0}, 1e6);
+    const auto dag = mw::Dag::chain(8, 100, 5e6);  // 5 MB per edge, 5s to ship
+    mw::DagScheduler sched(w.eng, dag, w.resources, w.fnet.get(), algo);
+    sched.start();
+    w.eng.run();
+    return sched.result();
+  };
+  const auto heft = run_algo(mw::DagAlgorithm::kHeft);
+  const auto rr = run_algo(mw::DagAlgorithm::kRoundRobin);
+  EXPECT_EQ(heft.transfers, 0u);  // whole chain on one machine
+  EXPECT_EQ(rr.transfers, 7u);    // every edge crosses
+  EXPECT_LT(heft.makespan, rr.makespan);
+}
+
+TEST(DagScheduler, NullNetworkMeansFreeComm) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "c", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  std::vector<mw::DagScheduler::Resource> res{{&cpu, net::kInvalidNode}};
+  const auto dag = mw::Dag::chain(3, 100, 1e9);  // huge edges, no network
+  mw::DagScheduler sched(eng, dag, res, nullptr, mw::DagAlgorithm::kHeft);
+  sched.start();
+  eng.run();
+  EXPECT_DOUBLE_EQ(sched.result().makespan, 3.0);
+  EXPECT_EQ(sched.result().transfers, 0u);
+}

@@ -1,0 +1,217 @@
+// Failure injection: CPU outages, link outages, the stochastic injector,
+// and the engine's event-budget watchdog.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "middleware/failures.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace net = lsds::net;
+namespace mw = lsds::middleware;
+
+// --- engine watchdog -------------------------------------------------------
+
+TEST(EventBudget, ThrowsOnZeroDelayLoop) {
+  core::Engine::Config cfg;
+  cfg.max_events = 1000;
+  core::Engine eng(cfg);
+  std::function<void()> spin = [&] { eng.schedule_in(0, spin); };  // model bug
+  eng.schedule_at(0, spin);
+  EXPECT_THROW(eng.run(), core::EventBudgetExceeded);
+  EXPECT_EQ(eng.stats().executed, 1000u);
+}
+
+TEST(EventBudget, HonestModelsUnaffected) {
+  core::Engine::Config cfg;
+  cfg.max_events = 1000;
+  core::Engine eng(cfg);
+  int n = 0;
+  for (int i = 0; i < 500; ++i) eng.schedule_at(i, [&] { ++n; });
+  EXPECT_NO_THROW(eng.run());
+  EXPECT_EQ(n, 500);
+}
+
+TEST(EventBudget, AppliesToRunUntil) {
+  core::Engine::Config cfg;
+  cfg.max_events = 10;
+  core::Engine eng(cfg);
+  std::function<void()> spin = [&] { eng.schedule_in(0, spin); };
+  eng.schedule_at(0, spin);
+  EXPECT_THROW(eng.run_until(1.0), core::EventBudgetExceeded);
+}
+
+// --- CPU outages ------------------------------------------------------
+
+TEST(CpuFailure, OutageStretchesJob) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  double done_at = -1;
+  cpu.submit(1, 1000.0, [&](hosts::JobId) { done_at = eng.now(); });  // 10s nominal
+  // Down from t=3 to t=8: 5 seconds of paused progress.
+  eng.schedule_at(3.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(8.0, [&] { cpu.set_online(true); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 15.0);
+  EXPECT_EQ(cpu.outages(), 1u);
+  EXPECT_TRUE(cpu.online());
+}
+
+TEST(CpuFailure, TimeSharedOutagePausesEveryone) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kTimeShared);
+  std::vector<double> done;
+  cpu.submit(1, 250.0, [&](hosts::JobId) { done.push_back(eng.now()); });
+  cpu.submit(2, 250.0, [&](hosts::JobId) { done.push_back(eng.now()); });
+  // Nominal completion at t=5 (two jobs at 50 ops/s). Outage 1..2.
+  eng.schedule_at(1.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(2.0, [&] { cpu.set_online(true); });
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 6.0);
+  EXPECT_DOUBLE_EQ(done[1], 6.0);
+}
+
+TEST(CpuFailure, SetOnlineIsIdempotent) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  cpu.set_online(false);
+  cpu.set_online(false);
+  EXPECT_EQ(cpu.outages(), 1u);
+  cpu.set_online(true);
+  cpu.set_online(true);
+  EXPECT_EQ(cpu.outages(), 1u);
+}
+
+TEST(CpuFailure, SubmitWhileOfflineQueuesUntilRepair) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  cpu.set_online(false);
+  double done_at = -1;
+  cpu.submit(1, 100.0, [&](hosts::JobId) { done_at = eng.now(); });
+  eng.schedule_at(5.0, [&] { cpu.set_online(true); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 6.0);  // 5s outage + 1s service
+}
+
+// --- link outages ------------------------------------------------------
+
+TEST(LinkFailure, FlowStallsAndResumes) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 1e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  double done_at = -1;
+  fn.start_flow(a, b, 2e6, [&](net::FlowId) { done_at = eng.now(); });  // 2s nominal
+  eng.schedule_at(1.0, [&] { fn.set_link_up(0, false); });
+  eng.schedule_at(4.0, [&] { fn.set_link_up(0, true); });
+  eng.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-6);  // 2s transfer + 3s outage
+  EXPECT_TRUE(fn.link_up(0));
+}
+
+TEST(LinkFailure, FlowStartedDuringOutageWaits) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 1e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  fn.set_link_up(0, false);
+  double done_at = -1;
+  fn.start_flow(a, b, 1e6, [&](net::FlowId) { done_at = eng.now(); });
+  eng.schedule_at(10.0, [&] { fn.set_link_up(0, true); });
+  eng.run();
+  EXPECT_NEAR(done_at, 11.0, 1e-6);
+}
+
+TEST(LinkFailure, ParallelPathUnaffected) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  topo.add_link(a, b, 1e6, 0);
+  topo.add_link(a, c, 1e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  double t_b = -1, t_c = -1;
+  fn.start_flow(a, b, 1e6, [&](net::FlowId) { t_b = eng.now(); });
+  fn.start_flow(a, c, 1e6, [&](net::FlowId) { t_c = eng.now(); });
+  eng.schedule_at(0.5, [&] { fn.set_link_up(0, false); });
+  eng.schedule_at(10.0, [&] { fn.set_link_up(0, true); });
+  eng.run();
+  EXPECT_NEAR(t_c, 1.0, 1e-6);   // untouched path finishes on time
+  EXPECT_NEAR(t_b, 10.5, 1e-6);  // stalled path rides out the outage
+}
+
+// --- stochastic injector ----------------------------------------------------
+
+TEST(FailureInjector, ChaosRunStillCompletesAllWork) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 99);
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 1e6, 0.001);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  hosts::CpuResource cpu(eng, "srv", 2, 100.0, hosts::SharingPolicy::kSpaceShared);
+
+  mw::FailureInjector chaos(eng);
+  chaos.add_cpu(cpu);
+  chaos.add_link(fn, 0);
+  chaos.start(/*mtbf=*/20.0, /*mttr=*/5.0, /*t_end=*/500.0);
+
+  // 30 jobs, each: transfer 0.5 MB then compute 200 ops.
+  int completed = 0;
+  for (int i = 1; i <= 30; ++i) {
+    eng.schedule_at(i * 2.0, [&, i] {
+      fn.start_flow(a, b, 0.5e6, [&, i](net::FlowId) {
+        cpu.submit(static_cast<hosts::JobId>(i), 200.0,
+                   [&](hosts::JobId) { ++completed; });
+      });
+    });
+  }
+  eng.run();
+  EXPECT_EQ(completed, 30);        // outages delay, never lose, work
+  EXPECT_GT(chaos.outages_started(), 0u);
+  EXPECT_EQ(chaos.outages_started(), chaos.repairs_completed());
+  EXPECT_GT(chaos.total_downtime(), 0.0);
+}
+
+TEST(FailureInjector, DeterministicForSeed) {
+  auto run_once = [] {
+    core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+    hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+    mw::FailureInjector chaos(eng);
+    chaos.add_cpu(cpu);
+    chaos.start(10.0, 2.0, 200.0);
+    double done_at = -1;
+    cpu.submit(1, 5000.0, [&](hosts::JobId) { done_at = eng.now(); });
+    eng.run();
+    return std::pair{done_at, chaos.outages_started()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, 50.0);  // nominal 50s plus some downtime
+}
+
+TEST(FailureInjector, NoFailuresBeyondHorizon) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 3);
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  mw::FailureInjector chaos(eng);
+  chaos.add_cpu(cpu);
+  chaos.start(1e-3, 1e-3, /*t_end=*/1.0);  // rapid cycling, but only until t=1
+  eng.run();
+  EXPECT_LE(eng.now(), 1.1);
+  EXPECT_EQ(chaos.outages_started(), chaos.repairs_completed());
+}

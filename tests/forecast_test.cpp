@@ -1,0 +1,163 @@
+// NWS-style load forecasting and its use in Bricks server selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "middleware/forecast.hpp"
+#include "sim/bricks/bricks.hpp"
+
+namespace core = lsds::core;
+namespace mw = lsds::middleware;
+
+// --- individual predictors ---------------------------------------------
+
+TEST(Predictors, LastValue) {
+  mw::LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+}
+
+TEST(Predictors, RunningMean) {
+  mw::RunningMeanPredictor p;
+  p.observe(2.0);
+  p.observe(4.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+}
+
+TEST(Predictors, SlidingWindowForgets) {
+  mw::SlidingWindowPredictor p(2);
+  p.observe(100.0);
+  p.observe(1.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);  // only the last two
+}
+
+TEST(Predictors, ExponentialSmoothingPrimesOnFirst) {
+  mw::ExponentialSmoothingPredictor p(0.5);
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+  p.observe(0.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+// --- NWS meta-predictor ----------------------------------------------------
+
+TEST(Nws, ConstantSeriesIsExact) {
+  mw::NwsForecaster nws;
+  for (int i = 0; i < 50; ++i) nws.observe(5.0);
+  EXPECT_DOUBLE_EQ(nws.predict(), 5.0);
+  EXPECT_NEAR(nws.mean_abs_error(), 0.0, 1e-12);
+}
+
+TEST(Nws, TrendFavorsReactivePredictors) {
+  // Strictly increasing ramp: last-value (error 1/step) beats running-mean
+  // (error grows with history).
+  mw::NwsForecaster nws;
+  for (int i = 0; i < 200; ++i) nws.observe(static_cast<double>(i));
+  EXPECT_STREQ(nws.best_name(), "last-value");
+  EXPECT_NEAR(nws.predict(), 199.0, 1.0);
+}
+
+TEST(Nws, NoisyStationaryFavorsAveragers) {
+  // i.i.d. noise around a constant: averaging predictors beat last-value.
+  core::RngStream rng(12);
+  mw::NwsForecaster nws;
+  for (int i = 0; i < 500; ++i) nws.observe(10.0 + rng.normal(0, 2.0));
+  const std::string best = nws.best_name();
+  EXPECT_NE(best, "last-value");
+  EXPECT_NEAR(nws.predict(), 10.0, 1.5);
+}
+
+TEST(Nws, RegimeChangeAdapts) {
+  // Stationary then ramp: the error horizon lets the winner switch.
+  core::RngStream rng(13);
+  mw::NwsForecaster nws(/*error_horizon=*/30);
+  for (int i = 0; i < 200; ++i) nws.observe(5.0 + rng.normal(0, 0.5));
+  for (int i = 0; i < 200; ++i) nws.observe(5.0 + i * 2.0);
+  EXPECT_STREQ(nws.best_name(), "last-value");
+}
+
+TEST(Nws, MetaErrorBounded) {
+  // The meta-forecast should not be much worse than the best member on a
+  // mixed series.
+  core::RngStream rng(14);
+  mw::NwsForecaster nws;
+  mw::LastValuePredictor last;
+  double last_err = 0;
+  double v = 0;
+  for (int i = 0; i < 400; ++i) {
+    v = 0.95 * v + rng.normal(0, 1.0);  // AR(1)
+    if (i > 0) last_err += std::fabs(last.predict() - v);
+    nws.observe(v);
+    last.observe(v);
+  }
+  EXPECT_LT(nws.mean_abs_error(), (last_err / 399.0) * 1.3);
+}
+
+// --- Bricks multi-server selection ------------------------------------
+
+namespace {
+
+lsds::sim::bricks::Result run_selection(lsds::sim::bricks::ServerSelection sel,
+                                        std::uint64_t seed) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  lsds::sim::bricks::Config cfg;
+  cfg.num_clients = 8;
+  cfg.jobs_per_client = 12;
+  cfg.mean_interarrival = 4.0;  // load the servers
+  cfg.num_servers = 3;
+  cfg.server_cores = 1;
+  cfg.selection = sel;
+  cfg.monitor_period = 2.0;
+  return lsds::sim::bricks::run(eng, cfg);
+}
+
+}  // namespace
+
+TEST(BricksSelection, AllSchemesCompleteAllJobs) {
+  for (auto sel : {lsds::sim::bricks::ServerSelection::kRandom,
+                   lsds::sim::bricks::ServerSelection::kRoundRobin,
+                   lsds::sim::bricks::ServerSelection::kLeastQueue,
+                   lsds::sim::bricks::ServerSelection::kForecast}) {
+    const auto res = run_selection(sel, 21);
+    EXPECT_EQ(res.jobs, 96u) << to_string(sel);
+    std::uint64_t total = 0;
+    for (auto c : res.per_server) total += c;
+    EXPECT_EQ(total, 96u) << to_string(sel);
+  }
+}
+
+TEST(BricksSelection, LoadAwareBeatsRandom) {
+  const auto random = run_selection(lsds::sim::bricks::ServerSelection::kRandom, 22);
+  const auto oracle = run_selection(lsds::sim::bricks::ServerSelection::kLeastQueue, 22);
+  EXPECT_LT(oracle.queue_waits.mean(), random.queue_waits.mean());
+}
+
+TEST(BricksSelection, ForecastApproachesOracle) {
+  // Forecast uses stale samples, so it sits between random and the oracle.
+  const auto random = run_selection(lsds::sim::bricks::ServerSelection::kRandom, 23);
+  const auto oracle = run_selection(lsds::sim::bricks::ServerSelection::kLeastQueue, 23);
+  const auto fc = run_selection(lsds::sim::bricks::ServerSelection::kForecast, 23);
+  EXPECT_LT(fc.queue_waits.mean(), random.queue_waits.mean());
+  EXPECT_GE(fc.queue_waits.mean(), oracle.queue_waits.mean() * 0.8);
+}
+
+TEST(BricksSelection, SingleServerUnaffectedBySelection) {
+  core::Engine a(core::QueueKind::kBinaryHeap, 5);
+  lsds::sim::bricks::Config cfg;
+  cfg.num_clients = 3;
+  cfg.jobs_per_client = 5;
+  cfg.num_servers = 1;
+  cfg.selection = lsds::sim::bricks::ServerSelection::kRandom;
+  const auto r1 = lsds::sim::bricks::run(a, cfg);
+  core::Engine b(core::QueueKind::kBinaryHeap, 5);
+  cfg.selection = lsds::sim::bricks::ServerSelection::kLeastQueue;
+  const auto r2 = lsds::sim::bricks::run(b, cfg);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+}

@@ -1,0 +1,435 @@
+// Middleware: bag schedulers, economy broker, replica catalog, replication
+// strategies, GIS, monitoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "hosts/site.hpp"
+#include "middleware/broker.hpp"
+#include "middleware/gis.hpp"
+#include "middleware/monitor.hpp"
+#include "middleware/replica_catalog.hpp"
+#include "middleware/replication.hpp"
+#include "middleware/scheduler.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace mw = lsds::middleware;
+
+namespace {
+
+std::vector<std::unique_ptr<hosts::CpuResource>> make_pool(core::Engine& eng,
+                                                           std::vector<double> speeds,
+                                                           unsigned cores = 1) {
+  std::vector<std::unique_ptr<hosts::CpuResource>> out;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    out.push_back(std::make_unique<hosts::CpuResource>(
+        eng, "r" + std::to_string(i), cores, speeds[i], hosts::SharingPolicy::kSpaceShared));
+  }
+  return out;
+}
+
+std::vector<hosts::CpuResource*> ptrs(
+    const std::vector<std::unique_ptr<hosts::CpuResource>>& v) {
+  std::vector<hosts::CpuResource*> out;
+  for (const auto& p : v) out.push_back(p.get());
+  return out;
+}
+
+hosts::Job job(hosts::JobId id, double ops) {
+  hosts::Job j;
+  j.id = id;
+  j.ops = ops;
+  return j;
+}
+
+}  // namespace
+
+// --- BagScheduler --------------------------------------------------------
+
+TEST(BagScheduler, AllJobsCompleteUnderEveryHeuristic) {
+  for (auto h : mw::kAllHeuristics) {
+    core::Engine eng;
+    auto pool = make_pool(eng, {100, 200, 400});
+    mw::BagScheduler sched(eng, ptrs(pool), h);
+    for (hosts::JobId i = 1; i <= 20; ++i) sched.submit(job(i, 100.0 * static_cast<double>(i)));
+    sched.run();
+    eng.run();
+    EXPECT_EQ(sched.completed(), 20u) << mw::to_string(h);
+    EXPECT_GT(sched.makespan(), 0) << mw::to_string(h);
+    std::uint64_t total = 0;
+    for (auto c : sched.per_resource_counts()) total += c;
+    EXPECT_EQ(total, 20u) << mw::to_string(h);
+  }
+}
+
+TEST(BagScheduler, RoundRobinIsSpeedBlind) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100, 10000});
+  mw::BagScheduler sched(eng, ptrs(pool), mw::Heuristic::kRoundRobin);
+  for (hosts::JobId i = 1; i <= 10; ++i) sched.submit(job(i, 100));
+  sched.run();
+  eng.run();
+  EXPECT_EQ(sched.per_resource_counts()[0], 5u);
+  EXPECT_EQ(sched.per_resource_counts()[1], 5u);
+}
+
+TEST(BagScheduler, OnlinePullFavorsFastResource) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100, 1000});
+  mw::BagScheduler sched(eng, ptrs(pool), mw::Heuristic::kFifo);
+  for (hosts::JobId i = 1; i <= 22; ++i) sched.submit(job(i, 100));
+  sched.run();
+  eng.run();
+  // The 10x faster resource should take ~10x the tasks.
+  EXPECT_GT(sched.per_resource_counts()[1], sched.per_resource_counts()[0] * 5);
+}
+
+TEST(BagScheduler, MinMinBeatsRoundRobinOnHeterogeneous) {
+  auto run_one = [](mw::Heuristic h) {
+    core::Engine eng;
+    auto pool = make_pool(eng, {100, 500, 2000});
+    mw::BagScheduler sched(eng, ptrs(pool), h);
+    auto& rng = eng.rng("wl");
+    for (hosts::JobId i = 1; i <= 50; ++i) sched.submit(job(i, rng.exponential(1000)));
+    sched.run();
+    eng.run();
+    return sched.makespan();
+  };
+  EXPECT_LT(run_one(mw::Heuristic::kMinMin), run_one(mw::Heuristic::kRoundRobin));
+}
+
+TEST(BagScheduler, StaticHeuristicsDifferInMapping) {
+  auto mapping = [](mw::Heuristic h) {
+    core::Engine eng;
+    auto pool = make_pool(eng, {100, 300, 900});
+    mw::BagScheduler sched(eng, ptrs(pool), h);
+    auto& rng = eng.rng("wl");
+    for (hosts::JobId i = 1; i <= 40; ++i) sched.submit(job(i, rng.exponential(500)));
+    sched.run();
+    eng.run();
+    return sched.per_resource_counts();
+  };
+  // Different static heuristics should generally produce different mappings
+  // on a heterogeneous pool (identical mappings would indicate the
+  // selection rule is being ignored).
+  const auto a = mapping(mw::Heuristic::kMinMin);
+  const auto b = mapping(mw::Heuristic::kMaxMin);
+  const auto c = mapping(mw::Heuristic::kSufferage);
+  EXPECT_TRUE(a != b || b != c);
+}
+
+TEST(BagScheduler, SjfOrdersByLength) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100});
+  mw::BagScheduler sched(eng, ptrs(pool), mw::Heuristic::kSjf);
+  sched.submit(job(1, 3000));
+  sched.submit(job(2, 1000));
+  sched.submit(job(3, 2000));
+  std::vector<hosts::JobId> order;
+  sched.run([&](const hosts::Job& j) { order.push_back(j.id); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<hosts::JobId>{2, 3, 1}));
+}
+
+TEST(BagScheduler, ResponseTimesRecorded) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100});
+  mw::BagScheduler sched(eng, ptrs(pool), mw::Heuristic::kFifo);
+  sched.submit(job(1, 1000));
+  sched.run();
+  eng.run();
+  EXPECT_EQ(sched.response_times().count(), 1u);
+  EXPECT_DOUBLE_EQ(sched.response_times().mean(), 10.0);
+}
+
+// --- EconomyBroker --------------------------------------------------------
+
+TEST(EconomyBroker, CostOptPrefersCheap) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100, 1000}, 4);
+  std::vector<mw::EconomyResource> res{{pool[0].get(), 1.0}, {pool[1].get(), 100.0}};
+  mw::EconomyBroker broker(eng, res, mw::DbcStrategy::kCostOptimization);
+  for (hosts::JobId i = 1; i <= 4; ++i) broker.submit(job(i, 100));
+  const auto plan = broker.run(1e9, 1e9);
+  eng.run();
+  EXPECT_EQ(plan.accepted, 4u);
+  // All jobs fit on the cheap resource's 4 cores within the (infinite)
+  // deadline: cost = 4 jobs * 1s * 1.0.
+  EXPECT_NEAR(broker.actual_cost(), 4.0, 1e-9);
+}
+
+TEST(EconomyBroker, TimeOptPrefersFast) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100, 1000}, 4);
+  std::vector<mw::EconomyResource> res{{pool[0].get(), 1.0}, {pool[1].get(), 100.0}};
+  mw::EconomyBroker broker(eng, res, mw::DbcStrategy::kTimeOptimization);
+  for (hosts::JobId i = 1; i <= 4; ++i) broker.submit(job(i, 100));
+  broker.run(1e9, 1e9);
+  eng.run();
+  EXPECT_NEAR(broker.makespan(), 0.1, 1e-9);  // all on the fast resource
+}
+
+TEST(EconomyBroker, BudgetCapsSpending) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100}, 1);
+  std::vector<mw::EconomyResource> res{{pool[0].get(), 1.0}};  // 1 unit per cpu-sec
+  mw::EconomyBroker broker(eng, res, mw::DbcStrategy::kCostOptimization);
+  for (hosts::JobId i = 1; i <= 10; ++i) broker.submit(job(i, 100));  // 1s = 1 unit each
+  const auto plan = broker.run(3.0, 1e9);
+  eng.run();
+  EXPECT_EQ(plan.accepted, 3u);
+  EXPECT_EQ(plan.rejected, 7u);
+  EXPECT_LE(broker.actual_cost(), 3.0 + 1e-9);
+  EXPECT_EQ(broker.rejected_jobs().size(), 7u);
+}
+
+TEST(EconomyBroker, DeadlineForcesFasterResource) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100, 1000}, 1);
+  std::vector<mw::EconomyResource> res{{pool[0].get(), 1.0}, {pool[1].get(), 10.0}};
+  mw::EconomyBroker broker(eng, res, mw::DbcStrategy::kCostOptimization);
+  broker.submit(job(1, 500));  // 5s on cheap, 0.5s on fast
+  const auto plan = broker.run(1e9, /*deadline=*/1.0);
+  eng.run();
+  EXPECT_EQ(plan.accepted, 1u);
+  EXPECT_LE(broker.makespan(), 1.0);
+  EXPECT_NEAR(broker.actual_cost(), 5.0, 1e-9);  // 0.5s * 10.0
+}
+
+TEST(EconomyBroker, ImpossibleConstraintsReject) {
+  core::Engine eng;
+  auto pool = make_pool(eng, {100}, 1);
+  std::vector<mw::EconomyResource> res{{pool[0].get(), 1.0}};
+  mw::EconomyBroker broker(eng, res, mw::DbcStrategy::kTimeOptimization);
+  broker.submit(job(1, 1000));  // needs 10s
+  const auto plan = broker.run(1e9, /*deadline=*/5.0);
+  eng.run();
+  EXPECT_EQ(plan.accepted, 0u);
+  EXPECT_EQ(plan.rejected, 1u);
+  EXPECT_EQ(broker.completed(), 0u);
+}
+
+// --- ReplicaCatalog --------------------------------------------------------
+
+class CatalogFixture : public ::testing::Test {
+ protected:
+  CatalogFixture() : grid(eng) {
+    for (int i = 0; i < 3; ++i) {
+      hosts::SiteSpec s;
+      s.name = "s" + std::to_string(i);
+      sites.push_back(&grid.add_site(s));
+    }
+    // Line: s0 -(10ms)- s1 -(10ms)- s2
+    grid.topology().add_link(sites[0]->node(), sites[1]->node(), 1e8, 0.01);
+    grid.topology().add_link(sites[1]->node(), sites[2]->node(), 1e8, 0.01);
+    grid.finalize();
+    catalog = std::make_unique<mw::ReplicaCatalog>(grid.routing());
+  }
+  core::Engine eng;
+  hosts::Grid grid;
+  std::vector<hosts::Site*> sites;
+  std::unique_ptr<mw::ReplicaCatalog> catalog;
+};
+
+TEST_F(CatalogFixture, AddRemoveLookup) {
+  catalog->add_replica("f", 0, sites[0]->node());
+  catalog->add_replica("f", 2, sites[2]->node());
+  EXPECT_TRUE(catalog->exists("f"));
+  EXPECT_EQ(catalog->replica_count("f"), 2u);
+  EXPECT_TRUE(catalog->has_replica_at("f", 0));
+  EXPECT_FALSE(catalog->has_replica_at("f", 1));
+  EXPECT_TRUE(catalog->remove_replica("f", 0));
+  EXPECT_FALSE(catalog->remove_replica("f", 0));
+  EXPECT_EQ(catalog->replica_count("f"), 1u);
+  EXPECT_TRUE(catalog->remove_replica("f", 2));
+  EXPECT_FALSE(catalog->exists("f"));
+}
+
+TEST_F(CatalogFixture, BestSourcePicksClosest) {
+  catalog->add_replica("f", 0, sites[0]->node());
+  catalog->add_replica("f", 2, sites[2]->node());
+  // From s1, both are 10ms away: tie broken deterministically (lowest id
+  // encountered first with strictly-less comparison -> site 0).
+  EXPECT_EQ(*catalog->best_source("f", sites[1]->node()), 0u);
+  // From s2, the local replica wins.
+  EXPECT_EQ(*catalog->best_source("f", sites[2]->node()), 2u);
+  // Unknown file.
+  EXPECT_FALSE(catalog->best_source("ghost", sites[0]->node()).has_value());
+}
+
+// --- replication strategies -------------------------------------------------
+
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  ReplicationFixture() : disk(eng, "d", {1000, 1e6, 1e6, 0}) {}
+  core::Engine eng;
+  hosts::StorageDevice disk;
+};
+
+TEST_F(ReplicationFixture, NoneAlwaysDeclines) {
+  mw::NoReplication strat;
+  EXPECT_FALSE(strat.plan_replication(0, disk, "f", 10).has_value());
+}
+
+TEST_F(ReplicationFixture, LruNoEvictionWhenRoom) {
+  mw::LruReplication strat;
+  const auto plan = strat.plan_replication(0, disk, "f", 500);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->evictions.empty());
+}
+
+TEST_F(ReplicationFixture, LruEvictsOldestFirst) {
+  mw::LruReplication strat;
+  eng.schedule_at(1.0, [&] { disk.store("old", 400); });
+  eng.schedule_at(2.0, [&] { disk.store("new", 400); });
+  eng.schedule_at(3.0, [&] {
+    const auto plan = strat.plan_replication(0, disk, "f", 500);
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->evictions.size(), 1u);
+    EXPECT_EQ(plan->evictions[0], "old");
+  });
+  eng.run();
+}
+
+TEST_F(ReplicationFixture, LfuEvictsColdestFirst) {
+  mw::LfuReplication strat;
+  disk.store("hot", 400);
+  disk.store("cold", 400);
+  disk.read("hot", nullptr);
+  disk.read("hot", nullptr);
+  const auto plan = strat.plan_replication(0, disk, "f", 500);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->evictions.size(), 1u);
+  EXPECT_EQ(plan->evictions[0], "cold");
+}
+
+TEST_F(ReplicationFixture, PinnedBlocksEviction) {
+  mw::LruReplication strat;
+  disk.store("pinned", 900, /*pinned=*/true);
+  EXPECT_FALSE(strat.plan_replication(0, disk, "f", 500).has_value());
+}
+
+TEST_F(ReplicationFixture, TooBigForDeviceDeclined) {
+  mw::LruReplication strat;
+  EXPECT_FALSE(strat.plan_replication(0, disk, "f", 2000).has_value());
+}
+
+TEST_F(ReplicationFixture, AlreadyLocalDeclined) {
+  mw::LruReplication strat;
+  disk.store("f", 10);
+  EXPECT_FALSE(strat.plan_replication(0, disk, "f", 10).has_value());
+}
+
+TEST_F(ReplicationFixture, EconomicDeclinesLowValueIncoming) {
+  mw::EconomicReplication strat;
+  disk.store("valuable", 900);
+  // "valuable" accessed often; incoming file never accessed.
+  for (int i = 0; i < 5; ++i) strat.on_access(0, "valuable");
+  EXPECT_FALSE(strat.plan_replication(0, disk, "new", 500).has_value());
+  // Incoming becomes more popular than the stored file: now accepted.
+  for (int i = 0; i < 6; ++i) strat.on_access(0, "new");
+  const auto plan = strat.plan_replication(0, disk, "new", 500);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->evictions.size(), 1u);
+  EXPECT_EQ(plan->evictions[0], "valuable");
+}
+
+TEST_F(ReplicationFixture, EconomicAcceptsWhenFreeSpace) {
+  mw::EconomicReplication strat;
+  const auto plan = strat.plan_replication(0, disk, "new", 500);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->evictions.empty());
+}
+
+TEST_F(ReplicationFixture, EconomicWindowSlides) {
+  mw::EconomicReplication strat(/*window=*/3);
+  strat.on_access(0, "a");
+  strat.on_access(0, "a");
+  strat.on_access(0, "a");
+  EXPECT_EQ(strat.value_of(0, "a"), 3u);
+  strat.on_access(0, "b");
+  strat.on_access(0, "b");
+  strat.on_access(0, "b");
+  EXPECT_EQ(strat.value_of(0, "a"), 0u);  // aged out
+  EXPECT_EQ(strat.value_of(0, "b"), 3u);
+}
+
+TEST(ReplicationFactory, MakesAllPolicies) {
+  for (auto p : mw::kAllReplicationPolicies) {
+    auto s = mw::make_replication_strategy(p);
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name(), mw::to_string(p));
+  }
+}
+
+// --- GIS -----------------------------------------------------------------
+
+TEST(Gis, QueriesAndRanking) {
+  core::Engine eng;
+  hosts::Grid grid(eng);
+  hosts::SiteSpec a;
+  a.name = "a";
+  a.cores = 4;
+  hosts::SiteSpec b;
+  b.name = "b";
+  b.cores = 2;
+  auto& sa = grid.add_site(a);
+  auto& sb = grid.add_site(b);
+
+  mw::GridInformationService gis;
+  gis.register_site(sa, 2.0, {"tier1"});
+  gis.register_site(sb, 1.0, {"tier2"});
+  EXPECT_EQ(gis.size(), 2u);
+  EXPECT_EQ(gis.cheapest(), &sb);
+  EXPECT_EQ(gis.by_tag("tier1").size(), 1u);
+  EXPECT_EQ(gis.by_tag("tier3").size(), 0u);
+
+  // Load up site a: least-loaded flips to b.
+  sa.cpu().submit(1, 1e6, nullptr);
+  sa.cpu().submit(2, 1e6, nullptr);
+  EXPECT_EQ(gis.least_loaded(), &sb);
+
+  EXPECT_TRUE(gis.find(sa.id()).has_value());
+  EXPECT_TRUE(gis.unregister_site(sa.id()));
+  EXPECT_FALSE(gis.unregister_site(sa.id()));
+  EXPECT_EQ(gis.size(), 1u);
+}
+
+// --- monitoring --------------------------------------------------------
+
+TEST(Monitoring, SamplesPeriodically) {
+  core::Engine eng;
+  hosts::Grid grid(eng);
+  hosts::SiteSpec s;
+  s.name = "site";
+  auto& site = grid.add_site(s);
+  mw::MonitoringService mon(eng, 1.0);
+  mon.watch(site);
+  mon.start(5.0);
+  site.cpu().submit(1, 2500, nullptr);  // busy until t=2.5
+  eng.run();
+  ASSERT_EQ(mon.samples().size(), 5u);
+  EXPECT_EQ(*mon.samples()[0].attr("site"), "site");
+  EXPECT_DOUBLE_EQ(mon.samples()[0].num("running", -1), 1.0);
+  EXPECT_DOUBLE_EQ(mon.samples()[3].num("running", -1), 0.0);
+}
+
+TEST(Monitoring, TraceRoundTrip) {
+  core::Engine eng;
+  hosts::Grid grid(eng);
+  hosts::SiteSpec s;
+  s.name = "site";
+  auto& site = grid.add_site(s);
+  mw::MonitoringService mon(eng, 2.0);
+  mon.watch(site);
+  mon.start(4.0);
+  eng.run();
+  const auto text = mon.to_trace_text();
+  const auto parsed = core::TraceReader::parse_text(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].kind, "monitor");
+  EXPECT_DOUBLE_EQ(parsed[1].time, 4.0);
+}

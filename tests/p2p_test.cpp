@@ -1,0 +1,382 @@
+// P2P overlays: Chord DHT correctness and scaling, Gnutella flooding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/engine.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "p2p/chord.hpp"
+#include "p2p/gnutella.hpp"
+#include "stats/summary.hpp"
+
+namespace core = lsds::core;
+namespace net = lsds::net;
+namespace p2p = lsds::p2p;
+
+namespace {
+
+struct P2pWorld {
+  core::Engine eng{core::QueueKind::kBinaryHeap, 5};
+  net::Topology topo;
+  std::unique_ptr<net::Routing> routing;
+
+  explicit P2pWorld(std::size_t n) {
+    core::RngStream rng(17);
+    topo = net::Topology::random_connected(n, n / 2, 1e8, 0.005, rng);
+    routing = std::make_unique<net::Routing>(topo);
+  }
+};
+
+}  // namespace
+
+// --- Chord ----------------------------------------------------------------
+
+TEST(Chord, SinglePeerOwnsEverything) {
+  P2pWorld w(2);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  chord.add_peer(0);
+  chord.build();
+  EXPECT_EQ(chord.responsible_peer(0), 0u);
+  EXPECT_EQ(chord.responsible_peer(12345), 0u);
+  bool done = false;
+  chord.lookup(0, 999, [&](const p2p::ChordNetwork::LookupResult& r) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.home, 0u);
+    done = true;
+  });
+  w.eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Chord, LookupFindsResponsiblePeer) {
+  P2pWorld w(64);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 64; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  chord.build();
+  auto& rng = w.eng.rng("keys");
+  int checked = 0;
+  for (int q = 0; q < 200; ++q) {
+    const auto key = static_cast<p2p::ChordId>(rng.uniform_int(0, (1ll << 32) - 1));
+    const auto origin = static_cast<std::size_t>(rng.uniform_int(0, 63));
+    const auto expect = chord.responsible_peer(key);
+    chord.lookup(origin, key, [&, expect](const p2p::ChordNetwork::LookupResult& r) {
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(r.home, expect);
+      ++checked;
+    });
+  }
+  w.eng.run();
+  EXPECT_EQ(checked, 200);
+}
+
+TEST(Chord, HopsAreLogarithmic) {
+  auto mean_hops = [](std::size_t n) {
+    P2pWorld w(n);
+    p2p::ChordNetwork chord(w.eng, *w.routing);
+    for (std::size_t i = 0; i < n; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+    chord.build();
+    auto& rng = w.eng.rng("keys");
+    lsds::stats::Accumulator hops;
+    for (int q = 0; q < 300; ++q) {
+      const auto key = static_cast<p2p::ChordId>(rng.uniform_int(0, (1ll << 32) - 1));
+      const auto origin =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      chord.lookup(origin, key, [&](const p2p::ChordNetwork::LookupResult& r) {
+        ASSERT_TRUE(r.ok);
+        hops.add(static_cast<double>(r.hops));
+      });
+    }
+    w.eng.run();
+    return hops.mean();
+  };
+  const double h64 = mean_hops(64);
+  const double h512 = mean_hops(512);
+  // Chord theory: ~log2(n)/2 hops. 64 -> ~3, 512 -> ~4.5. Sub-linear growth:
+  // 8x peers must cost far less than 8x hops.
+  EXPECT_LT(h512, h64 * 2.5);
+  EXPECT_GT(h512, h64);  // but it does grow
+  EXPECT_NEAR(h64, std::log2(64.0) / 2, 1.5);
+  EXPECT_NEAR(h512, std::log2(512.0) / 2, 1.5);
+}
+
+TEST(Chord, LatencyAccumulatesOverHops) {
+  P2pWorld w(64);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 64; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  chord.build();
+  bool saw_multi_hop = false;
+  auto& rng = w.eng.rng("keys");
+  for (int q = 0; q < 50; ++q) {
+    const auto key = static_cast<p2p::ChordId>(rng.uniform_int(0, (1ll << 32) - 1));
+    chord.lookup(0, key, [&](const p2p::ChordNetwork::LookupResult& r) {
+      if (r.hops >= 2) {
+        saw_multi_hop = true;
+        EXPECT_GT(r.latency, 0.005);  // at least one overlay hop of latency
+      }
+    });
+  }
+  w.eng.run();
+  EXPECT_TRUE(saw_multi_hop);
+}
+
+TEST(Chord, ChurnRebuildKeepsCorrectness) {
+  P2pWorld w(32);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  std::vector<p2p::PeerIndex> peers;
+  for (std::size_t i = 0; i < 32; ++i) peers.push_back(chord.add_peer(static_cast<net::NodeId>(i)));
+  chord.build();
+  // Remove a quarter of the peers, rebuild, verify lookups still resolve.
+  for (std::size_t i = 0; i < 8; ++i) chord.remove_peer(peers[i * 4]);
+  chord.build();
+  EXPECT_EQ(chord.size(), 24u);
+  auto& rng = w.eng.rng("keys");
+  int checked = 0;
+  for (int q = 0; q < 100; ++q) {
+    const auto key = static_cast<p2p::ChordId>(rng.uniform_int(0, (1ll << 32) - 1));
+    const auto expect = chord.responsible_peer(key);
+    chord.lookup(peers[1], key, [&, expect](const p2p::ChordNetwork::LookupResult& r) {
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(r.home, expect);
+      ++checked;
+    });
+  }
+  w.eng.run();
+  EXPECT_EQ(checked, 100);
+}
+
+// --- protocol mode: stabilization under churn -------------------------------
+
+namespace {
+
+// Fraction of 100 random lookups that resolve to the correct live owner.
+double lookup_correctness(P2pWorld& w, p2p::ChordNetwork& chord, std::size_t n_peers,
+                          double horizon) {
+  auto& rng = w.eng.rng("churn.keys");
+  int ok = 0, total = 0;
+  for (int q = 0; q < 100; ++q) {
+    const auto key = static_cast<p2p::ChordId>(rng.uniform_int(0, (1ll << 32) - 1));
+    p2p::PeerIndex origin;
+    do {
+      origin = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_peers) - 1));
+    } while (chord.id_of(origin) == 0 && false);
+    const auto expect = chord.responsible_peer(key);
+    ++total;
+    chord.lookup(origin, key, [&, expect](const p2p::ChordNetwork::LookupResult& r) {
+      if (r.ok && r.home == expect) ++ok;
+    });
+  }
+  w.eng.run_until(horizon);
+  return static_cast<double>(ok) / total;
+}
+
+}  // namespace
+
+TEST(ChordProtocol, StabilizationHealsChurn) {
+  P2pWorld w(64);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  std::vector<p2p::PeerIndex> peers;
+  for (std::size_t i = 0; i < 64; ++i) {
+    peers.push_back(chord.add_peer(static_cast<net::NodeId>(i)));
+  }
+  chord.build();
+  chord.enable_protocol_mode(/*stabilize_period=*/0.5, /*horizon=*/300.0);
+
+  // Crash 16 peers (no rebuild). Lookups start from surviving peers.
+  auto& rng = w.eng.rng("churn.kill");
+  std::set<p2p::PeerIndex> dead;
+  while (dead.size() < 16) {
+    const auto victim =
+        static_cast<p2p::PeerIndex>(rng.uniform_int(1, 63));  // keep peer 0 alive
+    if (dead.insert(victim).second) chord.fail_peer(victim);
+  }
+
+  // Immediately after the crash, some lookups land on stale owners.
+  auto survivors_lookup = [&](double until) {
+    auto& krng = w.eng.rng("churn.keys2");
+    int ok = 0;
+    for (int q = 0; q < 150; ++q) {
+      const auto key = static_cast<p2p::ChordId>(krng.uniform_int(0, (1ll << 32) - 1));
+      const auto expect = chord.responsible_peer(key);
+      chord.lookup(0, key, [&, expect](const p2p::ChordNetwork::LookupResult& r) {
+        if (r.ok && r.home == expect) ++ok;
+      });
+    }
+    w.eng.run_until(until);
+    return ok / 150.0;
+  };
+
+  const double fresh = survivors_lookup(w.eng.now() + 2.0);
+  // Let stabilization + fix-fingers run for many rounds.
+  w.eng.run_until(150.0);
+  const double healed = survivors_lookup(w.eng.now() + 10.0);
+
+  EXPECT_LT(fresh, 0.95);    // churn visibly broke routing
+  EXPECT_GT(healed, 0.97);   // maintenance repaired it
+  EXPECT_GT(chord.stabilize_rounds(), 1000u);
+}
+
+TEST(ChordProtocol, JoinIntegratesNewPeer) {
+  P2pWorld w(40);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 32; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  chord.build();
+  chord.enable_protocol_mode(0.5, 400.0);
+
+  // Eight protocol joins while the network runs.
+  for (std::size_t j = 0; j < 8; ++j) {
+    w.eng.schedule_at(5.0 + 2.0 * static_cast<double>(j), [&chord, j] {
+      chord.join_via(static_cast<net::NodeId>(32 + j), /*bootstrap=*/j % 4);
+    });
+  }
+  w.eng.run_until(200.0);
+  EXPECT_EQ(chord.size(), 40u);
+
+  // After integration, lookups from an old peer route correctly, including
+  // keys now owned by the newcomers.
+  const double correct = lookup_correctness(w, chord, 40, 250.0);
+  EXPECT_GT(correct, 0.97);
+}
+
+TEST(ChordProtocol, MaintenanceStopsAtHorizon) {
+  P2pWorld w(8);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 8; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  chord.build();
+  chord.enable_protocol_mode(0.5, 20.0);
+  w.eng.run();  // must terminate: loops end at the horizon
+  EXPECT_GE(w.eng.now(), 20.0);
+  EXPECT_LT(w.eng.now(), 30.0);
+}
+
+TEST(Chord, HashKeyDeterministic) {
+  P2pWorld w(2);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  EXPECT_EQ(chord.hash_key("a"), chord.hash_key("a"));
+  EXPECT_NE(chord.hash_key("a"), chord.hash_key("b"));
+}
+
+// --- Gnutella ------------------------------------------------------------
+
+TEST(Gnutella, FindsLocalObjectWithZeroMessages) {
+  P2pWorld w(16);
+  p2p::GnutellaNetwork g(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 16; ++i) g.add_peer(static_cast<net::NodeId>(i));
+  auto& rng = w.eng.rng("overlay");
+  g.build_random_overlay(3, rng);
+  g.place_object(5, "obj");
+  bool done = false;
+  g.search(5, "obj", 4, [&](const p2p::GnutellaNetwork::SearchResult& r) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.holder, 5u);
+    EXPECT_EQ(r.hops, 0u);
+    done = true;
+  });
+  w.eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Gnutella, TtlLimitsReach) {
+  // Ring-like sparse overlay: an object far away is unreachable with a
+  // small TTL but reachable with a large one.
+  core::Engine eng;
+  net::Topology topo = net::Topology::ring(20, 1e8, 0.001);
+  net::Routing routing(topo);
+  p2p::GnutellaNetwork g(eng, routing);
+  for (std::size_t i = 0; i < 20; ++i) g.add_peer(static_cast<net::NodeId>(i));
+  // Manual ring overlay via a degree-1 trick is impossible with the random
+  // builder, so use degree 2 random and rely on statistics instead:
+  auto& rng = eng.rng("overlay");
+  g.build_random_overlay(2, rng);
+  g.place_object(10, "needle");
+  bool found_small = false, found_big = false;
+  g.search(0, "needle", 1, [&](const auto& r) { found_small = r.found; });
+  g.search(0, "needle", 20, [&](const auto& r) { found_big = r.found; });
+  eng.run();
+  EXPECT_TRUE(found_big);        // full flood over a connected overlay finds it
+  EXPECT_FALSE(found_small && !found_big);  // sanity: small <= big reach
+}
+
+TEST(Gnutella, MessagesBoundedByEdgeCount) {
+  P2pWorld w(30);
+  p2p::GnutellaNetwork g(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 30; ++i) g.add_peer(static_cast<net::NodeId>(i));
+  auto& rng = w.eng.rng("overlay");
+  g.build_random_overlay(4, rng);
+  std::size_t total_degree = 0;
+  for (std::size_t i = 0; i < 30; ++i) total_degree += g.degree_of(i);
+  std::size_t messages = 0;
+  g.search(0, "ghost", 30, [&](const auto& r) {
+    EXPECT_FALSE(r.found);
+    messages = r.messages;
+  });
+  w.eng.run();
+  // Full flood sends at most one message per directed edge.
+  EXPECT_LE(messages, total_degree);
+  EXPECT_GT(messages, 25u);  // and actually covers the network
+}
+
+TEST(Gnutella, FloodCostExceedsChordCost) {
+  // The headline structured-vs-unstructured comparison, as a test.
+  P2pWorld w(128);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  p2p::GnutellaNetwork flood(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 128; ++i) {
+    chord.add_peer(static_cast<net::NodeId>(i));
+    flood.add_peer(static_cast<net::NodeId>(i));
+  }
+  chord.build();
+  auto& rng = w.eng.rng("overlay");
+  flood.build_random_overlay(4, rng);
+
+  lsds::stats::Accumulator chord_msgs, flood_msgs;
+  for (int q = 0; q < 40; ++q) {
+    const auto target = static_cast<std::size_t>(rng.uniform_int(0, 127));
+    const std::string obj = "o" + std::to_string(q);
+    flood.place_object(target, obj);
+    const std::uint64_t before = chord.messages_sent();
+    chord.lookup(0, chord.hash_key(obj), [&, before](const auto& r) {
+      ASSERT_TRUE(r.ok);
+    });
+    flood.search(0, obj, 6, [&](const auto& r) {
+      flood_msgs.add(static_cast<double>(r.messages));
+    });
+    (void)before;
+  }
+  w.eng.run();
+  // Chord: total messages / lookups ~ hops+1; flooding floods hundreds.
+  const double chord_per_lookup = static_cast<double>(chord.messages_sent()) / 40.0;
+  EXPECT_LT(chord_per_lookup * 10, flood_msgs.mean());
+}
+
+// --- PlotWriter (visual output axis) ---------------------------------------
+
+#include "stats/gnuplot.hpp"
+
+TEST(PlotWriter, EmitsDatAndGp) {
+  lsds::stats::PlotWriter pw("/tmp/lsds_plot_test", "test plot");
+  pw.set_axis_labels("n", "cost");
+  pw.set_logscale(true, false);
+  pw.add_series({"s1", {1, 2, 4}, {10, 20, 40}});
+  pw.add_series({"s2", {1, 2}, {5, 9}});
+  const auto dat = pw.dat_contents();
+  EXPECT_NE(dat.find("# series 0: s1"), std::string::npos);
+  EXPECT_NE(dat.find("4 40"), std::string::npos);
+  const auto gp = pw.gp_contents();
+  EXPECT_NE(gp.find("set logscale x"), std::string::npos);
+  EXPECT_EQ(gp.find("set logscale y"), std::string::npos);
+  EXPECT_NE(gp.find("index 1"), std::string::npos);
+  EXPECT_NE(gp.find("lsds_plot_test.dat"), std::string::npos);
+  EXPECT_TRUE(pw.write());
+}
+
+TEST(PlotWriter, TimeSeriesAdapter) {
+  lsds::stats::TimeSeries ts;
+  ts.record(0, 1);
+  ts.record(5, 2);
+  lsds::stats::PlotWriter pw("/tmp/lsds_plot_test2", "ts");
+  pw.add_time_series("backlog", ts);
+  EXPECT_NE(pw.dat_contents().find("5 2"), std::string::npos);
+}

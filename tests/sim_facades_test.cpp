@@ -1,0 +1,430 @@
+// Integration tests: the six simulator facades run whole scenarios
+// deterministically and reproduce their papers' qualitative behaviors.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sim/bricks/bricks.hpp"
+#include "sim/chicsim/chicsim.hpp"
+#include "sim/gridsim/gridsim.hpp"
+#include "sim/monarc/monarc.hpp"
+#include "sim/optorsim/optorsim.hpp"
+#include "sim/simg/simg.hpp"
+#include "util/units.hpp"
+
+namespace core = lsds::core;
+namespace u = lsds::util;
+using core::Engine;
+
+// --- Bricks ---------------------------------------------------------------
+
+TEST(Bricks, CentralModelCompletesAllJobs) {
+  Engine eng(core::QueueKind::kBinaryHeap, 11);
+  lsds::sim::bricks::Config cfg;
+  cfg.num_clients = 4;
+  cfg.jobs_per_client = 10;
+  const auto res = lsds::sim::bricks::run(eng, cfg);
+  EXPECT_EQ(res.jobs, 40u);
+  EXPECT_GT(res.makespan, 0);
+  EXPECT_EQ(res.response_times.count(), 40u);
+  EXPECT_GT(res.server_utilization, 0);
+  EXPECT_LE(res.server_utilization, 1.0 + 1e-9);
+  EXPECT_NEAR(res.network_bytes, 40 * (cfg.input_bytes + cfg.output_bytes), 1.0);
+}
+
+TEST(Bricks, DeterministicForSeed) {
+  lsds::sim::bricks::Config cfg;
+  cfg.num_clients = 3;
+  cfg.jobs_per_client = 5;
+  Engine a(core::QueueKind::kBinaryHeap, 5), b(core::QueueKind::kBinaryHeap, 5);
+  const auto ra = lsds::sim::bricks::run(a, cfg);
+  const auto rb = lsds::sim::bricks::run(b, cfg);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+  EXPECT_DOUBLE_EQ(ra.response_times.mean(), rb.response_times.mean());
+}
+
+TEST(Bricks, MoreServersReduceQueueing) {
+  lsds::sim::bricks::Config slow;
+  slow.num_clients = 6;
+  slow.jobs_per_client = 10;
+  slow.mean_interarrival = 4.0;  // load the server
+  slow.server_cores = 1;
+  lsds::sim::bricks::Config fast = slow;
+  fast.server_cores = 8;
+  Engine a(core::QueueKind::kBinaryHeap, 7), b(core::QueueKind::kBinaryHeap, 7);
+  const auto r_slow = lsds::sim::bricks::run(a, slow);
+  const auto r_fast = lsds::sim::bricks::run(b, fast);
+  EXPECT_GT(r_slow.queue_waits.mean(), r_fast.queue_waits.mean());
+  EXPECT_GT(r_slow.response_times.mean(), r_fast.response_times.mean());
+}
+
+// --- OptorSim --------------------------------------------------------
+
+namespace {
+
+lsds::sim::optorsim::Config optor_config() {
+  lsds::sim::optorsim::Config cfg;
+  cfg.num_sites = 4;
+  cfg.workload.num_jobs = 120;
+  cfg.workload.num_files = 40;
+  cfg.workload.files_per_job = 2;
+  cfg.workload.mean_interarrival = 2.0;
+  cfg.workload.file_bytes = {lsds::apps::SizeDist::kConstant, 50e6, 0};
+  cfg.cache_fraction = 0.25;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(OptorSim, AllJobsComplete) {
+  Engine eng(core::QueueKind::kBinaryHeap, 21);
+  auto cfg = optor_config();
+  const auto res = lsds::sim::optorsim::run(eng, cfg);
+  EXPECT_EQ(res.jobs, 120u);
+  EXPECT_EQ(res.local_reads + res.remote_reads, 240u);  // 2 files per job
+  EXPECT_GT(res.makespan, 0);
+}
+
+TEST(OptorSim, NoReplicationNeverReplicates) {
+  Engine eng(core::QueueKind::kBinaryHeap, 21);
+  auto cfg = optor_config();
+  cfg.policy = lsds::middleware::ReplicationPolicy::kNone;
+  const auto res = lsds::sim::optorsim::run(eng, cfg);
+  EXPECT_EQ(res.replications, 0u);
+  EXPECT_EQ(res.local_reads, 0u);  // nothing is ever cached
+}
+
+TEST(OptorSim, LruCachingImprovesLocalityAndJobTimes) {
+  auto cfg = optor_config();
+  cfg.policy = lsds::middleware::ReplicationPolicy::kNone;
+  Engine a(core::QueueKind::kBinaryHeap, 21);
+  const auto none = lsds::sim::optorsim::run(a, cfg);
+
+  cfg.policy = lsds::middleware::ReplicationPolicy::kLru;
+  Engine b(core::QueueKind::kBinaryHeap, 21);
+  const auto lru = lsds::sim::optorsim::run(b, cfg);
+
+  EXPECT_GT(lru.replications, 0u);
+  EXPECT_GT(lru.local_hit_ratio(), none.local_hit_ratio());
+  EXPECT_LT(lru.mean_job_time(), none.mean_job_time());
+  EXPECT_LT(lru.network_bytes, none.network_bytes);
+}
+
+TEST(OptorSim, CacheNeverExceedsCapacity) {
+  Engine eng(core::QueueKind::kBinaryHeap, 33);
+  auto cfg = optor_config();
+  cfg.cache_fraction = 0.1;  // tight caches force constant eviction
+  const auto res = lsds::sim::optorsim::run(eng, cfg);
+  EXPECT_EQ(res.jobs, 120u);
+  EXPECT_GT(res.evictions, 0u);
+}
+
+TEST(OptorSim, EconomicDeclinesColdFiles) {
+  auto cfg = optor_config();
+  cfg.cache_fraction = 0.1;
+  cfg.workload.zipf_exponent = 1.2;  // strong skew: hot files exist
+  Engine a(core::QueueKind::kBinaryHeap, 9);
+  cfg.policy = lsds::middleware::ReplicationPolicy::kLru;
+  const auto lru = lsds::sim::optorsim::run(a, cfg);
+  Engine b(core::QueueKind::kBinaryHeap, 9);
+  cfg.policy = lsds::middleware::ReplicationPolicy::kEconomic;
+  const auto eco = lsds::sim::optorsim::run(b, cfg);
+  // Economic replicates more selectively than always-replicate LRU.
+  EXPECT_LT(eco.replications, lru.replications);
+  EXPECT_GT(eco.replications, 0u);
+}
+
+// --- SimGrid -----------------------------------------------------------
+
+TEST(SimG, BothModesCompleteAllTasks) {
+  for (auto mode :
+       {lsds::sim::simg::SchedulingMode::kCompileTime, lsds::sim::simg::SchedulingMode::kRuntime}) {
+    Engine eng(core::QueueKind::kBinaryHeap, 3);
+    lsds::sim::simg::Config cfg;
+    cfg.mode = mode;
+    cfg.num_tasks = 40;
+    const auto res = lsds::sim::simg::run(eng, cfg);
+    EXPECT_EQ(res.tasks, 40u) << to_string(mode);
+    EXPECT_GT(res.makespan, 0) << to_string(mode);
+    std::uint64_t total = 0;
+    for (auto c : res.per_worker) total += c;
+    EXPECT_EQ(total, 40u);
+  }
+}
+
+TEST(SimG, RuntimeAdaptsBetterUnderEstimateError) {
+  // With very noisy estimates, self-scheduling (runtime) should beat the
+  // static compile-time plan; with perfect estimates they should be close.
+  auto makespan = [](lsds::sim::simg::SchedulingMode mode, double err, std::uint64_t seed) {
+    Engine eng(core::QueueKind::kBinaryHeap, seed);
+    lsds::sim::simg::Config cfg;
+    cfg.mode = mode;
+    cfg.num_tasks = 100;
+    cfg.estimate_error = err;
+    return lsds::sim::simg::run(eng, cfg).makespan;
+  };
+  double rt_wins = 0, trials = 5;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    const double rt = makespan(lsds::sim::simg::SchedulingMode::kRuntime, 0.9, s);
+    const double ct = makespan(lsds::sim::simg::SchedulingMode::kCompileTime, 0.9, s);
+    if (rt <= ct) rt_wins += 1;
+  }
+  EXPECT_GE(rt_wins / trials, 0.6);
+}
+
+TEST(SimG, FasterWorkersDoMoreTasks) {
+  Engine eng(core::QueueKind::kBinaryHeap, 8);
+  lsds::sim::simg::Config cfg;
+  cfg.mode = lsds::sim::simg::SchedulingMode::kRuntime;
+  cfg.num_tasks = 80;
+  cfg.speed_min = 200;
+  cfg.speed_max = 2000;
+  const auto res = lsds::sim::simg::run(eng, cfg);
+  // Worker 0 is the fastest (speed_max), the last is the slowest.
+  EXPECT_GT(res.per_worker.front(), res.per_worker.back());
+}
+
+// --- GridSim ----------------------------------------------------------
+
+TEST(GridSim, CostOptCheaperTimeOptFaster) {
+  lsds::sim::gridsim::Config cfg;
+  cfg.num_jobs = 40;
+  cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
+  Engine a(core::QueueKind::kBinaryHeap, 2);
+  const auto cost_opt = lsds::sim::gridsim::run(a, cfg);
+  cfg.strategy = lsds::middleware::DbcStrategy::kTimeOptimization;
+  Engine b(core::QueueKind::kBinaryHeap, 2);
+  const auto time_opt = lsds::sim::gridsim::run(b, cfg);
+
+  EXPECT_EQ(cost_opt.completed, 40u);
+  EXPECT_EQ(time_opt.completed, 40u);
+  EXPECT_LT(cost_opt.cost, time_opt.cost);
+  EXPECT_LT(time_opt.makespan, cost_opt.makespan);
+}
+
+TEST(GridSim, TightBudgetRejectsJobs) {
+  lsds::sim::gridsim::Config cfg;
+  cfg.num_jobs = 30;
+  cfg.budget = 20.0;  // far below unconstrained spend
+  cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
+  Engine eng(core::QueueKind::kBinaryHeap, 4);
+  const auto res = lsds::sim::gridsim::run(eng, cfg);
+  EXPECT_GT(res.rejected, 0u);
+  EXPECT_LE(res.cost, cfg.budget + 1e-9);
+  EXPECT_EQ(res.completed, res.accepted);
+}
+
+TEST(GridSim, DeadlinePushesCostUp) {
+  lsds::sim::gridsim::Config cfg;
+  cfg.num_jobs = 30;
+  cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
+  Engine a(core::QueueKind::kBinaryHeap, 6);
+  const auto loose = lsds::sim::gridsim::run(a, cfg);
+  cfg.deadline = loose.makespan / 3.0;  // force faster placement
+  Engine b(core::QueueKind::kBinaryHeap, 6);
+  const auto tight = lsds::sim::gridsim::run(b, cfg);
+  EXPECT_GE(tight.cost, loose.cost);
+  EXPECT_TRUE(tight.deadline_met);
+}
+
+// --- ChicagoSim -----------------------------------------------------------
+
+namespace {
+
+lsds::sim::chicsim::Config chic_config() {
+  lsds::sim::chicsim::Config cfg;
+  cfg.num_sites = 5;
+  cfg.workload.num_jobs = 150;
+  cfg.workload.num_files = 30;
+  cfg.workload.files_per_job = 1;
+  cfg.workload.mean_interarrival = 1.0;
+  cfg.workload.file_bytes = {lsds::apps::SizeDist::kConstant, 40e6, 0};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ChicSim, AllPolicyCombinationsComplete) {
+  for (auto jp : lsds::sim::chicsim::kAllJobPolicies) {
+    for (auto dp : lsds::sim::chicsim::kAllDataPolicies) {
+      Engine eng(core::QueueKind::kBinaryHeap, 17);
+      auto cfg = chic_config();
+      cfg.job_policy = jp;
+      cfg.data_policy = dp;
+      const auto res = lsds::sim::chicsim::run(eng, cfg);
+      EXPECT_EQ(res.jobs, 150u) << to_string(jp) << "/" << to_string(dp);
+    }
+  }
+}
+
+TEST(ChicSim, DataPresentSchedulingMaximizesLocality) {
+  auto run_policy = [](lsds::sim::chicsim::JobPolicy jp) {
+    Engine eng(core::QueueKind::kBinaryHeap, 23);
+    auto cfg = chic_config();
+    cfg.job_policy = jp;
+    cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
+    return lsds::sim::chicsim::run(eng, cfg);
+  };
+  const auto data_present = run_policy(lsds::sim::chicsim::JobPolicy::kDataPresent);
+  const auto random = run_policy(lsds::sim::chicsim::JobPolicy::kRandom);
+  EXPECT_GT(data_present.locality(), random.locality());
+  EXPECT_LT(data_present.network_bytes, random.network_bytes);
+}
+
+TEST(ChicSim, PushReplicationSpreadsPopularFiles) {
+  Engine eng(core::QueueKind::kBinaryHeap, 29);
+  auto cfg = chic_config();
+  cfg.workload.zipf_exponent = 1.2;
+  cfg.job_policy = lsds::sim::chicsim::JobPolicy::kRandom;
+  cfg.data_policy = lsds::sim::chicsim::DataPolicy::kPush;
+  const auto res = lsds::sim::chicsim::run(eng, cfg);
+  EXPECT_GT(res.pushes, 0u);
+  // Push raises locality above the no-replication baseline.
+  Engine eng2(core::QueueKind::kBinaryHeap, 29);
+  cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
+  const auto none = lsds::sim::chicsim::run(eng2, cfg);
+  EXPECT_GT(res.locality(), none.locality());
+}
+
+TEST(ChicSim, MultipleSchedulersComplete) {
+  for (std::size_t k : {1u, 2u, 3u}) {
+    Engine eng(core::QueueKind::kBinaryHeap, 41);
+    auto cfg = chic_config();
+    cfg.num_schedulers = k;
+    cfg.job_policy = lsds::sim::chicsim::JobPolicy::kLeastLoaded;
+    const auto res = lsds::sim::chicsim::run(eng, cfg);
+    EXPECT_EQ(res.jobs, 150u) << k << " schedulers";
+  }
+}
+
+TEST(ChicSim, SchedulerFragmentationHurtsDataPresentLocality) {
+  // With one global scheduler, data-present placement always reaches the
+  // data; schedulers restricted to partitions sometimes cannot.
+  auto run_k = [](std::size_t k) {
+    Engine eng(core::QueueKind::kBinaryHeap, 43);
+    auto cfg = chic_config();
+    cfg.num_schedulers = k;
+    cfg.job_policy = lsds::sim::chicsim::JobPolicy::kDataPresent;
+    cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
+    return lsds::sim::chicsim::run(eng, cfg);
+  };
+  const auto one = run_k(1);
+  const auto three = run_k(3);
+  EXPECT_GT(one.locality(), 0.99);
+  EXPECT_LT(three.locality(), one.locality());
+  EXPECT_GT(three.network_bytes, one.network_bytes);
+}
+
+TEST(ChicSim, CachingImprovesLocality) {
+  auto cfg = chic_config();
+  cfg.job_policy = lsds::sim::chicsim::JobPolicy::kRandom;
+  Engine a(core::QueueKind::kBinaryHeap, 31);
+  cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
+  const auto none = lsds::sim::chicsim::run(a, cfg);
+  Engine b(core::QueueKind::kBinaryHeap, 31);
+  cfg.data_policy = lsds::sim::chicsim::DataPolicy::kCache;
+  const auto cache = lsds::sim::chicsim::run(b, cfg);
+  EXPECT_GT(cache.locality(), none.locality());
+  EXPECT_GT(cache.replications, 0u);
+}
+
+// --- MONARC -----------------------------------------------------------
+
+namespace {
+
+lsds::sim::monarc::Config monarc_config(double gbps) {
+  lsds::sim::monarc::Config cfg;
+  cfg.num_t1 = 2;
+  cfg.num_files = 20;
+  cfg.file_bytes = 10e9;
+  cfg.production_interval = 20.0;  // offered rate per link: 0.5 GB/s = 4 Gbps
+  cfg.t0_t1_bandwidth = u::gbps(gbps);
+  cfg.run_analysis = false;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Monarc, AllReplicasDelivered) {
+  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  auto cfg = monarc_config(10.0);
+  cfg.run_analysis = true;
+  const auto res = lsds::sim::monarc::run(eng, cfg);
+  EXPECT_EQ(res.files_produced, 20u);
+  EXPECT_EQ(res.replicas_delivered, 40u);  // 20 files x 2 T1s
+  EXPECT_EQ(res.analysis_jobs, 40u);
+  EXPECT_GT(res.link_utilization, 0);
+  EXPECT_LE(res.link_utilization, 1.0 + 1e-9);
+}
+
+TEST(Monarc, InsufficientLinkDivergesSufficientKeepsUp) {
+  // Offered rate is 4 Gbps per link: 2.5 Gbps must fall behind (growing
+  // backlog, unsustainable), 10 Gbps must keep up — the paper's LHC story.
+  Engine low(core::QueueKind::kBinaryHeap, 1);
+  const auto r_low = lsds::sim::monarc::run(low, monarc_config(2.5));
+  Engine high(core::QueueKind::kBinaryHeap, 1);
+  const auto r_high = lsds::sim::monarc::run(high, monarc_config(10.0));
+
+  EXPECT_FALSE(r_low.sustainable());
+  EXPECT_TRUE(r_high.sustainable());
+  EXPECT_GT(r_low.backlog_at_production_end, 4 * r_high.backlog_at_production_end);
+  EXPECT_GT(r_low.replication_lag.mean(), r_high.replication_lag.mean());
+  EXPECT_GT(r_low.drain_time, r_high.drain_time);
+  // The starved link saturates; the comfortable one has headroom.
+  EXPECT_GT(r_low.link_utilization, 0.95);
+  EXPECT_LT(r_high.link_utilization, 0.75);
+}
+
+TEST(Monarc, BacklogSeriesMonotoneUnderStarvation) {
+  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  const auto res = lsds::sim::monarc::run(eng, monarc_config(1.0));
+  // Peak backlog equals backlog at production end when the link can't keep
+  // up at all.
+  EXPECT_NEAR(res.peak_backlog_bytes, res.backlog_at_production_end,
+              2 * res.file_bytes * static_cast<double>(res.num_t1));
+}
+
+TEST(Monarc, TapeArchiveKeepsUpWhenFastEnough) {
+  // Production: 10 GB / 20 s = 0.5 GB/s offered to the tape robots.
+  Engine fast(core::QueueKind::kBinaryHeap, 1);
+  auto cfg = monarc_config(10.0);
+  cfg.archive_to_tape = true;
+  cfg.tape_bandwidth = 2e9;  // 4x headroom
+  cfg.tape_mount_latency = 1.0;
+  const auto r_fast = lsds::sim::monarc::run(fast, cfg);
+  EXPECT_EQ(r_fast.files_archived, 20u);
+  // Starved robots: archive lag grows far beyond the fast case.
+  Engine slow(core::QueueKind::kBinaryHeap, 1);
+  cfg.tape_bandwidth = 0.25e9;  // half the offered rate
+  const auto r_slow = lsds::sim::monarc::run(slow, cfg);
+  EXPECT_EQ(r_slow.files_archived, 20u);
+  EXPECT_GT(r_slow.archive_lag.max(), 4 * r_fast.archive_lag.max());
+}
+
+TEST(Monarc, ThreeTierHierarchyRuns) {
+  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  auto cfg = monarc_config(10.0);
+  cfg.run_analysis = true;
+  cfg.t2_per_t1 = 2;
+  cfg.t2_fraction = 0.5;
+  const auto res = lsds::sim::monarc::run(eng, cfg);
+  EXPECT_EQ(res.replicas_delivered, 40u);
+  EXPECT_GT(res.t2_jobs, 0u);
+  // ~2 T1s x 2 T2s x 20 files x 0.5 = ~40 expected T2 jobs.
+  EXPECT_NEAR(static_cast<double>(res.t2_jobs), 40.0, 20.0);
+  // T2 work rides on T1 replication + an extra network hop: slower than T1
+  // analysis on average.
+  EXPECT_GT(res.t2_delays.mean(), res.analysis_delays.mean());
+}
+
+TEST(Monarc, AnalysisWaitsForReplicas) {
+  Engine slow(core::QueueKind::kBinaryHeap, 1);
+  auto cfg = monarc_config(2.5);
+  cfg.run_analysis = true;
+  const auto r_slow = lsds::sim::monarc::run(slow, cfg);
+  Engine fast(core::QueueKind::kBinaryHeap, 1);
+  auto cfg2 = monarc_config(20.0);
+  cfg2.run_analysis = true;
+  const auto r_fast = lsds::sim::monarc::run(fast, cfg2);
+  // Starved replication delays the physics analysis downstream.
+  EXPECT_GT(r_slow.analysis_delays.mean(), 2 * r_fast.analysis_delays.mean());
+}

@@ -1,0 +1,200 @@
+// Simulation output-analysis methods: batch means, M/G/1 validation,
+// weighted max-min fairness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "hosts/cpu.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "stats/analytical.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/summary.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace net = lsds::net;
+namespace stats = lsds::stats;
+
+// --- batch means ------------------------------------------------------
+
+TEST(BatchMeans, GrandMeanMatchesSampleMean) {
+  stats::BatchMeans bm(10);
+  stats::Accumulator acc;
+  core::RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 10);
+    bm.add(x);
+    acc.add(x);
+  }
+  EXPECT_EQ(bm.batches(), 100u);
+  EXPECT_NEAR(bm.mean(), acc.mean(), 1e-12);
+}
+
+TEST(BatchMeans, WarmupDiscarded) {
+  stats::BatchMeans bm(5, /*warmup=*/10);
+  for (int i = 0; i < 10; ++i) bm.add(1000.0);  // biased transient
+  for (int i = 0; i < 50; ++i) bm.add(1.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+  EXPECT_EQ(bm.batches(), 10u);
+}
+
+TEST(BatchMeans, CiCoversTrueMeanForIid) {
+  // 30 replications of an i.i.d. experiment: the 95% CI should cover the
+  // true mean in the clear majority of them.
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    core::RngStream rng(seed);
+    stats::BatchMeans bm(50);
+    for (int i = 0; i < 2000; ++i) bm.add(rng.exponential(4.0));
+    if (std::fabs(bm.mean() - 4.0) <= bm.ci95_halfwidth()) ++covered;
+  }
+  EXPECT_GE(covered, 24);  // ~95% nominal; allow sampling slack
+}
+
+TEST(BatchMeans, WidensCiForAutocorrelatedSeries) {
+  // AR(1) with strong positive correlation: the naive i.i.d. CI lies; the
+  // batch-means CI must be substantially wider.
+  core::RngStream rng(7);
+  stats::Accumulator naive;
+  stats::BatchMeans bm(200);
+  double v = 0;
+  for (int i = 0; i < 20000; ++i) {
+    v = 0.95 * v + rng.normal(0, 1.0);
+    naive.add(v);
+    bm.add(v);
+  }
+  EXPECT_GT(bm.ci95_halfwidth(), 3.0 * naive.ci95_halfwidth());
+}
+
+TEST(BatchMeans, TooFewBatchesGiveZeroCi) {
+  stats::BatchMeans bm(100);
+  for (int i = 0; i < 150; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batches(), 1u);
+  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), 0.0);
+}
+
+TEST(TCritical, TableValues) {
+  EXPECT_NEAR(stats::t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(stats::t_critical_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(stats::t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(stats::t_critical_95(1000), 1.96, 1e-6);
+}
+
+// --- M/G/1 Pollaczek-Khinchine ----------------------------------------
+
+TEST(Analytical, MG1ReducesToMM1) {
+  // Exponential service: E[S^2] = 2/mu^2 -> PK == M/M/1.
+  const double lambda = 0.5, mu = 1.0;
+  stats::MG1 pk{lambda, 1.0 / mu, 2.0 / (mu * mu)};
+  stats::MM1 mm1{lambda, mu};
+  EXPECT_NEAR(pk.mean_wait(), mm1.mean_wait(), 1e-12);
+}
+
+TEST(Analytical, MD1HalvesTheWait) {
+  // Deterministic service: E[S^2] = E[S]^2 -> exactly half the M/M/1 wait.
+  stats::MG1 md1{0.5, 1.0, 1.0};
+  stats::MG1 mm1{0.5, 1.0, 2.0};
+  EXPECT_NEAR(md1.mean_wait(), mm1.mean_wait() / 2.0, 1e-12);
+}
+
+TEST(Analytical, MD1SimulationMatchesPK) {
+  // Space-shared CPU with *deterministic* service vs the PK closed form.
+  const double lambda = 0.7;
+  const double service = 1.0;  // ops 100 at speed 100
+  core::Engine eng(core::QueueKind::kCalendarQueue, 31);
+  hosts::CpuResource cpu(eng, "srv", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  auto& arrivals = eng.rng("arr");
+  stats::BatchMeans wait(500, /*warmup=*/500);
+  double t = 0;
+  auto submit_time = std::make_shared<std::unordered_map<hosts::JobId, double>>();
+  for (int i = 1; i <= 40000; ++i) {
+    t += arrivals.exponential(1.0 / lambda);
+    const auto id = static_cast<hosts::JobId>(i);
+    eng.schedule_at(t, [&, id] {
+      (*submit_time)[id] = eng.now();
+      cpu.submit(id, 100.0, [&, id](hosts::JobId) {
+        wait.add(eng.now() - (*submit_time)[id] - service);
+        submit_time->erase(id);
+      });
+    });
+  }
+  eng.run();
+  stats::MG1 pk{lambda, service, service * service};
+  EXPECT_NEAR(wait.mean(), pk.mean_wait(), std::max(0.08, 2 * wait.ci95_halfwidth()));
+}
+
+// --- weighted max-min fairness ----------------------------------------
+
+TEST(WeightedMaxMin, SharesProportionalToWeight) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 3e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  const auto heavy = fn.start_flow_weighted(a, b, 1e12, 2.0);
+  const auto light = fn.start_flow_weighted(a, b, 1e12, 1.0);
+  eng.run_until(0.001);
+  EXPECT_NEAR(fn.flow_rate(heavy), 2e6, 1.0);
+  EXPECT_NEAR(fn.flow_rate(light), 1e6, 1.0);
+  EXPECT_NEAR(fn.link_load(0), 3e6, 1.0);
+}
+
+TEST(WeightedMaxMin, DefaultWeightIsOne) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 2e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  const auto f1 = fn.start_flow(a, b, 1e12);
+  const auto f2 = fn.start_flow_weighted(a, b, 1e12, 1.0);
+  eng.run_until(0.001);
+  EXPECT_NEAR(fn.flow_rate(f1), fn.flow_rate(f2), 1.0);
+}
+
+TEST(WeightedMaxMin, WeightedCompletionTimes) {
+  // Two equal transfers, weights 3:1 -> the heavy one finishes first, then
+  // the light one gets the whole link.
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 4e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  double t_heavy = -1, t_light = -1;
+  fn.start_flow_weighted(a, b, 6e6, 3.0, [&](net::FlowId) { t_heavy = eng.now(); });
+  fn.start_flow_weighted(a, b, 6e6, 1.0, [&](net::FlowId) { t_light = eng.now(); });
+  eng.run();
+  // Heavy: 3 MB/s -> 2s. Light: 1 MB/s for 2s (2 MB), then 4 MB/s for the
+  // remaining 4 MB -> 2 + 1 = 3s.
+  EXPECT_NEAR(t_heavy, 2.0, 1e-6);
+  EXPECT_NEAR(t_light, 3.0, 1e-6);
+}
+
+TEST(WeightedMaxMin, CrossTopologyInvariantsStillHold) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 11);
+  core::RngStream trng(12);
+  auto topo = net::Topology::random_connected(10, 6, 1e6, 0.0, trng);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  auto& rng = eng.rng("w");
+  for (int i = 0; i < 25; ++i) {
+    const auto s = static_cast<net::NodeId>(rng.uniform_int(0, 9));
+    auto d = static_cast<net::NodeId>(rng.uniform_int(0, 8));
+    if (d >= s) ++d;
+    fn.start_flow_weighted(s, d, 1e12, rng.uniform(0.5, 4.0));
+  }
+  eng.run_until(0.5);
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    EXPECT_LE(fn.link_load(l), topo.link(l).bandwidth * (1 + 1e-9));
+  }
+}

@@ -1,0 +1,169 @@
+// Taxonomy module: axis printers, the survey registry, and Table 1
+// generation — cross-checked against the paper's prose claims.
+#include <gtest/gtest.h>
+
+#include "taxonomy/registry.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace tax = lsds::taxonomy;
+
+namespace {
+
+const tax::SimulatorProfile& find(const std::vector<tax::SimulatorProfile>& v,
+                                  const std::string& name) {
+  for (const auto& p : v) {
+    if (p.name == name) return p;
+  }
+  static tax::SimulatorProfile none;
+  ADD_FAILURE() << "profile not found: " << name;
+  return none;
+}
+
+}  // namespace
+
+TEST(Taxonomy, ScopePrinting) {
+  const auto s = static_cast<tax::ScopeSet>(tax::Scope::kScheduling) |
+                 static_cast<tax::ScopeSet>(tax::Scope::kEconomy);
+  EXPECT_EQ(tax::scope_to_string(s), "scheduling+economy");
+  EXPECT_EQ(tax::scope_to_string(0), "-");
+}
+
+TEST(Taxonomy, ComponentPrinting) {
+  tax::Components c{true, true, false, true};
+  EXPECT_EQ(tax::components_to_string(c), "HN-A");
+}
+
+TEST(Taxonomy, UiPrinting) {
+  EXPECT_EQ(tax::ui_to_string({false, false, false}), "textual");
+  EXPECT_EQ(tax::ui_to_string({true, false, true}), "visual:D-O");
+}
+
+TEST(Registry, SixSurveyedSimulatorsInPaperOrder) {
+  const auto v = tax::surveyed_simulators();
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0].name, "Bricks");
+  EXPECT_EQ(v[1].name, "OptorSim");
+  EXPECT_EQ(v[2].name, "SimGrid");
+  EXPECT_EQ(v[3].name, "GridSim");
+  EXPECT_EQ(v[4].name, "ChicagoSim");
+  EXPECT_EQ(v[5].name, "MONARC 2");
+}
+
+// Each of the following encodes an explicit sentence of the paper.
+
+TEST(Registry, BricksLacksDynamicComponents) {
+  // "The vast majority of simulation tools provide this capability, but
+  // there are also exceptions (Bricks for example)."
+  const auto v = tax::surveyed_simulators();
+  EXPECT_FALSE(find(v, "Bricks").dynamic_components);
+  for (const auto& p : v) {
+    if (p.name != "Bricks") {
+      EXPECT_TRUE(p.dynamic_components) << p.name;
+    }
+  }
+}
+
+TEST(Registry, BricksUsesCentralModelMonarcTier) {
+  const auto v = tax::surveyed_simulators();
+  EXPECT_EQ(find(v, "Bricks").organization, "central model");
+  EXPECT_EQ(find(v, "MONARC 2").organization, "tier model");
+}
+
+TEST(Registry, SimGridLacksMiddlewareSupport) {
+  // "SimGrid does not provide any of the system support facilities as
+  // discussed in the taxonomy."
+  const auto v = tax::surveyed_simulators();
+  EXPECT_FALSE(find(v, "SimGrid").components.middleware);
+}
+
+TEST(Registry, SimGridValidatedMathematically) {
+  // "The validation consisted in comparing the results of the simulator
+  // with the ones obtained analytically." (Casanova 2001)
+  const auto v = tax::surveyed_simulators();
+  EXPECT_EQ(find(v, "SimGrid").validation, tax::Validation::kMathematical);
+}
+
+TEST(Registry, OnlyBricksMonarcSimgridValidate) {
+  // "To this date only a few simulators present validation studies
+  // (e.g. Bricks, MONARC and SimGrid)."
+  const auto v = tax::surveyed_simulators();
+  for (const auto& p : v) {
+    const bool validated = p.validation != tax::Validation::kNone;
+    const bool expected =
+        p.name == "Bricks" || p.name == "MONARC 2" || p.name == "SimGrid";
+    EXPECT_EQ(validated, expected) << p.name;
+  }
+}
+
+TEST(Registry, Monarc2AcceptsMonitoringInputChicagoSimOnlyGenerators) {
+  // "MONARC 2 accepts both types of input … while ChicagoSim accepts only
+  // input data generators."
+  const auto v = tax::surveyed_simulators();
+  EXPECT_EQ(find(v, "MONARC 2").input, tax::InputData::kBoth);
+  EXPECT_EQ(find(v, "ChicagoSim").input, tax::InputData::kGenerators);
+}
+
+TEST(Registry, GridSimAndMonarcHaveVisualDesign) {
+  // "Examples of simulators providing visual design interfaces are GridSim
+  // and MONARC 2."
+  const auto v = tax::surveyed_simulators();
+  EXPECT_TRUE(find(v, "GridSim").ui.visual_design);
+  EXPECT_TRUE(find(v, "MONARC 2").ui.visual_design);
+  EXPECT_FALSE(find(v, "SimGrid").ui.visual_design);
+}
+
+TEST(Registry, ChicagoSimBuiltOnParsecLanguage) {
+  // "built on top of the C-based simulation language Parsec"
+  const auto v = tax::surveyed_simulators();
+  EXPECT_EQ(find(v, "ChicagoSim").model_spec, tax::ModelSpec::kLanguage);
+}
+
+TEST(Registry, GridSimTargetsEconomy) {
+  const auto v = tax::surveyed_simulators();
+  EXPECT_TRUE(find(v, "GridSim").scope & static_cast<tax::ScopeSet>(tax::Scope::kEconomy));
+}
+
+TEST(Registry, OptorSimTargetsReplication) {
+  const auto v = tax::surveyed_simulators();
+  EXPECT_TRUE(find(v, "OptorSim").scope &
+              static_cast<tax::ScopeSet>(tax::Scope::kDataReplication));
+}
+
+TEST(Registry, AllSurveyedAreCentralizedDES) {
+  // "There are no pure distributed simulators for modeling large scale
+  // distributed systems." All six are event-driven DES on one host.
+  for (const auto& p : tax::surveyed_simulators()) {
+    EXPECT_EQ(p.execution, tax::Execution::kCentralized) << p.name;
+    EXPECT_EQ(p.mechanics, tax::Mechanics::kDiscreteEvent) << p.name;
+    EXPECT_EQ(p.des_kind, tax::DesKind::kEventDriven) << p.name;
+  }
+}
+
+TEST(Registry, LsdsProfileIsHonest) {
+  const auto p = tax::lsds_profile();
+  EXPECT_EQ(p.name, "LSDS-Sim");
+  EXPECT_TRUE(p.components.hosts && p.components.network && p.components.middleware &&
+              p.components.applications);
+  EXPECT_EQ(p.execution, tax::Execution::kDistributed);  // threaded LP engine
+  EXPECT_EQ(p.input, tax::InputData::kBoth);
+  EXPECT_FALSE(p.ui.visual_design);  // no GUI: we do not overclaim
+  EXPECT_EQ(p.validation, tax::Validation::kMathematical);
+}
+
+TEST(Table1, RendersAllSimulatorsAndAxes) {
+  const auto t = tax::render_table1(true);
+  for (const char* name :
+       {"Bricks", "OptorSim", "SimGrid", "GridSim", "ChicagoSim", "MONARC 2", "LSDS-Sim"}) {
+    EXPECT_NE(t.find(name), std::string::npos) << name;
+  }
+  for (const char* axis : {"scope", "organization", "components", "behavior", "mechanics",
+                           "execution", "model spec", "input data", "validation"}) {
+    EXPECT_NE(t.find(axis), std::string::npos) << axis;
+  }
+}
+
+TEST(Table1, ExcludingLsdsDropsColumn) {
+  const auto t = tax::render_table1(false);
+  EXPECT_EQ(t.find("LSDS-Sim"), std::string::npos);
+  EXPECT_NE(t.find("MONARC 2"), std::string::npos);
+}

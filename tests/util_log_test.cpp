@@ -1,0 +1,70 @@
+// Logger: levels, sink capture, formatting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace u = lsds::util;
+
+namespace {
+
+class LogCapture {
+ public:
+  LogCapture() {
+    u::Log::set_sink([this](u::LogLevel lvl, const std::string& msg) {
+      lines.emplace_back(lvl, msg);
+    });
+  }
+  ~LogCapture() {
+    u::Log::set_sink(nullptr);
+    u::Log::set_level(u::LogLevel::kWarn);  // restore default
+  }
+  std::vector<std::pair<u::LogLevel, std::string>> lines;
+};
+
+}  // namespace
+
+TEST(Log, LevelFiltering) {
+  LogCapture cap;
+  u::Log::set_level(u::LogLevel::kWarn);
+  LSDS_LOG_DEBUG("dropped %d", 1);
+  LSDS_LOG_INFO("dropped too");
+  LSDS_LOG_WARN("kept %d", 2);
+  LSDS_LOG_ERROR("kept also");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(cap.lines[0].first, u::LogLevel::kWarn);
+  EXPECT_EQ(cap.lines[0].second, "kept 2");
+  EXPECT_EQ(cap.lines[1].first, u::LogLevel::kError);
+}
+
+TEST(Log, AllLevelsWhenTrace) {
+  LogCapture cap;
+  u::Log::set_level(u::LogLevel::kTrace);
+  LSDS_LOG_TRACE("t");
+  LSDS_LOG_DEBUG("d");
+  LSDS_LOG_INFO("i");
+  EXPECT_EQ(cap.lines.size(), 3u);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture cap;
+  u::Log::set_level(u::LogLevel::kOff);
+  LSDS_LOG_ERROR("even errors");
+  EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Log, EnabledCheck) {
+  u::Log::set_level(u::LogLevel::kInfo);
+  EXPECT_TRUE(u::Log::enabled(u::LogLevel::kError));
+  EXPECT_TRUE(u::Log::enabled(u::LogLevel::kInfo));
+  EXPECT_FALSE(u::Log::enabled(u::LogLevel::kDebug));
+  u::Log::set_level(u::LogLevel::kWarn);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(u::to_string(u::LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(u::to_string(u::LogLevel::kError), "ERROR");
+  EXPECT_STREQ(u::to_string(u::LogLevel::kOff), "OFF");
+}

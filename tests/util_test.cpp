@@ -1,0 +1,238 @@
+// Unit tests for the util library: strings, units, ini, flags, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/flags.hpp"
+#include "util/ini.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace u = lsds::util;
+
+// --- strings -----------------------------------------------------------
+
+TEST(Strings, FormatBasic) {
+  EXPECT_EQ(u::strformat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(u::strformat("plain"), "plain");
+  EXPECT_EQ(u::strformat("%s!", "hi"), "hi!");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = u::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = u::split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(u::trim("  x  "), "x");
+  EXPECT_EQ(u::trim(""), "");
+  EXPECT_EQ(u::trim(" \t\n "), "");
+  EXPECT_EQ(u::trim("abc"), "abc");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(u::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(u::join({}, ","), "");
+  EXPECT_EQ(u::join({"x"}, ","), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(u::starts_with("--flag", "--"));
+  EXPECT_FALSE(u::starts_with("-", "--"));
+  EXPECT_TRUE(u::ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(u::ends_with("csv", ".csv"));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(u::parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(u::parse_double(" 1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_FALSE(u::parse_double("abc", v));
+  EXPECT_FALSE(u::parse_double("1.5x", v));
+  EXPECT_FALSE(u::parse_double("", v));
+}
+
+TEST(Strings, ParseLong) {
+  long long v = 0;
+  EXPECT_TRUE(u::parse_long("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(u::parse_long("4.2", v));
+}
+
+TEST(Strings, ParseBool) {
+  bool b = false;
+  EXPECT_TRUE(u::parse_bool("true", b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(u::parse_bool("Off", b));
+  EXPECT_FALSE(b);
+  EXPECT_FALSE(u::parse_bool("maybe", b));
+}
+
+// --- units -------------------------------------------------------------
+
+TEST(Units, ParseSize) {
+  double v = 0;
+  EXPECT_TRUE(u::parse_size("512MB", v));
+  EXPECT_DOUBLE_EQ(v, 512e6);
+  EXPECT_TRUE(u::parse_size("1.5GiB", v));
+  EXPECT_DOUBLE_EQ(v, 1.5 * 1024 * 1024 * 1024);
+  EXPECT_TRUE(u::parse_size("1024", v));
+  EXPECT_DOUBLE_EQ(v, 1024.0);
+  EXPECT_FALSE(u::parse_size("12 parsecs", v));
+}
+
+TEST(Units, ParseRate) {
+  double v = 0;
+  EXPECT_TRUE(u::parse_rate("2.5Gbps", v));
+  EXPECT_DOUBLE_EQ(v, 2.5e9 / 8.0);
+  EXPECT_TRUE(u::parse_rate("100MB/s", v));
+  EXPECT_DOUBLE_EQ(v, 100e6);
+  EXPECT_FALSE(u::parse_rate("100", v));  // rate needs an explicit unit
+}
+
+TEST(Units, ParseDuration) {
+  double v = 0;
+  EXPECT_TRUE(u::parse_duration("15ms", v));
+  EXPECT_DOUBLE_EQ(v, 0.015);
+  EXPECT_TRUE(u::parse_duration("2h", v));
+  EXPECT_DOUBLE_EQ(v, 7200.0);
+  EXPECT_TRUE(u::parse_duration("10", v));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+  EXPECT_TRUE(u::parse_duration("250us", v));
+  EXPECT_DOUBLE_EQ(v, 250e-6);
+}
+
+TEST(Units, RateConstantsRoundTrip) {
+  EXPECT_DOUBLE_EQ(u::gbps(2.5), 2.5e9 / 8);
+  EXPECT_EQ(u::format_rate(u::gbps(2.5)), "2.50 Gbps");
+  EXPECT_EQ(u::format_size(1.54e6), "1.54 MB");
+  EXPECT_EQ(u::format_duration(0.0042), "4.20 ms");
+}
+
+// --- ini ---------------------------------------------------------------
+
+TEST(Ini, ParseSectionsAndTypes) {
+  const auto cfg = u::IniConfig::parse(R"(
+; experiment config
+[network]
+t0_t1_link = 2.5Gbps
+latency = 15ms       ; propagation
+packet = 1500
+
+[workload]
+jobs = 1000
+mean_size = 2GB
+enabled = yes
+name = "LHC production"
+)");
+  EXPECT_DOUBLE_EQ(cfg.get_rate("network", "t0_t1_link", 0), 2.5e9 / 8);
+  EXPECT_DOUBLE_EQ(cfg.get_duration("network", "latency", 0), 0.015);
+  EXPECT_EQ(cfg.get_int("network", "packet", 0), 1500);
+  EXPECT_EQ(cfg.get_int("workload", "jobs", 0), 1000);
+  EXPECT_DOUBLE_EQ(cfg.get_size("workload", "mean_size", 0), 2e9);
+  EXPECT_TRUE(cfg.get_bool("workload", "enabled", false));
+  EXPECT_EQ(cfg.get_string("workload", "name"), "LHC production");
+}
+
+TEST(Ini, DefaultsAndPresence) {
+  const auto cfg = u::IniConfig::parse("[a]\nx = 1\n");
+  EXPECT_TRUE(cfg.has("a", "x"));
+  EXPECT_FALSE(cfg.has("a", "y"));
+  EXPECT_FALSE(cfg.has("b", "x"));
+  EXPECT_EQ(cfg.get_int("a", "y", 7), 7);
+}
+
+TEST(Ini, MalformedValueThrows) {
+  const auto cfg = u::IniConfig::parse("[a]\nrate = 2.5Gbsp\n");
+  EXPECT_THROW(cfg.get_rate("a", "rate", 0), u::ConfigError);
+}
+
+TEST(Ini, SyntaxErrors) {
+  EXPECT_THROW(u::IniConfig::parse("[unterminated\n"), u::ConfigError);
+  EXPECT_THROW(u::IniConfig::parse("[a]\nno_equals_sign\n"), u::ConfigError);
+  EXPECT_THROW(u::IniConfig::parse("[]\n"), u::ConfigError);
+}
+
+TEST(Ini, OrderPreserved) {
+  const auto cfg = u::IniConfig::parse("[b]\nz=1\na=2\n[a]\nq=3\n");
+  const auto secs = cfg.sections();
+  ASSERT_EQ(secs.size(), 2u);
+  EXPECT_EQ(secs[0], "b");
+  EXPECT_EQ(secs[1], "a");
+  const auto keys = cfg.keys("b");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "a");
+}
+
+// --- flags -------------------------------------------------------------
+
+TEST(Flags, ParseStyles) {
+  const char* argv[] = {"prog", "--jobs=100", "--rate=1Gbps", "--verbose", "input.ini"};
+  u::Flags f(5, argv);
+  EXPECT_EQ(f.get_int("jobs", 0), 100);
+  EXPECT_DOUBLE_EQ(f.get_rate("rate", 0), 1e9 / 8);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "input.ini");
+}
+
+TEST(Flags, Defaults) {
+  const char* argv[] = {"prog"};
+  u::Flags f(1, argv);
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, MalformedThrows) {
+  const char* argv[] = {"prog", "--jobs=abc"};
+  u::Flags f(2, argv);
+  EXPECT_THROW(f.get_int("jobs", 0), std::runtime_error);
+}
+
+// --- thread pool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  u::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  u::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, SubmitFromWorker) {
+  u::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    count.fetch_add(1);
+    pool.submit([&] { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
