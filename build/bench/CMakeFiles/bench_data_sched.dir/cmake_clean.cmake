@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_sched.dir/bench_data_sched.cpp.o"
+  "CMakeFiles/bench_data_sched.dir/bench_data_sched.cpp.o.d"
+  "bench_data_sched"
+  "bench_data_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

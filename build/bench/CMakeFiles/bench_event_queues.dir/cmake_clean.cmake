@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_queues.dir/bench_event_queues.cpp.o"
+  "CMakeFiles/bench_event_queues.dir/bench_event_queues.cpp.o.d"
+  "bench_event_queues"
+  "bench_event_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

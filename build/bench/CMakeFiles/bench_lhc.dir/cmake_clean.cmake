@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lhc.dir/bench_lhc.cpp.o"
+  "CMakeFiles/bench_lhc.dir/bench_lhc.cpp.o.d"
+  "bench_lhc"
+  "bench_lhc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

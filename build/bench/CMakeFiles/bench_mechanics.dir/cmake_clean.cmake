@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mechanics.dir/bench_mechanics.cpp.o"
+  "CMakeFiles/bench_mechanics.dir/bench_mechanics.cpp.o.d"
+  "bench_mechanics"
+  "bench_mechanics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mechanics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_backfill.dir/cluster_backfill.cpp.o"
+  "CMakeFiles/cluster_backfill.dir/cluster_backfill.cpp.o.d"
+  "cluster_backfill"
+  "cluster_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

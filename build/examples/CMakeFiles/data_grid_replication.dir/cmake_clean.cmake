@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_grid_replication.dir/data_grid_replication.cpp.o"
+  "CMakeFiles/data_grid_replication.dir/data_grid_replication.cpp.o.d"
+  "data_grid_replication"
+  "data_grid_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_grid_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/economy_scheduling.cpp" "examples/CMakeFiles/economy_scheduling.dir/economy_scheduling.cpp.o" "gcc" "examples/CMakeFiles/economy_scheduling.dir/economy_scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lsds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/lsds_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lsds_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/lsds_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economy_scheduling.dir/economy_scheduling.cpp.o"
+  "CMakeFiles/economy_scheduling.dir/economy_scheduling.cpp.o.d"
+  "economy_scheduling"
+  "economy_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economy_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

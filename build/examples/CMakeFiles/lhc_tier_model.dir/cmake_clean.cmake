@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhc_tier_model.dir/lhc_tier_model.cpp.o"
+  "CMakeFiles/lhc_tier_model.dir/lhc_tier_model.cpp.o.d"
+  "lhc_tier_model"
+  "lhc_tier_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhc_tier_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_apps.dir/activity.cpp.o"
+  "CMakeFiles/lsds_apps.dir/activity.cpp.o.d"
+  "CMakeFiles/lsds_apps.dir/swf.cpp.o"
+  "CMakeFiles/lsds_apps.dir/swf.cpp.o.d"
+  "CMakeFiles/lsds_apps.dir/trace_io.cpp.o"
+  "CMakeFiles/lsds_apps.dir/trace_io.cpp.o.d"
+  "CMakeFiles/lsds_apps.dir/workload.cpp.o"
+  "CMakeFiles/lsds_apps.dir/workload.cpp.o.d"
+  "liblsds_apps.a"
+  "liblsds_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsds_apps.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/lsds_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/lsds_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/queues/binary_heap.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/binary_heap.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/binary_heap.cpp.o.d"
+  "/root/repo/src/core/queues/calendar_queue.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/calendar_queue.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/calendar_queue.cpp.o.d"
+  "/root/repo/src/core/queues/factory.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/factory.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/factory.cpp.o.d"
+  "/root/repo/src/core/queues/ladder_queue.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/ladder_queue.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/ladder_queue.cpp.o.d"
+  "/root/repo/src/core/queues/sorted_list.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/sorted_list.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/sorted_list.cpp.o.d"
+  "/root/repo/src/core/queues/splay_tree.cpp" "src/core/CMakeFiles/lsds_core.dir/queues/splay_tree.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/queues/splay_tree.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/lsds_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/time_driven.cpp" "src/core/CMakeFiles/lsds_core.dir/time_driven.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/time_driven.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/lsds_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/lsds_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

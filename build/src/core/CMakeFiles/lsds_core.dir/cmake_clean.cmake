@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_core.dir/engine.cpp.o"
+  "CMakeFiles/lsds_core.dir/engine.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/parallel.cpp.o"
+  "CMakeFiles/lsds_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/binary_heap.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/binary_heap.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/calendar_queue.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/calendar_queue.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/factory.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/factory.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/ladder_queue.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/ladder_queue.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/sorted_list.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/sorted_list.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/queues/splay_tree.cpp.o"
+  "CMakeFiles/lsds_core.dir/queues/splay_tree.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/rng.cpp.o"
+  "CMakeFiles/lsds_core.dir/rng.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/time_driven.cpp.o"
+  "CMakeFiles/lsds_core.dir/time_driven.cpp.o.d"
+  "CMakeFiles/lsds_core.dir/trace.cpp.o"
+  "CMakeFiles/lsds_core.dir/trace.cpp.o.d"
+  "liblsds_core.a"
+  "liblsds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

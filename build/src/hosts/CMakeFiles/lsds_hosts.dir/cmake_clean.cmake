@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_hosts.dir/cpu.cpp.o"
+  "CMakeFiles/lsds_hosts.dir/cpu.cpp.o.d"
+  "CMakeFiles/lsds_hosts.dir/organizations.cpp.o"
+  "CMakeFiles/lsds_hosts.dir/organizations.cpp.o.d"
+  "CMakeFiles/lsds_hosts.dir/site.cpp.o"
+  "CMakeFiles/lsds_hosts.dir/site.cpp.o.d"
+  "CMakeFiles/lsds_hosts.dir/storage.cpp.o"
+  "CMakeFiles/lsds_hosts.dir/storage.cpp.o.d"
+  "liblsds_hosts.a"
+  "liblsds_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

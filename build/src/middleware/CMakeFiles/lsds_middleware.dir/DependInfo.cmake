@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/batch_queue.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/batch_queue.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/batch_queue.cpp.o.d"
+  "/root/repo/src/middleware/broker.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/broker.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/broker.cpp.o.d"
+  "/root/repo/src/middleware/dag.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/dag.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/dag.cpp.o.d"
+  "/root/repo/src/middleware/failures.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/failures.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/failures.cpp.o.d"
+  "/root/repo/src/middleware/forecast.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/forecast.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/forecast.cpp.o.d"
+  "/root/repo/src/middleware/gis.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/gis.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/gis.cpp.o.d"
+  "/root/repo/src/middleware/monitor.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/monitor.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/monitor.cpp.o.d"
+  "/root/repo/src/middleware/replica_catalog.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/replica_catalog.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/replica_catalog.cpp.o.d"
+  "/root/repo/src/middleware/replication.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/replication.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/replication.cpp.o.d"
+  "/root/repo/src/middleware/scheduler.cpp" "src/middleware/CMakeFiles/lsds_middleware.dir/scheduler.cpp.o" "gcc" "src/middleware/CMakeFiles/lsds_middleware.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hosts/CMakeFiles/lsds_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lsds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_middleware.dir/batch_queue.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/batch_queue.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/broker.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/broker.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/dag.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/dag.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/failures.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/failures.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/forecast.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/forecast.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/gis.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/gis.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/monitor.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/monitor.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/replica_catalog.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/replica_catalog.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/replication.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/replication.cpp.o.d"
+  "CMakeFiles/lsds_middleware.dir/scheduler.cpp.o"
+  "CMakeFiles/lsds_middleware.dir/scheduler.cpp.o.d"
+  "liblsds_middleware.a"
+  "liblsds_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsds_middleware.a"
+)

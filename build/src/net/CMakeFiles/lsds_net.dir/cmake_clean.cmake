@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_net.dir/flow.cpp.o"
+  "CMakeFiles/lsds_net.dir/flow.cpp.o.d"
+  "CMakeFiles/lsds_net.dir/packet.cpp.o"
+  "CMakeFiles/lsds_net.dir/packet.cpp.o.d"
+  "CMakeFiles/lsds_net.dir/routing.cpp.o"
+  "CMakeFiles/lsds_net.dir/routing.cpp.o.d"
+  "CMakeFiles/lsds_net.dir/topology.cpp.o"
+  "CMakeFiles/lsds_net.dir/topology.cpp.o.d"
+  "CMakeFiles/lsds_net.dir/transfer.cpp.o"
+  "CMakeFiles/lsds_net.dir/transfer.cpp.o.d"
+  "liblsds_net.a"
+  "liblsds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/chord.cpp" "src/p2p/CMakeFiles/lsds_p2p.dir/chord.cpp.o" "gcc" "src/p2p/CMakeFiles/lsds_p2p.dir/chord.cpp.o.d"
+  "/root/repo/src/p2p/gnutella.cpp" "src/p2p/CMakeFiles/lsds_p2p.dir/gnutella.cpp.o" "gcc" "src/p2p/CMakeFiles/lsds_p2p.dir/gnutella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lsds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lsds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_p2p.dir/chord.cpp.o"
+  "CMakeFiles/lsds_p2p.dir/chord.cpp.o.d"
+  "CMakeFiles/lsds_p2p.dir/gnutella.cpp.o"
+  "CMakeFiles/lsds_p2p.dir/gnutella.cpp.o.d"
+  "liblsds_p2p.a"
+  "liblsds_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

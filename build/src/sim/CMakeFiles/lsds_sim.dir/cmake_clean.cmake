@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_sim.dir/bricks/bricks.cpp.o"
+  "CMakeFiles/lsds_sim.dir/bricks/bricks.cpp.o.d"
+  "CMakeFiles/lsds_sim.dir/chicsim/chicsim.cpp.o"
+  "CMakeFiles/lsds_sim.dir/chicsim/chicsim.cpp.o.d"
+  "CMakeFiles/lsds_sim.dir/gridsim/gridsim.cpp.o"
+  "CMakeFiles/lsds_sim.dir/gridsim/gridsim.cpp.o.d"
+  "CMakeFiles/lsds_sim.dir/monarc/monarc.cpp.o"
+  "CMakeFiles/lsds_sim.dir/monarc/monarc.cpp.o.d"
+  "CMakeFiles/lsds_sim.dir/optorsim/optorsim.cpp.o"
+  "CMakeFiles/lsds_sim.dir/optorsim/optorsim.cpp.o.d"
+  "CMakeFiles/lsds_sim.dir/simg/simg.cpp.o"
+  "CMakeFiles/lsds_sim.dir/simg/simg.cpp.o.d"
+  "liblsds_sim.a"
+  "liblsds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

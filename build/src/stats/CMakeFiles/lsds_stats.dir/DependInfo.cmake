@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/analytical.cpp" "src/stats/CMakeFiles/lsds_stats.dir/analytical.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/analytical.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/lsds_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/gnuplot.cpp" "src/stats/CMakeFiles/lsds_stats.dir/gnuplot.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/lsds_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/lsds_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/lsds_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/table.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/lsds_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/lsds_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_stats.dir/analytical.cpp.o"
+  "CMakeFiles/lsds_stats.dir/analytical.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/lsds_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/gnuplot.cpp.o"
+  "CMakeFiles/lsds_stats.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/histogram.cpp.o"
+  "CMakeFiles/lsds_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/summary.cpp.o"
+  "CMakeFiles/lsds_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/table.cpp.o"
+  "CMakeFiles/lsds_stats.dir/table.cpp.o.d"
+  "CMakeFiles/lsds_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/lsds_stats.dir/timeseries.cpp.o.d"
+  "liblsds_stats.a"
+  "liblsds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

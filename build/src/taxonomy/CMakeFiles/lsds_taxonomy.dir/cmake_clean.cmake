@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_taxonomy.dir/registry.cpp.o"
+  "CMakeFiles/lsds_taxonomy.dir/registry.cpp.o.d"
+  "CMakeFiles/lsds_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/lsds_taxonomy.dir/taxonomy.cpp.o.d"
+  "liblsds_taxonomy.a"
+  "liblsds_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsds_util.dir/flags.cpp.o"
+  "CMakeFiles/lsds_util.dir/flags.cpp.o.d"
+  "CMakeFiles/lsds_util.dir/ini.cpp.o"
+  "CMakeFiles/lsds_util.dir/ini.cpp.o.d"
+  "CMakeFiles/lsds_util.dir/log.cpp.o"
+  "CMakeFiles/lsds_util.dir/log.cpp.o.d"
+  "CMakeFiles/lsds_util.dir/strings.cpp.o"
+  "CMakeFiles/lsds_util.dir/strings.cpp.o.d"
+  "CMakeFiles/lsds_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lsds_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/lsds_util.dir/units.cpp.o"
+  "CMakeFiles/lsds_util.dir/units.cpp.o.d"
+  "liblsds_util.a"
+  "liblsds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_queue_test.dir/batch_queue_test.cpp.o"
+  "CMakeFiles/batch_queue_test.dir/batch_queue_test.cpp.o.d"
+  "batch_queue_test"
+  "batch_queue_test.pdb"
+  "batch_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

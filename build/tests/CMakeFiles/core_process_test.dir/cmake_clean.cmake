@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_process_test.dir/core_process_test.cpp.o"
+  "CMakeFiles/core_process_test.dir/core_process_test.cpp.o.d"
+  "core_process_test"
+  "core_process_test.pdb"
+  "core_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosts_test.dir/hosts_test.cpp.o"
+  "CMakeFiles/hosts_test.dir/hosts_test.cpp.o.d"
+  "hosts_test"
+  "hosts_test.pdb"
+  "hosts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

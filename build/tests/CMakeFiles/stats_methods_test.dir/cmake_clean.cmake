@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_methods_test.dir/stats_methods_test.cpp.o"
+  "CMakeFiles/stats_methods_test.dir/stats_methods_test.cpp.o.d"
+  "stats_methods_test"
+  "stats_methods_test.pdb"
+  "stats_methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

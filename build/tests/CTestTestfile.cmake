@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/core_process_test[1]_include.cmake")
+include("/root/repo/build/tests/core_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/hosts_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_facades_test[1]_include.cmake")
+include("/root/repo/build/tests/p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/failures_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_test[1]_include.cmake")
+include("/root/repo/build/tests/forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_methods_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/util_log_test[1]_include.cmake")
+include("/root/repo/build/tests/swf_test[1]_include.cmake")
