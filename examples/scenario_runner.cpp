@@ -8,9 +8,13 @@
 // holds its parameters (rates/sizes/durations accept units: 2.5Gbps, 20GB,
 // 40s).
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/engine.hpp"
+#include "middleware/failures.hpp"
+#include "middleware/recovery.hpp"
 #include "middleware/replication.hpp"
 #include "sim/bricks/bricks.hpp"
 #include "sim/chicsim/chicsim.hpp"
@@ -36,6 +40,36 @@ core::QueueKind parse_queue(const std::string& s) {
   throw util::ConfigError("unknown queue kind: " + s);
 }
 
+/// `[failures]` section: mtbf, mttr, semantics (resume|stop), weibull_shape,
+/// horizon, links — plus policy knobs consumed by the chaos facade. The
+/// section's presence (an `mtbf` key or `enabled = true`) turns chaos on.
+middleware::FailureSpec parse_failures(const util::IniConfig& ini) {
+  middleware::FailureSpec spec;
+  spec.enabled = ini.get_bool("failures", "enabled", ini.has("failures", "mtbf"));
+  spec.mtbf = ini.get_duration("failures", "mtbf", spec.mtbf);
+  spec.mttr = ini.get_duration("failures", "mttr", spec.mttr);
+  spec.horizon = ini.get_duration("failures", "horizon", spec.horizon);
+  spec.weibull_shape = ini.get_double("failures", "weibull_shape", 0);
+  spec.include_links = ini.get_bool("failures", "links", true);
+  const std::string sem = ini.get_string("failures", "semantics", "resume");
+  if (sem == "stop") {
+    spec.semantics = core::FailureSemantics::kFailStop;
+  } else if (sem != "resume") {
+    throw util::ConfigError("unknown failure semantics: " + sem + " (resume|stop)");
+  }
+  return spec;
+}
+
+/// The data-grid facades model transparent outages only; fail-stop recovery
+/// needs the chaos facade's FaultTolerantScheduler.
+middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini) {
+  middleware::FailureSpec spec = parse_failures(ini);
+  if (spec.enabled && spec.semantics == core::FailureSemantics::kFailStop) {
+    throw util::ConfigError("semantics = stop requires facade = chaos");
+  }
+  return spec;
+}
+
 int run_bricks(core::Engine& eng, const util::IniConfig& ini) {
   sim::bricks::Config cfg;
   cfg.num_clients = static_cast<std::size_t>(ini.get_int("bricks", "clients", 8));
@@ -46,6 +80,7 @@ int run_bricks(core::Engine& eng, const util::IniConfig& ini) {
   cfg.output_bytes = ini.get_size("bricks", "output", 1e6);
   cfg.server_cores = static_cast<unsigned>(ini.get_int("bricks", "server_cores", 4));
   cfg.client_bw = ini.get_rate("bricks", "client_bw", 12.5e6);
+  cfg.failures = parse_resume_failures(ini);
   const auto res = sim::bricks::run(eng, cfg);
   std::printf("bricks: %llu jobs, mean response %.2f s, server util %.1f%%, makespan %.1f s\n",
               static_cast<unsigned long long>(res.jobs), res.response_times.mean(),
@@ -72,6 +107,7 @@ int run_optorsim(core::Engine& eng, const util::IniConfig& ini) {
   cfg.workload.mean_interarrival = ini.get_duration("optorsim", "interarrival", 1.5);
   cfg.workload.file_bytes = {apps::SizeDist::kConstant,
                              ini.get_size("optorsim", "file_size", 50e6), 0};
+  cfg.failures = parse_resume_failures(ini);
   const auto res = sim::optorsim::run(eng, cfg);
   std::printf(
       "optorsim(%s): %llu jobs, mean job time %.2f s, hit ratio %.2f, network %s, "
@@ -90,6 +126,7 @@ int run_monarc(core::Engine& eng, const util::IniConfig& ini) {
   cfg.file_bytes = ini.get_size("monarc", "file_size", 20e9);
   cfg.production_interval = ini.get_duration("monarc", "interval", 40);
   cfg.run_analysis = ini.get_bool("monarc", "analysis", true);
+  cfg.failures = parse_resume_failures(ini);
   const auto res = sim::monarc::run(eng, cfg);
   std::printf(
       "monarc: link %s, util %.0f%%, backlog@prod-end %s, mean lag %.1f s -> %s\n",
@@ -128,6 +165,7 @@ int run_chicsim(core::Engine& eng, const util::IniConfig& ini) {
   }
   cfg.workload.num_jobs = static_cast<std::size_t>(ini.get_int("chicsim", "jobs", 400));
   cfg.workload.zipf_exponent = ini.get_double("chicsim", "zipf", 0.9);
+  cfg.failures = parse_resume_failures(ini);
   const auto res = sim::chicsim::run(eng, cfg);
   std::printf("chicsim(%s,%s): %llu jobs, mean response %.2f s, locality %.2f, network %s\n",
               jp.c_str(), dp.c_str(), static_cast<unsigned long long>(res.jobs),
@@ -148,6 +186,97 @@ int run_simg(core::Engine& eng, const util::IniConfig& ini) {
   std::printf("simg(%s): %llu tasks, makespan %.2f s\n", to_string(cfg.mode),
               static_cast<unsigned long long>(res.tasks), res.makespan);
   return 0;
+}
+
+/// Fail-stop bag-of-tasks under a recovery policy: the dependability layer
+/// end-to-end. `[chaos]` sizes the farm and the bag, `[failures]` drives the
+/// injector (semantics defaults to stop here) and picks the policy.
+int run_chaos(core::Engine& eng, const util::IniConfig& ini) {
+  const auto hosts = static_cast<std::size_t>(ini.get_int("chaos", "hosts", 8));
+  const auto cores = static_cast<unsigned>(ini.get_int("chaos", "cores", 1));
+  const double speed = ini.get_double("chaos", "cpu_speed", 1000);
+  const auto num_jobs = static_cast<std::size_t>(ini.get_int("chaos", "jobs", 1000));
+  const double mean_ops = ini.get_double("chaos", "mean_ops", 2000);
+
+  middleware::Heuristic heuristic = middleware::Heuristic::kFifo;
+  const std::string h = ini.get_string("chaos", "heuristic", "fifo");
+  bool matched = false;
+  for (auto cand : middleware::kAllHeuristics) {
+    if (h == middleware::to_string(cand)) {
+      heuristic = cand;
+      matched = true;
+    }
+  }
+  if (!matched) throw util::ConfigError("unknown heuristic: " + h);
+
+  middleware::RecoveryConfig rcfg;
+  const std::string policy = ini.get_string("failures", "policy", "retry");
+  matched = false;
+  for (auto cand : middleware::kAllRecoveryPolicies) {
+    if (policy == middleware::to_string(cand)) {
+      rcfg.policy = cand;
+      matched = true;
+    }
+  }
+  if (!matched) throw util::ConfigError("unknown recovery policy: " + policy);
+  rcfg.backoff_base = ini.get_duration("failures", "backoff", rcfg.backoff_base);
+  rcfg.max_attempts =
+      static_cast<std::size_t>(ini.get_int("failures", "max_attempts", 0));
+  rcfg.blacklist_duration =
+      ini.get_duration("failures", "blacklist", rcfg.blacklist_duration);
+  rcfg.checkpoint_interval_ops =
+      ini.get_double("failures", "checkpoint_interval_ops", mean_ops / 4);
+  rcfg.checkpoint_overhead_ops =
+      ini.get_double("failures", "checkpoint_overhead_ops", mean_ops / 50);
+  rcfg.replicas = static_cast<std::size_t>(ini.get_int("failures", "replicas", 2));
+
+  std::vector<std::unique_ptr<hosts::CpuResource>> farm;
+  std::vector<hosts::CpuResource*> cpus;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    farm.push_back(std::make_unique<hosts::CpuResource>(eng, "host" + std::to_string(i), cores,
+                                                        speed, hosts::SharingPolicy::kSpaceShared));
+    cpus.push_back(farm.back().get());
+  }
+
+  middleware::FailureSpec spec = parse_failures(ini);
+  spec.enabled = true;  // facade = chaos implies chaos
+  if (spec.horizon <= 0) spec.horizon = 1e6;
+  middleware::FailureInjector inject(eng);
+  for (auto* cpu : cpus) inject.add_cpu(*cpu);
+  if (spec.weibull_shape > 0) {
+    inject.start_weibull(spec.weibull_shape, spec.mtbf, spec.mttr, spec.horizon);
+  } else {
+    inject.start(spec.mtbf, spec.mttr, spec.horizon);
+  }
+
+  // The scheduler flips every resource to kFailStop and owns recovery.
+  middleware::FaultTolerantScheduler sched(eng, cpus, heuristic, rcfg);
+  auto& rng = eng.rng("chaos-workload");
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    hosts::Job job;
+    job.id = j + 1;
+    job.ops = rng.exponential(mean_ops);
+    sched.submit(std::move(job));
+  }
+  // Stop the clock when the bag is fully accounted for — otherwise the
+  // injector keeps the engine alive until its horizon and the post-bag
+  // outages would pollute the availability window.
+  std::size_t settled = 0;
+  const auto on_settled = [&](const hosts::Job&) {
+    if (++settled == num_jobs) eng.stop();
+  };
+  sched.run(on_settled, on_settled);
+  eng.run();
+
+  const double t_end = sched.makespan();
+  sched.finalize_availability(t_end);
+  std::printf("chaos(%s/%s): %llu done, %llu lost, %llu kills, makespan %.1f s\n",
+              middleware::to_string(heuristic), policy.c_str(),
+              static_cast<unsigned long long>(sched.completed()),
+              static_cast<unsigned long long>(sched.lost()),
+              static_cast<unsigned long long>(sched.kills()), t_end);
+  std::printf("%s", sched.dependability().report(t_end).c_str());
+  return sched.lost() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -172,6 +301,7 @@ int main(int argc, char** argv) {
     if (facade == "gridsim") return run_gridsim(engine, ini);
     if (facade == "chicsim") return run_chicsim(engine, ini);
     if (facade == "simg") return run_simg(engine, ini);
+    if (facade == "chaos") return run_chaos(engine, ini);
     std::fprintf(stderr, "unknown facade '%s' in [scenario]\n", facade.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,26 @@
+// Crash semantics shared by every failable resource (CPUs, links).
+//
+// The taxonomy's probabilistic-behavior axis meets its dynamic-component
+// axis here: when a resource goes down, does in-flight work survive?
+//
+//   * kFailResume — the outage is transparent: progress freezes and resumes
+//     where it left off on repair (a machine that hibernates). This was the
+//     only behavior before the dependability layer and remains the default.
+//   * kFailStop   — the classic crash model of the dependability
+//     literature: in-flight work is killed and lost; the owner is notified
+//     and must recover (middleware/recovery.hpp provides the policies).
+#pragma once
+
+namespace lsds::core {
+
+enum class FailureSemantics { kFailResume, kFailStop };
+
+inline const char* to_string(FailureSemantics s) {
+  switch (s) {
+    case FailureSemantics::kFailResume: return "fail-resume";
+    case FailureSemantics::kFailStop: return "fail-stop";
+  }
+  return "?";
+}
+
+}  // namespace lsds::core

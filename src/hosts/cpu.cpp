@@ -32,7 +32,8 @@ bool CpuResource::has_idle_core() const {
 
 void CpuResource::submit(JobId id, double ops, DoneFn on_done) {
   assert(id != kInvalidJob && ops >= 0);
-  Running r{std::max(ops, kOpsEpsilon), 0, std::move(on_done)};
+  const double demand = std::max(ops, kOpsEpsilon);
+  Running r{demand, demand, 0, std::move(on_done)};
   if (policy_ == SharingPolicy::kSpaceShared && running_.size() >= cores_) {
     queue_.emplace_back(id, std::move(r));
     record_load();
@@ -134,12 +135,67 @@ void CpuResource::try_dispatch() {
   }
 }
 
+bool CpuResource::cancel(JobId id, double* done_ops) {
+  progress_to_now();  // credit work before measuring this attempt's progress
+  if (auto it = running_.find(id); it != running_.end()) {
+    if (done_ops) *done_ops = it->second.ops - it->second.remaining;
+    running_.erase(it);
+    try_dispatch();
+    record_load();
+    resolve_and_reschedule();
+    return true;
+  }
+  for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+    if (qit->first == id) {
+      if (done_ops) *done_ops = 0;
+      queue_.erase(qit);
+      record_load();
+      return true;
+    }
+  }
+  return false;
+}
+
 void CpuResource::set_online(bool up) {
   if (up == online_) return;
   progress_to_now();  // credit work done before the state change
   online_ = up;
-  if (!up) ++outages_;
+  if (!up) {
+    ++outages_;
+    down_since_ = engine_.now();
+  } else {
+    downtime_ += engine_.now() - down_since_;
+  }
+  // Fail-stop: the crash wipes the node. Running jobs lose their progress,
+  // queued jobs bounce; both are reported through the killed handler so a
+  // recovery policy can re-drive them.
+  std::vector<std::pair<JobId, double>> killed;
+  if (!up && semantics_ == core::FailureSemantics::kFailStop &&
+      (!running_.empty() || !queue_.empty())) {
+    killed.reserve(running_.size() + queue_.size());
+    for (const auto& [id, r] : running_) killed.emplace_back(id, r.ops - r.remaining);
+    for (const auto& [id, r] : queue_) killed.emplace_back(id, 0.0);
+    running_.clear();
+    queue_.clear();
+    std::sort(killed.begin(), killed.end());  // deterministic callback order
+    jobs_killed_ += killed.size();
+    record_load();
+  }
   resolve_and_reschedule();
+  // Callbacks last: they may resubmit work re-entrantly.
+  if (killed_) {
+    for (const auto& [id, lost] : killed) killed_(id, lost);
+  }
+  if (online_observer_) online_observer_(up);
+}
+
+double CpuResource::downtime() const {
+  return downtime_ + (online_ ? 0.0 : engine_.now() - down_since_);
+}
+
+double CpuResource::availability(double t_end) const {
+  if (t_end <= 0) return 1.0;
+  return 1.0 - std::min(downtime(), t_end) / t_end;
 }
 
 double CpuResource::busy_ops() const { return delivered_ops_; }

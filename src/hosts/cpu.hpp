@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/engine.hpp"
+#include "core/failure.hpp"
 #include "hosts/job.hpp"
 #include "stats/timeseries.hpp"
 
@@ -30,6 +31,10 @@ const char* to_string(SharingPolicy p);
 class CpuResource {
  public:
   using DoneFn = std::function<void(JobId)>;
+  /// Fired per job lost to a fail-stop outage or returned from the queue;
+  /// `lost_ops` is the work completed on this attempt and now lost (0 for
+  /// jobs that were still queued).
+  using KilledFn = std::function<void(JobId, double lost_ops)>;
 
   CpuResource(core::Engine& engine, std::string name, unsigned cores, double speed,
               SharingPolicy policy);
@@ -41,13 +46,32 @@ class CpuResource {
   /// (time-shared).
   bool has_idle_core() const;
 
-  /// Failure injection: while offline, running jobs stop progressing and
-  /// queued jobs stay queued; work resumes where it left off when the
-  /// resource comes back (crash-and-resume would be modeled by the caller
-  /// resubmitting). Idempotent.
+  /// Remove a job from service or from the wait queue without firing its
+  /// completion callback (k-replication cancels the losing copies). When
+  /// `done_ops` is non-null it receives the work completed on this attempt.
+  /// Returns false if the job is unknown (already finished or never here).
+  bool cancel(JobId id, double* done_ops = nullptr);
+
+  /// Failure injection. Under kFailResume (default), while offline running
+  /// jobs stop progressing and queued jobs stay queued; work resumes where
+  /// it left off when the resource comes back. Under kFailStop, going
+  /// offline kills every running job (progress is lost) and returns every
+  /// queued job; each fires the KilledFn. Idempotent.
   void set_online(bool up);
   bool online() const { return online_; }
   std::uint64_t outages() const { return outages_; }
+
+  /// Crash semantics applied by set_online(false). Switching policy while
+  /// offline is the caller's foot-gun; set it before injecting failures.
+  void set_failure_semantics(core::FailureSemantics s) { semantics_ = s; }
+  core::FailureSemantics failure_semantics() const { return semantics_; }
+  /// Observer for fail-stop kills. One handler per resource (the recovery
+  /// layer); replaces any previous handler.
+  void set_killed_handler(KilledFn fn) { killed_ = std::move(fn); }
+  /// Observer for online/offline transitions (fires after kill callbacks);
+  /// the recovery layer uses repairs to resume dispatching.
+  using OnlineFn = std::function<void(bool up)>;
+  void set_online_observer(OnlineFn fn) { online_observer_ = std::move(fn); }
 
   std::size_t running() const { return running_.size(); }
   std::size_t queued() const { return queue_.size(); }
@@ -60,15 +84,23 @@ class CpuResource {
   // --- statistics ----------------------------------------------------------
 
   std::uint64_t jobs_completed() const { return jobs_completed_; }
+  /// Jobs killed or returned by fail-stop outages.
+  std::uint64_t jobs_killed() const { return jobs_killed_; }
   /// Integral of in-service work rate; busy_time/capacity/elapsed = utilization.
   double busy_ops() const;
   /// Utilization over [0, t]: delivered ops / (capacity * t).
   double utilization(double t_end) const;
+  /// Cumulative time spent offline (up to now for an ongoing outage).
+  double downtime() const;
+  /// Fraction of [0, t_end] the resource was up — the availability metric
+  /// of the dependability literature.
+  double availability(double t_end) const;
   /// Load (jobs in service + queued) over time.
   const stats::TimeSeries& load_series() const { return load_; }
 
  private:
   struct Running {
+    double ops;  // total demand of this attempt (for lost-work accounting)
     double remaining;
     double rate = 0;
     DoneFn on_done;
@@ -89,10 +121,16 @@ class CpuResource {
   std::unordered_map<JobId, Running> running_;
   std::deque<std::pair<JobId, Running>> queue_;  // space-shared wait queue
   bool online_ = true;
+  core::FailureSemantics semantics_ = core::FailureSemantics::kFailResume;
+  KilledFn killed_;
+  OnlineFn online_observer_;
   std::uint64_t outages_ = 0;
   double last_update_ = 0;
+  double down_since_ = 0;
+  double downtime_ = 0;
   std::uint64_t generation_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_killed_ = 0;
   double delivered_ops_ = 0;
   stats::TimeSeries load_;
 };

@@ -1,45 +1,72 @@
 #include "middleware/failures.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 namespace lsds::middleware {
 
 FailureInjector::FailureInjector(core::Engine& engine, std::string stream)
     : engine_(engine), stream_(std::move(stream)) {}
 
-void FailureInjector::add_cpu(hosts::CpuResource& cpu) { cpus_.push_back({&cpu}); }
+void FailureInjector::add_cpu(hosts::CpuResource& cpu) {
+  targets_.push_back(Target{{&cpu}, nullptr, {}});
+}
 
 void FailureInjector::add_link(net::FlowNetwork& net, net::LinkId link) {
-  links_.push_back({&net, link});
+  targets_.push_back(Target{{}, &net, {link}});
+}
+
+void FailureInjector::add_site(std::vector<hosts::CpuResource*> cpus, net::FlowNetwork* net,
+                               std::vector<net::LinkId> links) {
+  targets_.push_back(Target{std::move(cpus), net, std::move(links)});
 }
 
 void FailureInjector::start(double mtbf, double mttr, double t_end) {
-  const std::size_t n = cpus_.size() + links_.size();
-  for (std::size_t t = 0; t < n; ++t) schedule_failure(t, mtbf, mttr, t_end);
+  start_weibull(/*shape=*/0, mtbf, mttr, t_end);
+}
+
+void FailureInjector::start_weibull(double shape, double mtbf, double mttr, double t_end) {
+  if (started_) {
+    throw std::logic_error(
+        "FailureInjector::start called twice: every target would fail at "
+        "double the intended rate");
+  }
+  started_ = true;
+  mtbf_ = mtbf;
+  mttr_ = mttr;
+  weibull_shape_ = shape;
+  // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k); pick lambda for mean mtbf.
+  weibull_scale_ = shape > 0 ? mtbf / std::tgamma(1.0 + 1.0 / shape) : 0;
+  for (std::size_t t = 0; t < targets_.size(); ++t) schedule_failure(t, t_end);
+}
+
+double FailureInjector::draw_lifetime() {
+  auto& rng = engine_.rng(stream_);
+  if (weibull_shape_ > 0) return rng.weibull(weibull_shape_, weibull_scale_);
+  return rng.exponential(mtbf_);
 }
 
 void FailureInjector::apply(std::size_t target, bool up) {
-  if (target < cpus_.size()) {
-    cpus_[target].cpu->set_online(up);
-  } else {
-    auto& lt = links_[target - cpus_.size()];
-    lt.net->set_link_up(lt.link, up);
-  }
+  Target& t = targets_[target];
+  for (hosts::CpuResource* cpu : t.cpus) cpu->set_online(up);
+  for (net::LinkId l : t.links) t.net->set_link_up(l, up);
 }
 
-void FailureInjector::schedule_failure(std::size_t target, double mtbf, double mttr,
-                                       double t_end) {
-  auto& rng = engine_.rng(stream_);
-  const double fail_in = rng.exponential(mtbf);
+void FailureInjector::schedule_failure(std::size_t target, double t_end) {
+  const double fail_in = draw_lifetime();
   if (engine_.now() + fail_in > t_end) return;  // survives the horizon
-  engine_.schedule_in(fail_in, [this, target, mtbf, mttr, t_end] {
+  engine_.schedule_in(fail_in, [this, target, t_end] {
     ++outages_;
     apply(target, false);
     auto& r = engine_.rng(stream_);
-    const double repair_in = r.exponential(mttr);
-    downtime_ += repair_in;
-    engine_.schedule_in(repair_in, [this, target, mtbf, mttr, t_end] {
+    const double repair_in = r.exponential(mttr_);
+    // Downtime past the horizon is not part of the experiment.
+    downtime_ += std::min(repair_in, std::max(0.0, t_end - engine_.now()));
+    engine_.schedule_in(repair_in, [this, target, t_end] {
       ++repairs_;
       apply(target, true);
-      schedule_failure(target, mtbf, mttr, t_end);  // next cycle
+      schedule_failure(target, t_end);  // next cycle
     });
   });
 }

@@ -1,0 +1,291 @@
+#include "middleware/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lsds::middleware {
+
+namespace {
+constexpr double kOpsEpsilon = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* to_string(RecoveryPolicyKind p) {
+  switch (p) {
+    case RecoveryPolicyKind::kRetry: return "retry";
+    case RecoveryPolicyKind::kResubmit: return "resubmit";
+    case RecoveryPolicyKind::kCheckpoint: return "checkpoint";
+    case RecoveryPolicyKind::kReplicate: return "replicate";
+  }
+  return "?";
+}
+
+FaultTolerantScheduler::FaultTolerantScheduler(core::Engine& engine,
+                                               std::vector<hosts::CpuResource*> resources,
+                                               Heuristic h, RecoveryConfig cfg)
+    : engine_(engine),
+      resources_(std::move(resources)),
+      heuristic_(h),
+      cfg_(cfg),
+      blacklist_until_(resources_.size(), 0.0) {
+  assert(!resources_.empty());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    hosts::CpuResource* cpu = resources_[r];
+    cpu->set_failure_semantics(core::FailureSemantics::kFailStop);
+    cpu->set_killed_handler([this, r](hosts::JobId id, double lost) {
+      on_attempt_killed(r, id, lost);
+    });
+    cpu->set_online_observer([this](bool up) {
+      if (up) try_dispatch();
+    });
+  }
+}
+
+void FaultTolerantScheduler::submit(hosts::Job job) {
+  job.submit_time = engine_.now();
+  TaskState t;
+  t.job = std::move(job);
+  tasks_.push_back(std::move(t));
+  pending_.push_back(tasks_.size() - 1);
+}
+
+void FaultTolerantScheduler::run(JobDoneFn on_done, JobLostFn on_lost) {
+  on_done_ = std::move(on_done);
+  on_lost_ = std::move(on_lost);
+  try_dispatch();
+}
+
+double FaultTolerantScheduler::backoff_delay(std::uint32_t fails) const {
+  const double raw =
+      cfg_.backoff_base * std::pow(cfg_.backoff_factor, static_cast<double>(fails - 1));
+  return std::min(raw, cfg_.backoff_cap);
+}
+
+bool FaultTolerantScheduler::resource_eligible(std::size_t r, double now) const {
+  return resources_[r]->online() && blacklist_until_[r] <= now;
+}
+
+void FaultTolerantScheduler::try_dispatch() {
+  const double now = engine_.now();
+  while (!pending_.empty()) {
+    std::vector<std::size_t> free;
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (resource_eligible(r, now) && resources_[r]->has_idle_core()) free.push_back(r);
+    }
+    if (free.empty()) break;
+
+    // Pick (task, resource) per the heuristic, over tasks past their
+    // backoff gate and the currently free resources. ECT collapses to
+    // remaining/speed because only idle cores are candidates.
+    std::size_t pick_i = pending_.size();
+    std::size_t pick_r = 0;
+    double pick_key = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const TaskState& t = tasks_[pending_[i]];
+      if (t.not_before > now) continue;
+      double best = kInf, second = kInf;
+      std::size_t best_r = kNoPreference;
+      if (t.preferred != kNoPreference) {
+        // Retry-in-place: pinned to the resource that crashed.
+        if (std::find(free.begin(), free.end(), t.preferred) == free.end()) continue;
+        best = remaining_ops(t) / resources_[t.preferred]->speed();
+        best_r = t.preferred;
+      } else {
+        for (std::size_t r : free) {
+          const double e = remaining_ops(t) / resources_[r]->speed();
+          if (e < best) {
+            second = best;
+            best = e;
+            best_r = r;
+          } else if (e < second) {
+            second = e;
+          }
+        }
+      }
+      double key = 0;
+      switch (heuristic_) {
+        case Heuristic::kFifo:
+        case Heuristic::kRoundRobin: key = -static_cast<double>(i); break;
+        case Heuristic::kSjf: key = -remaining_ops(t); break;
+        case Heuristic::kLjf: key = remaining_ops(t); break;
+        case Heuristic::kMinMin: key = -best; break;
+        case Heuristic::kMaxMin: key = best; break;
+        case Heuristic::kSufferage: key = second == kInf ? 0 : second - best; break;
+      }
+      if (first || key > pick_key) {
+        first = false;
+        pick_i = i;
+        pick_r = best_r;
+        pick_key = key;
+      }
+    }
+    if (first) break;  // every pending task is gated or pinned to a busy host
+
+    if (heuristic_ == Heuristic::kRoundRobin &&
+        tasks_[pending_[pick_i]].preferred == kNoPreference) {
+      pick_r = free[rr_next_ % free.size()];
+      ++rr_next_;
+    }
+    const std::size_t slot = pending_[pick_i];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick_i));
+    dispatch(slot, pick_r);
+  }
+
+  // Arm a wakeup for the earliest backoff/blacklist gate still pending.
+  if (pending_.empty()) return;
+  double wake = kInf;
+  for (std::size_t slot : pending_) {
+    if (tasks_[slot].not_before > now) wake = std::min(wake, tasks_[slot].not_before);
+  }
+  for (double b : blacklist_until_) {
+    if (b > now) wake = std::min(wake, b);
+  }
+  if (wake < kInf) schedule_wakeup(wake);
+}
+
+void FaultTolerantScheduler::schedule_wakeup(double t) {
+  const double now = engine_.now();
+  if (wakeup_at_ > now && wakeup_at_ <= t) return;  // an earlier wakeup is armed
+  wakeup_at_ = t;
+  engine_.schedule_at(t, [this, t] {
+    if (wakeup_at_ == t) {
+      wakeup_at_ = -1;
+      try_dispatch();
+    }
+  });
+}
+
+void FaultTolerantScheduler::dispatch(std::size_t slot, std::size_t resource) {
+  TaskState& t = tasks_[slot];
+  ++t.attempts;
+  if (t.attempts == 1) {
+    t.job.dispatch_time = engine_.now();
+    t.job.start_time = engine_.now();
+  }
+  if (cfg_.policy == RecoveryPolicyKind::kRetry) t.preferred = resource;
+  launch_copy(slot, resource);
+  if (cfg_.policy == RecoveryPolicyKind::kReplicate) {
+    const std::size_t k = std::max<std::size_t>(1, std::min(cfg_.replicas, resources_.size()));
+    std::size_t copies = 1;
+    const double now = engine_.now();
+    for (std::size_t r = 0; r < resources_.size() && copies < k; ++r) {
+      if (r == resource) continue;
+      if (!resource_eligible(r, now) || !resources_[r]->has_idle_core()) continue;
+      launch_copy(slot, r);
+      ++copies;
+    }
+  }
+}
+
+void FaultTolerantScheduler::launch_copy(std::size_t slot, std::size_t resource) {
+  TaskState& t = tasks_[slot];
+  double segment = remaining_ops(t);
+  double overhead = 0;
+  if (cfg_.policy == RecoveryPolicyKind::kCheckpoint && cfg_.checkpoint_interval_ops > 0 &&
+      segment > cfg_.checkpoint_interval_ops + kOpsEpsilon) {
+    segment = cfg_.checkpoint_interval_ops;
+    overhead = cfg_.checkpoint_overhead_ops;
+  }
+  const hosts::JobId attempt_id = next_attempt_id_++;
+  active_.emplace(attempt_id, Attempt{slot, resource, segment, overhead});
+  t.live_copies.push_back(attempt_id);
+  resources_[resource]->submit(attempt_id, segment + overhead,
+                               [this](hosts::JobId id) { on_attempt_done(id); });
+}
+
+void FaultTolerantScheduler::on_attempt_done(hosts::JobId attempt_id) {
+  auto it = active_.find(attempt_id);
+  if (it == active_.end()) return;  // superseded (cancelled replica)
+  const Attempt a = it->second;
+  active_.erase(it);
+  TaskState& t = tasks_[a.slot];
+  t.live_copies.erase(std::find(t.live_copies.begin(), t.live_copies.end(), attempt_id));
+
+  if (cfg_.policy == RecoveryPolicyKind::kCheckpoint) {
+    if (a.overhead_ops > 0) tracker_.overhead(a.overhead_ops);
+    t.committed += a.segment_ops;
+    if (remaining_ops(t) > kOpsEpsilon) {
+      launch_copy(a.slot, a.resource);  // next segment on the core just freed
+      return;
+    }
+  } else if (cfg_.policy == RecoveryPolicyKind::kReplicate) {
+    // First copy to finish wins; cancel the rest, their progress is waste.
+    const std::vector<hosts::JobId> losers = t.live_copies;
+    for (hosts::JobId other : losers) {
+      auto oit = active_.find(other);
+      if (oit == active_.end()) continue;
+      double done_ops = 0;
+      resources_[oit->second.resource]->cancel(other, &done_ops);
+      tracker_.work_lost(done_ops);
+      active_.erase(oit);
+    }
+    t.live_copies.clear();
+  }
+  complete(a.slot);
+  try_dispatch();
+}
+
+void FaultTolerantScheduler::on_attempt_killed(std::size_t resource, hosts::JobId attempt_id,
+                                               double lost_ops) {
+  auto it = active_.find(attempt_id);
+  if (it == active_.end()) return;
+  const Attempt a = it->second;
+  active_.erase(it);
+  ++kills_;
+  tracker_.work_lost(lost_ops);
+  TaskState& t = tasks_[a.slot];
+  t.live_copies.erase(std::find(t.live_copies.begin(), t.live_copies.end(), attempt_id));
+  // Surviving replicas keep the job alive; only the last death requeues.
+  if (cfg_.policy == RecoveryPolicyKind::kReplicate && !t.live_copies.empty()) return;
+  requeue(a.slot, resource);
+  try_dispatch();
+}
+
+void FaultTolerantScheduler::requeue(std::size_t slot, std::size_t failed_resource) {
+  TaskState& t = tasks_[slot];
+  if (cfg_.max_attempts > 0 && t.attempts >= cfg_.max_attempts) {
+    t.finished = true;
+    ++lost_;
+    tracker_.job_lost(t.attempts);
+    if (on_lost_) on_lost_(t.job);
+    return;
+  }
+  const double now = engine_.now();
+  switch (cfg_.policy) {
+    case RecoveryPolicyKind::kRetry:
+      t.preferred = failed_resource;
+      t.not_before = now + backoff_delay(t.attempts);
+      break;
+    case RecoveryPolicyKind::kResubmit:
+      blacklist_until_[failed_resource] =
+          std::max(blacklist_until_[failed_resource], now + cfg_.blacklist_duration);
+      t.not_before = now;
+      break;
+    case RecoveryPolicyKind::kCheckpoint:
+    case RecoveryPolicyKind::kReplicate:
+      t.not_before = now + backoff_delay(t.attempts);
+      break;
+  }
+  pending_.push_back(slot);
+}
+
+void FaultTolerantScheduler::complete(std::size_t slot) {
+  TaskState& t = tasks_[slot];
+  t.finished = true;
+  t.job.finish_time = engine_.now();
+  makespan_ = std::max(makespan_, t.job.finish_time);
+  responses_.add(t.job.response_time());
+  ++completed_;
+  tracker_.job_completed(t.job.ops, t.attempts);
+  if (on_done_) on_done_(t.job);
+}
+
+void FaultTolerantScheduler::finalize_availability(double t_end) {
+  for (const hosts::CpuResource* cpu : resources_) {
+    tracker_.resource_availability(cpu->name(), cpu->availability(t_end));
+  }
+}
+
+}  // namespace lsds::middleware

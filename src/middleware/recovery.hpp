@@ -1,0 +1,164 @@
+// Recovery policies and fault-tolerant scheduling.
+//
+// Under fail-stop crash semantics (core/failure.hpp) an outage *loses*
+// work; this layer decides how the work comes back. Four classic policies
+// from the dependability literature, composable with every BagScheduler
+// heuristic:
+//
+//   kRetry      — retry in place: the job returns to the resource that
+//                 crashed, after an exponential backoff (capped attempts).
+//   kResubmit   — resubmit elsewhere: the crashed resource is temporarily
+//                 blacklisted and the job is redispatched to another host.
+//   kCheckpoint — periodic checkpoint/restart: the job runs as segments of
+//                 `checkpoint_interval_ops`; each committed checkpoint costs
+//                 `checkpoint_overhead_ops` extra work, and a crash only
+//                 loses the progress since the last commit.
+//   kReplicate  — k-replication: up to k copies run on distinct resources;
+//                 the first to finish wins and the rest are cancelled.
+//
+// FaultTolerantScheduler re-implements BagScheduler's dispatch heuristics
+// (fifo/sjf/ljf/round-robin plus the ECT family evaluated dynamically over
+// the currently free resources) on top of whichever policy is configured,
+// and keeps the dependability ledger (stats/dependability.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "hosts/job.hpp"
+#include "middleware/scheduler.hpp"
+#include "stats/dependability.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::middleware {
+
+enum class RecoveryPolicyKind { kRetry, kResubmit, kCheckpoint, kReplicate };
+
+const char* to_string(RecoveryPolicyKind p);
+
+inline constexpr RecoveryPolicyKind kAllRecoveryPolicies[] = {
+    RecoveryPolicyKind::kRetry,
+    RecoveryPolicyKind::kResubmit,
+    RecoveryPolicyKind::kCheckpoint,
+    RecoveryPolicyKind::kReplicate,
+};
+
+struct RecoveryConfig {
+  RecoveryPolicyKind policy = RecoveryPolicyKind::kRetry;
+
+  /// Backoff before re-dispatching a killed job: base * factor^(fails-1),
+  /// capped. Applies to kRetry, kCheckpoint and kReplicate respawns.
+  double backoff_base = 1.0;
+  double backoff_factor = 2.0;
+  double backoff_cap = 60.0;
+  /// Dispatch budget per job; a job killed on its max_attempts-th dispatch
+  /// is abandoned (reported lost). 0 = unlimited.
+  std::size_t max_attempts = 0;
+
+  /// kResubmit: how long a crashed resource stays off-limits.
+  double blacklist_duration = 30.0;
+
+  /// kCheckpoint: ops between commits (0 = one segment, i.e. pure restart)
+  /// and the extra ops charged per committed checkpoint.
+  double checkpoint_interval_ops = 0;
+  double checkpoint_overhead_ops = 0;
+
+  /// kReplicate: copies per job (clamped to the resource count; fewer run
+  /// when fewer resources are free).
+  std::size_t replicas = 2;
+};
+
+class FaultTolerantScheduler {
+ public:
+  using JobDoneFn = std::function<void(const hosts::Job&)>;
+  using JobLostFn = std::function<void(const hosts::Job&)>;
+
+  /// Puts every resource into kFailStop semantics and installs the killed /
+  /// online observers. The scheduler must outlive the engine run.
+  FaultTolerantScheduler(core::Engine& engine, std::vector<hosts::CpuResource*> resources,
+                         Heuristic h, RecoveryConfig cfg);
+
+  /// Add a task to the bag (before run()).
+  void submit(hosts::Job job);
+
+  /// Dispatch the bag; `on_done` fires per completion, `on_lost` per job
+  /// abandoned after max_attempts. Call Engine::run() afterwards.
+  void run(JobDoneFn on_done = nullptr, JobLostFn on_lost = nullptr);
+
+  // --- results (valid once the engine drained) -----------------------------
+
+  double makespan() const { return makespan_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t lost() const { return lost_; }
+  /// Fail-stop kills observed (attempt granularity; replicate copies count
+  /// individually).
+  std::uint64_t kills() const { return kills_; }
+  const stats::SampleSet& response_times() const { return responses_; }
+  stats::DependabilityTracker& dependability() { return tracker_; }
+  const stats::DependabilityTracker& dependability() const { return tracker_; }
+
+  /// Record per-resource availability over [0, t_end] into the tracker
+  /// (call after the run, with the experiment horizon).
+  void finalize_availability(double t_end);
+
+ private:
+  static constexpr std::size_t kNoPreference = std::numeric_limits<std::size_t>::max();
+
+  struct TaskState {
+    hosts::Job job;
+    std::uint32_t attempts = 0;  // dispatch rounds so far
+    double committed = 0;        // checkpointed ops
+    double not_before = 0;       // backoff gate
+    std::size_t preferred = kNoPreference;  // kRetry: pinned resource
+    std::vector<hosts::JobId> live_copies;  // kReplicate: attempt ids in flight
+    bool finished = false;
+  };
+
+  struct Attempt {
+    std::size_t slot;      // index into tasks_
+    std::size_t resource;  // index into resources_
+    double segment_ops;    // demand of this submission (checkpoint segment)
+    double overhead_ops;   // checkpoint overhead charged in this submission
+  };
+
+  void try_dispatch();
+  void dispatch(std::size_t slot, std::size_t resource);
+  void launch_copy(std::size_t slot, std::size_t resource);
+  void on_attempt_done(hosts::JobId attempt_id);
+  void on_attempt_killed(std::size_t resource, hosts::JobId attempt_id, double lost_ops);
+  void requeue(std::size_t slot, std::size_t failed_resource);
+  void complete(std::size_t slot);
+  void schedule_wakeup(double t);
+  double backoff_delay(std::uint32_t fails) const;
+  bool resource_eligible(std::size_t r, double now) const;
+  double remaining_ops(const TaskState& t) const { return t.job.ops - t.committed; }
+
+  core::Engine& engine_;
+  std::vector<hosts::CpuResource*> resources_;
+  Heuristic heuristic_;
+  RecoveryConfig cfg_;
+
+  std::vector<TaskState> tasks_;
+  std::vector<std::size_t> pending_;  // task slots awaiting dispatch, FIFO order
+  std::unordered_map<hosts::JobId, Attempt> active_;
+  std::vector<double> blacklist_until_;
+  hosts::JobId next_attempt_id_ = 1;
+  std::size_t rr_next_ = 0;
+  double wakeup_at_ = -1;
+
+  JobDoneFn on_done_;
+  JobLostFn on_lost_;
+  double makespan_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t kills_ = 0;
+  stats::SampleSet responses_;
+  stats::DependabilityTracker tracker_;
+};
+
+}  // namespace lsds::middleware

@@ -24,7 +24,29 @@ void FlowNetwork::set_link_up(LinkId id, bool up) {
   if (static_cast<bool>(link_up_[id]) == up) return;
   progress_to_now();
   link_up_[id] = up ? 1 : 0;
+  // Fail-stop: the outage severs every connection crossing the link. Abort
+  // them all (latency-phase flows included — their handshake dies too).
+  std::vector<std::pair<FlowId, ErrorFn>> aborted;
+  if (!up && semantics_ == core::FailureSemantics::kFailStop) {
+    std::vector<FlowId> doomed;
+    for (const auto& [fid, flow] : flows_) {
+      if (std::find(flow.links.begin(), flow.links.end(), id) != flow.links.end()) {
+        doomed.push_back(fid);
+      }
+    }
+    std::sort(doomed.begin(), doomed.end());  // deterministic callback order
+    for (FlowId fid : doomed) {
+      auto it = flows_.find(fid);
+      aborted.emplace_back(fid, std::move(it->second.on_error));
+      flows_.erase(it);
+      ++flows_aborted_;
+    }
+  }
   resolve_and_reschedule();
+  // Callbacks last: they may start replacement flows re-entrantly.
+  for (auto& [fid, cb] : aborted) {
+    if (cb) cb(fid);
+  }
 }
 
 FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes, CompletionFn on_complete) {
@@ -32,7 +54,7 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes, CompletionF
 }
 
 FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, double weight,
-                                        CompletionFn on_complete) {
+                                        CompletionFn on_complete, ErrorFn on_error) {
   assert(bytes >= 0);
   assert(weight > 0);
   const Route& route = routing_.route(src, dst);
@@ -43,7 +65,20 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
   Flow flow{id,     src == dst ? std::vector<LinkId>{} : route.links,
             bytes,  0,
             weight, false,
-            std::move(on_complete)};
+            std::move(on_complete), std::move(on_error)};
+  // Fail-stop + route already down = connection refused: fail asynchronously
+  // (callers expect the error after start_flow returns), never admit the flow.
+  if (semantics_ == core::FailureSemantics::kFailStop) {
+    for (LinkId l : flow.links) {
+      if (!link_up_[l]) {
+        ++flows_aborted_;
+        engine_.schedule_in(0, [cb = std::move(flow.on_error), id] {
+          if (cb) cb(id);
+        });
+        return id;
+      }
+    }
+  }
   flows_.emplace(id, std::move(flow));
 
   const double latency = src == dst ? 0.0 : route.total_latency;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/failure.hpp"
 #include "net/routing.hpp"
 #include "stats/timeseries.hpp"
 
@@ -33,6 +34,8 @@ inline constexpr FlowId kInvalidFlow = 0;
 class FlowNetwork {
  public:
   using CompletionFn = std::function<void(FlowId)>;
+  /// Fired when a flow is aborted by a fail-stop link outage.
+  using ErrorFn = std::function<void(FlowId)>;
 
   FlowNetwork(core::Engine& engine, Routing& routing);
 
@@ -46,17 +49,33 @@ class FlowNetwork {
   /// link, a weight-2 flow receives twice the rate of a weight-1 flow
   /// (SimGrid-style flow priorities). weight must be > 0.
   FlowId start_flow_weighted(NodeId src, NodeId dst, double bytes, double weight,
-                             CompletionFn on_complete = nullptr);
+                             CompletionFn on_complete = nullptr, ErrorFn on_error = nullptr);
+
+  /// Failure-aware variant: under kFailStop link semantics, `on_error`
+  /// fires (instead of the flow hanging) when an outage hits the route —
+  /// including a route that is already down at start time. The recovery
+  /// layer (net/transfer.hpp retries) builds on this.
+  FlowId start_flow_checked(NodeId src, NodeId dst, double bytes, CompletionFn on_complete,
+                            ErrorFn on_error) {
+    return start_flow_weighted(src, dst, bytes, 1.0, std::move(on_complete),
+                               std::move(on_error));
+  }
 
   /// Abort an in-flight flow. Returns false if already finished/unknown.
   bool cancel(FlowId id);
 
-  /// Failure injection: a down link contributes zero capacity, so every
-  /// flow crossing it stalls (rate 0) until the link returns. Routing is
-  /// static — flows are not re-routed around outages, they wait them out
-  /// (the behavior of a transport connection riding out a flap).
+  /// Failure injection. Under kFailResume (default), a down link
+  /// contributes zero capacity, so every flow crossing it stalls (rate 0)
+  /// until the link returns — a transport connection riding out a flap.
+  /// Under kFailStop, every flow whose route crosses the failed link is
+  /// aborted: it is removed and its on_error (when provided) fires.
+  /// Routing is static — flows are never re-routed around outages.
   void set_link_up(LinkId id, bool up);
   bool link_up(LinkId id) const { return link_up_[id]; }
+
+  /// Crash semantics applied by set_link_up(false) to flows in flight.
+  void set_failure_semantics(core::FailureSemantics s) { semantics_ = s; }
+  core::FailureSemantics failure_semantics() const { return semantics_; }
 
   // --- inspection --------------------------------------------------------
 
@@ -74,6 +93,8 @@ class FlowNetwork {
 
   double total_bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t flows_completed() const { return flows_completed_; }
+  /// Flows killed by fail-stop link outages.
+  std::uint64_t flows_aborted() const { return flows_aborted_; }
   /// Cumulative bytes carried per link.
   double link_bytes(LinkId id) const { return link_bytes_[id]; }
 
@@ -90,6 +111,7 @@ class FlowNetwork {
     double weight = 1.0;
     bool sharing = false;  // false during the latency phase
     CompletionFn on_complete;
+    ErrorFn on_error;
   };
 
   void activate(FlowId id);
@@ -103,6 +125,7 @@ class FlowNetwork {
 
   core::Engine& engine_;
   Routing& routing_;
+  core::FailureSemantics semantics_ = core::FailureSemantics::kFailResume;
   std::unordered_map<FlowId, Flow> flows_;
   std::vector<double> link_rate_;
   std::vector<double> link_bytes_;
@@ -113,6 +136,7 @@ class FlowNetwork {
   std::uint64_t generation_ = 0;  // invalidates stale completion events
   double bytes_delivered_ = 0;
   std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_aborted_ = 0;
 };
 
 }  // namespace lsds::net

@@ -1,5 +1,8 @@
 #include "net/transfer.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace lsds::net {
 
 TransferService::TransferService(core::Engine& engine, FlowNetwork& net)
@@ -37,18 +40,42 @@ std::size_t TransferService::queued() const {
 void TransferService::start_now(Pending p) {
   p.rec.start_time = engine_.now();
   waits_.add(p.rec.start_time - p.rec.submit_time);
-  const PairKey key{p.rec.src, p.rec.dst};
-  // The completion lambda owns the record and callback.
-  auto done = [this, p = std::move(p), key](FlowId) mutable {
-    p.rec.finish_time = engine_.now();
-    durations_.add(p.rec.finish_time - p.rec.start_time);
-    bytes_completed_ += p.rec.bytes;
+  dial(std::make_shared<Pending>(std::move(p)));
+}
+
+void TransferService::dial(std::shared_ptr<Pending> p) {
+  const PairKey key{p->rec.src, p->rec.dst};
+  auto done = [this, p, key](FlowId) {
+    p->rec.finish_time = engine_.now();
+    durations_.add(p->rec.finish_time - p->rec.start_time);
+    bytes_completed_ += p->rec.bytes;
     ++completed_;
     --in_flight_[key];
-    if (p.on_done) p.on_done(p.rec);
+    if (p->on_done) p->on_done(p->rec);
     try_start(key);
   };
-  net_.start_flow(p.rec.src, p.rec.dst, p.rec.bytes, std::move(done));
+  // Fail-stop abort: re-dial after exponential backoff; the stream slot
+  // stays held (the pair is still "connecting"). A transfer that exhausts
+  // its attempt budget completes as failed.
+  auto err = [this, p, key](FlowId) {
+    if (cfg_.max_attempts > 0 && p->rec.attempts >= cfg_.max_attempts) {
+      p->rec.finish_time = engine_.now();
+      p->rec.failed = true;
+      ++failed_count_;
+      --in_flight_[key];
+      if (p->on_done) p->on_done(p->rec);
+      try_start(key);
+      return;
+    }
+    const double delay =
+        std::min(cfg_.retry_backoff * std::pow(cfg_.backoff_factor,
+                                               static_cast<double>(p->rec.attempts - 1)),
+                 cfg_.backoff_cap);
+    ++p->rec.attempts;
+    ++retries_;
+    engine_.schedule_in(delay, [this, p] { dial(p); });
+  };
+  net_.start_flow_checked(p->rec.src, p->rec.dst, p->rec.bytes, std::move(done), std::move(err));
 }
 
 void TransferService::try_start(PairKey key) {

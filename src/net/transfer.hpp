@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "net/flow.hpp"
@@ -26,6 +27,10 @@ struct TransferRecord {
   double submit_time = 0;
   double start_time = 0;   // when the flow actually started (after queueing)
   double finish_time = 0;
+  /// Dial attempts made (> 1 when fail-stop outages forced retries).
+  std::uint32_t attempts = 1;
+  /// True when the transfer gave up after max_attempts aborts.
+  bool failed = false;
 };
 
 class TransferService {
@@ -33,6 +38,14 @@ class TransferService {
   struct Config {
     /// Max simultaneous streams per (src,dst) pair; 0 = unlimited.
     std::size_t max_streams_per_pair = 0;
+    /// Retry budget under fail-stop link semantics: total dial attempts per
+    /// transfer. 1 = no retry (an abort is a permanent failure), 0 =
+    /// unlimited. Aborted attempts are re-dialed after an exponential
+    /// backoff instead of hanging on the dead link.
+    std::size_t max_attempts = 1;
+    double retry_backoff = 1.0;   // delay before the first re-dial
+    double backoff_factor = 2.0;  // growth per further re-dial
+    double backoff_cap = 60.0;    // ceiling on the re-dial delay
   };
 
   using DoneFn = std::function<void(const TransferRecord&)>;
@@ -51,6 +64,10 @@ class TransferService {
   const stats::SampleSet& queue_waits() const { return waits_; }
   double bytes_completed() const { return bytes_completed_; }
   std::uint64_t completed() const { return completed_; }
+  /// Re-dials after fail-stop aborts.
+  std::uint64_t retries() const { return retries_; }
+  /// Transfers that exhausted their attempt budget.
+  std::uint64_t failed() const { return failed_count_; }
   std::size_t queued() const;
 
  private:
@@ -62,6 +79,7 @@ class TransferService {
 
   void try_start(PairKey key);
   void start_now(Pending p);
+  void dial(std::shared_ptr<Pending> p);
 
   core::Engine& engine_;
   FlowNetwork& net_;
@@ -72,6 +90,8 @@ class TransferService {
   stats::SampleSet waits_;
   double bytes_completed_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_count_ = 0;
   std::uint64_t next_id_ = 1;
 };
 

@@ -160,6 +160,7 @@ Result run(core::Engine& engine, const Config& cfg) {
                   cfg.client_bw, cfg.client_latency);
   }
   grid.finalize();
+  auto chaos = inject_failures(grid, cfg.failures);
 
   Result res;
   res.per_server.assign(cfg.num_servers, 0);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "middleware/failures.hpp"
 #include "stats/summary.hpp"
 
 namespace lsds::sim::bricks {
@@ -59,6 +60,9 @@ struct Config {
   double client_latency = 0.02;
   double server_bw = 125e6;  // 1 Gbps
   double server_latency = 0.002;
+
+  /// Optional chaos: fail-resume outages on every site CPU and link.
+  middleware::FailureSpec failures;
 };
 
 struct Result {

@@ -208,6 +208,7 @@ Result run(core::Engine& engine, const Config& cfg) {
                   cfg.site_latency);
   }
   grid.finalize();
+  auto chaos = inject_failures(grid, cfg.failures);
 
   middleware::ReplicaCatalog catalog(grid.routing());
   Result res;

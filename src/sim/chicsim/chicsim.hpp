@@ -23,6 +23,7 @@
 
 #include "apps/workload.hpp"
 #include "core/engine.hpp"
+#include "middleware/failures.hpp"
 #include "stats/summary.hpp"
 
 namespace lsds::sim::chicsim {
@@ -62,6 +63,9 @@ struct Config {
   /// to the `push_fanout` least-loaded other sites.
   std::uint32_t push_threshold = 5;
   std::size_t push_fanout = 2;
+
+  /// Optional chaos: fail-resume outages on every site CPU and link.
+  middleware::FailureSpec failures;
 };
 
 struct Result {

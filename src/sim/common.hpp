@@ -10,15 +10,45 @@
 #pragma once
 
 #include <coroutine>
+#include <memory>
 #include <string>
 
 #include "core/engine.hpp"
 #include "core/process.hpp"
 #include "hosts/cpu.hpp"
+#include "hosts/site.hpp"
 #include "hosts/storage.hpp"
+#include "middleware/failures.hpp"
 #include "net/flow.hpp"
 
 namespace lsds::sim {
+
+/// Wire a FailureSpec onto every site CPU (and, optionally, every link) of
+/// a finalized Grid and start the fail/repair cycles. Returns the running
+/// injector — keep it alive for the whole run — or nullptr when the spec is
+/// disabled. Facades model *transparent* (fail-resume) chaos: outages delay
+/// work but never lose it; fail-stop crash recovery is the domain of
+/// middleware::FaultTolerantScheduler.
+inline std::unique_ptr<middleware::FailureInjector> inject_failures(
+    hosts::Grid& grid, const middleware::FailureSpec& spec) {
+  if (!spec.enabled) return nullptr;
+  auto inject = std::make_unique<middleware::FailureInjector>(grid.engine());
+  for (std::size_t s = 0; s < grid.site_count(); ++s) {
+    inject->add_cpu(grid.site(static_cast<hosts::SiteId>(s)).cpu());
+  }
+  if (spec.include_links) {
+    for (std::size_t l = 0; l < grid.topology().link_count(); ++l) {
+      inject->add_link(grid.net(), static_cast<net::LinkId>(l));
+    }
+  }
+  const double horizon = spec.horizon > 0 ? spec.horizon : 1e5;
+  if (spec.weibull_shape > 0) {
+    inject->start_weibull(spec.weibull_shape, spec.mtbf, spec.mttr, horizon);
+  } else {
+    inject->start(spec.mtbf, spec.mttr, horizon);
+  }
+  return inject;
+}
 
 struct TransferAwaiter {
   net::FlowNetwork& net;

@@ -172,6 +172,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     }
   }
   grid.finalize();
+  auto chaos = inject_failures(grid, cfg.failures);
   grid.net().track_link(0);  // first T0-T1 link
 
   Result res;

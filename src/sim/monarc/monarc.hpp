@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "middleware/failures.hpp"
 #include "stats/summary.hpp"
 #include "stats/timeseries.hpp"
 
@@ -70,6 +71,9 @@ struct Config {
 
   /// Simulation horizon; 0 = run to completion.
   double horizon = 0;
+
+  /// Optional chaos: fail-resume outages on every site CPU and link.
+  middleware::FailureSpec failures;
 };
 
 struct Result {

@@ -123,6 +123,7 @@ Result run(core::Engine& engine, const Config& cfg) {
                   cfg.site_latency);
   }
   grid.finalize();
+  auto chaos = inject_failures(grid, cfg.failures);
 
   middleware::ReplicaCatalog catalog(grid.routing());
   auto strategy = middleware::make_replication_strategy(cfg.policy);

@@ -17,6 +17,7 @@
 
 #include "apps/workload.hpp"
 #include "core/engine.hpp"
+#include "middleware/failures.hpp"
 #include "middleware/replication.hpp"
 #include "stats/summary.hpp"
 
@@ -35,6 +36,9 @@ struct Config {
 
   apps::DataGridWorkloadSpec workload;
   middleware::ReplicationPolicy policy = middleware::ReplicationPolicy::kLru;
+
+  /// Optional chaos: fail-resume outages on every site CPU and link.
+  middleware::FailureSpec failures;
 };
 
 struct Result {

@@ -1,0 +1,46 @@
+#include "stats/dependability.hpp"
+
+#include <cstdio>
+
+namespace lsds::stats {
+
+double DependabilityTracker::goodput(double horizon) const {
+  return horizon > 0 ? useful_ops_ / horizon : 0.0;
+}
+
+double DependabilityTracker::raw_throughput(double horizon) const {
+  return horizon > 0 ? (useful_ops_ + wasted_ops_ + overhead_ops_) / horizon : 0.0;
+}
+
+double DependabilityTracker::waste_fraction() const {
+  const double all = useful_ops_ + wasted_ops_ + overhead_ops_;
+  return all > 0 ? (wasted_ops_ + overhead_ops_) / all : 0.0;
+}
+
+double DependabilityTracker::mean_availability() const {
+  if (availability_.empty()) return 1.0;
+  double sum = 0;
+  for (const auto& [name, a] : availability_) sum += a;
+  return sum / static_cast<double>(availability_.size());
+}
+
+std::string DependabilityTracker::report(double horizon) const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "jobs: %llu completed, %llu lost; attempts mean %.2f max %.0f\n"
+                "work: %.3g useful, %.3g wasted, %.3g overhead ops (waste %.1f%%)\n"
+                "goodput %.3g ops/s vs raw throughput %.3g ops/s; "
+                "mean availability %.4f\n",
+                static_cast<unsigned long long>(jobs_completed_),
+                static_cast<unsigned long long>(jobs_lost_), attempts_.mean(), attempts_.max(),
+                useful_ops_, wasted_ops_, overhead_ops_, waste_fraction() * 100,
+                goodput(horizon), raw_throughput(horizon), mean_availability());
+  std::string out(buf);
+  for (const auto& [name, a] : availability_) {
+    std::snprintf(buf, sizeof(buf), "  %-12s availability %.4f\n", name.c_str(), a);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lsds::stats

@@ -1,0 +1,87 @@
+// Dependability accounting.
+//
+// The metrics the dependability extension exists to answer (availability,
+// reliability, cost of recovery) reduce to a small ledger kept next to the
+// scheduler: which ops were *useful* (contributed to a completed job),
+// which were *wasted* (progress lost to a fail-stop kill, or duplicate work
+// of cancelled replicas), and which were *overhead* (checkpoints written).
+// Goodput is useful work over the horizon; raw throughput counts everything
+// the CPUs delivered — the gap between them is the price of chaos plus the
+// price of the recovery policy.
+//
+// This layer is deliberately hosts-agnostic (plain numbers in), so it can
+// account for any resource kind; per-resource availability rows are fed by
+// the caller (hosts::CpuResource::availability).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace lsds::stats {
+
+class DependabilityTracker {
+ public:
+  /// A job finished for good: `useful_ops` of demand done, after `attempts`
+  /// total dispatches.
+  void job_completed(double useful_ops, std::uint32_t attempts) {
+    useful_ops_ += useful_ops;
+    attempts_.add(static_cast<double>(attempts));
+    ++jobs_completed_;
+  }
+
+  /// A job exhausted its retry budget and was abandoned.
+  void job_lost(std::uint32_t attempts) {
+    attempts_.add(static_cast<double>(attempts));
+    ++jobs_lost_;
+  }
+
+  /// Progress lost: a killed attempt's partial work, or a cancelled
+  /// replica's duplicate work.
+  void work_lost(double ops) { wasted_ops_ += ops; }
+
+  /// Work that is neither job demand nor loss: checkpoint writes.
+  void overhead(double ops) { overhead_ops_ += ops; }
+
+  void resource_availability(std::string name, double availability) {
+    availability_.emplace_back(std::move(name), availability);
+  }
+
+  // --- readings -------------------------------------------------------------
+
+  double useful_ops() const { return useful_ops_; }
+  double wasted_ops() const { return wasted_ops_; }
+  double overhead_ops() const { return overhead_ops_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+  std::uint64_t jobs_lost() const { return jobs_lost_; }
+  /// Dispatch counts per finished (completed or lost) job.
+  const SampleSet& attempts() const { return attempts_; }
+  const std::vector<std::pair<std::string, double>>& availabilities() const {
+    return availability_;
+  }
+
+  /// Useful ops per unit time over [0, horizon].
+  double goodput(double horizon) const;
+  /// All delivered ops (useful + wasted + overhead) per unit time.
+  double raw_throughput(double horizon) const;
+  /// Share of delivered work that served no job: (wasted + overhead) / all.
+  double waste_fraction() const;
+  /// Mean of the recorded per-resource availabilities (1 when none).
+  double mean_availability() const;
+
+  /// Multi-line human-readable summary of the ledger.
+  std::string report(double horizon) const;
+
+ private:
+  double useful_ops_ = 0;
+  double wasted_ops_ = 0;
+  double overhead_ops_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_lost_ = 0;
+  SampleSet attempts_;
+  std::vector<std::pair<std::string, double>> availability_;
+};
+
+}  // namespace lsds::stats

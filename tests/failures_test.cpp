@@ -2,9 +2,14 @@
 // and the engine's event-budget watchdog.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "hosts/cpu.hpp"
 #include "middleware/failures.hpp"
+#include "middleware/recovery.hpp"
 #include "net/flow.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
@@ -203,6 +208,129 @@ TEST(FailureInjector, DeterministicForSeed) {
   const auto b = run_once();
   EXPECT_EQ(a, b);
   EXPECT_GT(a.first, 50.0);  // nominal 50s plus some downtime
+}
+
+TEST(FailureInjector, DoubleStartThrows) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  mw::FailureInjector chaos(eng);
+  chaos.add_cpu(cpu);
+  chaos.start(10.0, 2.0, 100.0);
+  EXPECT_TRUE(chaos.started());
+  // A second start would silently double every target's failure rate.
+  EXPECT_THROW(chaos.start(10.0, 2.0, 100.0), std::logic_error);
+  EXPECT_THROW(chaos.start_weibull(1.5, 10.0, 2.0, 100.0), std::logic_error);
+}
+
+TEST(FailureInjector, DowntimeTruncatedAtHorizon) {
+  constexpr std::uint64_t kSeed = 11;
+  constexpr double kMtbf = 10.0, kMttr = 5.0, kHorizon = 40.0;
+  core::Engine eng(core::QueueKind::kBinaryHeap, kSeed);
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  mw::FailureInjector chaos(eng);
+  chaos.add_cpu(cpu);
+  chaos.start(kMtbf, kMttr, kHorizon);
+  eng.run();
+
+  // One target means the injector's draws are strictly sequential, so an
+  // identical stream replays them: lifetime, then repair, per cycle.
+  core::RngStream replay(kSeed, "failures");
+  double t = 0, expected = 0;
+  while (true) {
+    t += replay.exponential(kMtbf);
+    if (t > kHorizon) break;
+    const double repair = replay.exponential(kMttr);
+    // An outage still open at the horizon contributes only up to it.
+    expected += std::min(repair, kHorizon - t);
+    t += repair;
+  }
+  EXPECT_NEAR(chaos.total_downtime(), expected, 1e-9);
+  EXPECT_GT(chaos.total_downtime(), 0.0);
+}
+
+TEST(FailureInjector, CorrelatedSiteOutage) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 5);
+  hosts::CpuResource c1(eng, "a", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  hosts::CpuResource c2(eng, "b", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  mw::FailureInjector chaos(eng);
+  chaos.add_site({&c1, &c2});  // one power feed for the whole site
+  chaos.start(10.0, 2.0, 100.0);
+  eng.run();
+  EXPECT_GT(chaos.outages_started(), 0u);
+  // Both CPUs fail and repair together: identical outage counts & downtime.
+  EXPECT_EQ(c1.outages(), c2.outages());
+  EXPECT_DOUBLE_EQ(c1.downtime(), c2.downtime());
+}
+
+TEST(FailureInjector, WeibullLifetimesDeterministicForSeed) {
+  auto run_once = [] {
+    core::Engine eng(core::QueueKind::kBinaryHeap, 21);
+    hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+    mw::FailureInjector chaos(eng);
+    chaos.add_cpu(cpu);
+    chaos.start_weibull(/*shape=*/0.7, /*mtbf=*/10.0, /*mttr=*/2.0, /*t_end=*/300.0);
+    eng.run();
+    return std::pair{chaos.outages_started(), chaos.total_downtime()};
+  };
+  const auto a = run_once();
+  EXPECT_GT(a.first, 0u);
+  EXPECT_EQ(a, run_once());
+}
+
+// --- whole-run determinism under chaos ---------------------------------------
+
+namespace {
+
+/// Full dependability stack: injector-driven fail-stop outages over a farm
+/// run by the fault-tolerant scheduler. Returns the engine's (time, seq)
+/// execution trace.
+std::vector<std::pair<double, std::uint64_t>> chaos_trace(std::uint64_t seed) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  std::vector<std::pair<double, std::uint64_t>> trace;
+  eng.set_trace_hook([&](double t, core::EventId id) { trace.emplace_back(t, id); });
+
+  std::vector<std::unique_ptr<hosts::CpuResource>> owned;
+  std::vector<hosts::CpuResource*> cpus;
+  for (int i = 0; i < 4; ++i) {
+    owned.push_back(std::make_unique<hosts::CpuResource>(eng, "h" + std::to_string(i), 1,
+                                                         1000.0, hosts::SharingPolicy::kSpaceShared));
+    cpus.push_back(owned.back().get());
+  }
+  mw::FailureInjector chaos(eng);
+  for (auto* cpu : cpus) chaos.add_cpu(*cpu);
+  chaos.start(3.0, 1.0, 1e5);
+
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kResubmit;
+  mw::FaultTolerantScheduler sched(eng, cpus, mw::Heuristic::kMinMin, cfg);
+  auto& rng = eng.rng("bag");
+  for (hosts::JobId j = 1; j <= 100; ++j) {
+    hosts::Job job;
+    job.id = j;
+    job.ops = rng.exponential(2000.0);
+    sched.submit(std::move(job));
+  }
+  std::size_t settled = 0;
+  const auto on_settled = [&](const hosts::Job&) {
+    if (++settled == 100) eng.stop();
+  };
+  sched.run(on_settled, on_settled);
+  eng.run();
+  EXPECT_EQ(sched.completed(), 100u);
+  return trace;
+}
+
+}  // namespace
+
+TEST(ChaosDeterminism, EqualSeedsGiveIdenticalTraces) {
+  const auto a = chaos_trace(77);
+  const auto b = chaos_trace(77);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-identical (time, seq) schedule
+}
+
+TEST(ChaosDeterminism, DifferentSeedsDiverge) {
+  EXPECT_NE(chaos_trace(77), chaos_trace(78));
 }
 
 TEST(FailureInjector, NoFailuresBeyondHorizon) {

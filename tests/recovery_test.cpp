@@ -1,0 +1,411 @@
+// Dependability layer: fail-stop crash semantics on CPUs and links,
+// transfer retry, recovery policies, and the fault-tolerant scheduler.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/cpu.hpp"
+#include "middleware/failures.hpp"
+#include "middleware/recovery.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+
+namespace core = lsds::core;
+namespace hosts = lsds::hosts;
+namespace net = lsds::net;
+namespace mw = lsds::middleware;
+
+// --- fail-stop CPU semantics -------------------------------------------------
+
+TEST(FailStopCpu, KillReportsRunningAndQueuedJobs) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  cpu.set_failure_semantics(core::FailureSemantics::kFailStop);
+  std::vector<std::pair<hosts::JobId, double>> killed;
+  cpu.set_killed_handler([&](hosts::JobId id, double lost) { killed.emplace_back(id, lost); });
+  bool done = false;
+  cpu.submit(1, 1000.0, [&](hosts::JobId) { done = true; });  // runs
+  cpu.submit(2, 500.0, [&](hosts::JobId) { done = true; });   // queued
+  eng.schedule_at(2.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(3.0, [&] { cpu.set_online(true); });
+  eng.run();
+  EXPECT_FALSE(done);  // fail-stop loses the work; no completion fires
+  ASSERT_EQ(killed.size(), 2u);
+  EXPECT_EQ(killed[0].first, 1u);
+  EXPECT_DOUBLE_EQ(killed[0].second, 200.0);  // 2 s at 100 ops/s lost
+  EXPECT_EQ(killed[1].first, 2u);
+  EXPECT_DOUBLE_EQ(killed[1].second, 0.0);  // queued: nothing lost
+  EXPECT_EQ(cpu.jobs_killed(), 2u);
+  EXPECT_TRUE(cpu.online());  // repair brings the (empty) node back
+}
+
+TEST(FailStopCpu, FailResumeDefaultStillPauses) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  // Default semantics: the same outage only stretches the job.
+  double done_at = -1;
+  cpu.submit(1, 1000.0, [&](hosts::JobId) { done_at = eng.now(); });
+  eng.schedule_at(2.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(3.0, [&] { cpu.set_online(true); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 11.0);
+  EXPECT_EQ(cpu.jobs_killed(), 0u);
+}
+
+TEST(FailStopCpu, CancelReturnsProgressAndFreesCore) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  bool first_done = false;
+  double second_at = -1;
+  cpu.submit(1, 1000.0, [&](hosts::JobId) { first_done = true; });
+  cpu.submit(2, 500.0, [&](hosts::JobId) { second_at = eng.now(); });
+  eng.schedule_at(2.0, [&] {
+    double done_ops = -1;
+    EXPECT_TRUE(cpu.cancel(1, &done_ops));
+    EXPECT_DOUBLE_EQ(done_ops, 200.0);
+    EXPECT_FALSE(cpu.cancel(1));  // already gone
+  });
+  eng.run();
+  EXPECT_FALSE(first_done);
+  EXPECT_DOUBLE_EQ(second_at, 7.0);  // starts at the cancel, 5 s service
+}
+
+TEST(FailStopCpu, AvailabilityTracksDowntime) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  eng.schedule_at(2.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(5.0, [&] { cpu.set_online(true); });
+  eng.schedule_at(10.0, [] {});
+  eng.run();
+  EXPECT_DOUBLE_EQ(cpu.downtime(), 3.0);
+  EXPECT_DOUBLE_EQ(cpu.availability(10.0), 0.7);
+}
+
+TEST(FailStopCpu, OnlineObserverFiresAfterRepair) {
+  core::Engine eng;
+  hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
+  std::vector<std::pair<double, bool>> seen;
+  cpu.set_online_observer([&](bool up) { seen.emplace_back(eng.now(), up); });
+  eng.schedule_at(1.0, [&] { cpu.set_online(false); });
+  eng.schedule_at(4.0, [&] { cpu.set_online(true); });
+  eng.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair{1.0, false}));
+  EXPECT_EQ(seen[1], (std::pair{4.0, true}));
+}
+
+// --- fail-stop links: flow aborts and transfer retry -------------------------
+
+namespace {
+
+struct TwoNodeNet {
+  net::Topology topo;
+  net::NodeId a, b;
+  std::unique_ptr<net::Routing> routing;
+  std::unique_ptr<net::FlowNetwork> fn;
+
+  explicit TwoNodeNet(core::Engine& eng, double bw = 1e6) {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    topo.add_link(a, b, bw, 0);
+    routing = std::make_unique<net::Routing>(topo);
+    fn = std::make_unique<net::FlowNetwork>(eng, *routing);
+  }
+};
+
+}  // namespace
+
+TEST(FailStopNet, LinkDownAbortsInFlightFlow) {
+  core::Engine eng;
+  TwoNodeNet n(eng);
+  n.fn->set_failure_semantics(core::FailureSemantics::kFailStop);
+  double done_at = -1, error_at = -1;
+  n.fn->start_flow_checked(
+      n.a, n.b, 2e6, [&](net::FlowId) { done_at = eng.now(); },
+      [&](net::FlowId) { error_at = eng.now(); });
+  eng.schedule_at(1.0, [&] { n.fn->set_link_up(0, false); });
+  eng.schedule_at(2.0, [&] { n.fn->set_link_up(0, true); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(error_at, 1.0);  // abort at the outage, not a silent stall
+  EXPECT_DOUBLE_EQ(done_at, -1);
+  EXPECT_EQ(n.fn->flows_aborted(), 1u);
+}
+
+TEST(FailStopNet, DialOnDeadLinkIsRefused) {
+  core::Engine eng;
+  TwoNodeNet n(eng);
+  n.fn->set_failure_semantics(core::FailureSemantics::kFailStop);
+  n.fn->set_link_up(0, false);
+  double error_at = -1;
+  eng.schedule_at(3.0, [&] {
+    n.fn->start_flow_checked(
+        n.a, n.b, 1e6, [](net::FlowId) { FAIL() << "dead link completed a flow"; },
+        [&](net::FlowId) { error_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(error_at, 3.0);
+  EXPECT_EQ(n.fn->flows_aborted(), 1u);
+}
+
+TEST(TransferRetry, RedialsAfterAbortWithBackoff) {
+  core::Engine eng;
+  TwoNodeNet n(eng);
+  n.fn->set_failure_semantics(core::FailureSemantics::kFailStop);
+  net::TransferService::Config cfg;
+  cfg.max_attempts = 5;
+  cfg.retry_backoff = 0.5;
+  net::TransferService ftp(eng, *n.fn, cfg);
+  net::TransferRecord rec;
+  ftp.submit(n.a, n.b, 2e6, [&](const net::TransferRecord& r) { rec = r; });
+  eng.schedule_at(1.0, [&] { n.fn->set_link_up(0, false); });
+  eng.schedule_at(1.2, [&] { n.fn->set_link_up(0, true); });
+  eng.run();
+  // Abort at t=1, re-dial at t=1.5, full 2 s transfer again.
+  EXPECT_FALSE(rec.failed);
+  EXPECT_EQ(rec.attempts, 2u);
+  EXPECT_NEAR(rec.finish_time, 3.5, 1e-6);
+  EXPECT_EQ(ftp.retries(), 1u);
+  EXPECT_EQ(ftp.completed(), 1u);
+  EXPECT_EQ(ftp.failed(), 0u);
+}
+
+TEST(TransferRetry, GivesUpAfterMaxAttempts) {
+  core::Engine eng;
+  TwoNodeNet n(eng);
+  n.fn->set_failure_semantics(core::FailureSemantics::kFailStop);
+  net::TransferService::Config cfg;
+  cfg.max_attempts = 1;  // no retry
+  net::TransferService ftp(eng, *n.fn, cfg);
+  net::TransferRecord rec;
+  ftp.submit(n.a, n.b, 2e6, [&](const net::TransferRecord& r) { rec = r; });
+  eng.schedule_at(1.0, [&] { n.fn->set_link_up(0, false); });
+  eng.schedule_at(2.0, [&] { n.fn->set_link_up(0, true); });
+  eng.run();
+  EXPECT_TRUE(rec.failed);
+  EXPECT_EQ(rec.attempts, 1u);
+  EXPECT_EQ(ftp.failed(), 1u);
+  EXPECT_EQ(ftp.completed(), 0u);
+}
+
+// --- recovery policies -------------------------------------------------------
+
+namespace {
+
+/// A farm the scheduler can own: speeds[i] per host, one core each.
+struct Farm {
+  std::vector<std::unique_ptr<hosts::CpuResource>> owned;
+  std::vector<hosts::CpuResource*> cpus;
+
+  Farm(core::Engine& eng, std::vector<double> speeds) {
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      owned.push_back(std::make_unique<hosts::CpuResource>(
+          eng, "h" + std::to_string(i), 1, speeds[i], hosts::SharingPolicy::kSpaceShared));
+      cpus.push_back(owned.back().get());
+    }
+  }
+};
+
+hosts::Job make_job(hosts::JobId id, double ops) {
+  hosts::Job j;
+  j.id = id;
+  j.ops = ops;
+  return j;
+}
+
+}  // namespace
+
+TEST(RecoveryPolicy, RetryPinsToCrashedResource) {
+  core::Engine eng;
+  Farm farm(eng, {1000.0, 100.0});  // h0 fast (job 10 s), h1 slow (100 s)
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kRetry;
+  cfg.backoff_base = 1.0;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 10000.0));  // lands on the fast host
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  eng.schedule_at(2.0, [&] { farm.cpus[0]->set_online(false); });
+  eng.schedule_at(3.0, [&] { farm.cpus[0]->set_online(true); });
+  eng.run();
+  // Killed at 2, backoff gate at 3, full re-run on the SAME (fast) host:
+  // 3 + 10 = 13. Migrating to the idle slow host would finish near 102.
+  EXPECT_DOUBLE_EQ(done_at, 13.0);
+  EXPECT_EQ(sched.kills(), 1u);
+  EXPECT_EQ(sched.completed(), 1u);
+}
+
+TEST(RecoveryPolicy, ResubmitBlacklistsAndMigrates) {
+  core::Engine eng;
+  Farm farm(eng, {1000.0, 100.0});
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kResubmit;
+  cfg.blacklist_duration = 1000.0;  // crashed host is out for the whole run
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kMinMin, cfg);
+  sched.submit(make_job(1, 10000.0));
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  eng.schedule_at(2.0, [&] { farm.cpus[0]->set_online(false); });
+  eng.schedule_at(3.0, [&] { farm.cpus[0]->set_online(true); });
+  eng.run();
+  // Killed at 2, immediately re-dispatched to the other host: 2 + 100.
+  EXPECT_DOUBLE_EQ(done_at, 102.0);
+  EXPECT_DOUBLE_EQ(sched.dependability().attempts().mean(), 2.0);
+}
+
+TEST(RecoveryPolicy, CheckpointLosesOnlyCurrentSegment) {
+  core::Engine eng;
+  Farm farm(eng, {1.0});  // speed 1: ops == seconds
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kCheckpoint;
+  cfg.checkpoint_interval_ops = 4.0;
+  cfg.checkpoint_overhead_ops = 0.0;
+  cfg.backoff_base = 1.0;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 10.0));
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  // Segment [0,4) commits; crash 1 s into the second segment.
+  eng.schedule_at(5.0, [&] { farm.cpus[0]->set_online(false); });
+  eng.schedule_at(5.5, [&] { farm.cpus[0]->set_online(true); });
+  eng.run();
+  // Restart at 6 (backoff), 6 ops left: commit at 10, done at 12. A plain
+  // restart would have lost all 5 ops and finished at 16.
+  EXPECT_DOUBLE_EQ(done_at, 12.0);
+  EXPECT_DOUBLE_EQ(sched.dependability().wasted_ops(), 1.0);
+}
+
+TEST(RecoveryPolicy, CheckpointChargesOverhead) {
+  core::Engine eng;
+  Farm farm(eng, {1.0});
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kCheckpoint;
+  cfg.checkpoint_interval_ops = 5.0;
+  cfg.checkpoint_overhead_ops = 1.0;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 10.0));
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  eng.run();
+  // One commit (5+1 ops) plus the 5-op tail, failure-free: 11 s total.
+  EXPECT_DOUBLE_EQ(done_at, 11.0);
+  EXPECT_DOUBLE_EQ(sched.dependability().overhead_ops(), 1.0);
+  EXPECT_DOUBLE_EQ(sched.dependability().useful_ops(), 10.0);
+}
+
+TEST(RecoveryPolicy, ReplicateFirstFinisherCancelsLosers) {
+  core::Engine eng;
+  Farm farm(eng, {2.0, 1.0});
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kReplicate;
+  cfg.replicas = 2;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 10.0));
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);  // the speed-2 copy wins
+  EXPECT_EQ(sched.completed(), 1u);
+  // The cancelled copy ran 5 s at speed 1: 5 ops of duplicate work.
+  EXPECT_DOUBLE_EQ(sched.dependability().wasted_ops(), 5.0);
+  EXPECT_EQ(sched.kills(), 0u);
+}
+
+TEST(RecoveryPolicy, ReplicateSurvivesLosingOneCopy) {
+  core::Engine eng;
+  Farm farm(eng, {1.0, 1.0});
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kReplicate;
+  cfg.replicas = 2;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 10.0));
+  double done_at = -1;
+  sched.run([&](const hosts::Job& j) { done_at = j.finish_time; });
+  eng.schedule_at(2.0, [&] { farm.cpus[0]->set_online(false); });
+  eng.schedule_at(20.0, [&] { farm.cpus[0]->set_online(true); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);  // surviving replica is undisturbed
+  EXPECT_EQ(sched.completed(), 1u);
+  EXPECT_EQ(sched.lost(), 0u);
+  EXPECT_EQ(sched.kills(), 1u);
+}
+
+TEST(RecoveryPolicy, MaxAttemptsAbandonsJob) {
+  core::Engine eng;
+  Farm farm(eng, {100.0});
+  mw::RecoveryConfig cfg;
+  cfg.policy = mw::RecoveryPolicyKind::kRetry;
+  cfg.max_attempts = 1;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kFifo, cfg);
+  sched.submit(make_job(1, 1000.0));
+  bool lost = false;
+  sched.run(nullptr, [&](const hosts::Job&) { lost = true; });
+  eng.schedule_at(2.0, [&] { farm.cpus[0]->set_online(false); });
+  eng.schedule_at(3.0, [&] { farm.cpus[0]->set_online(true); });
+  eng.run();
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(sched.lost(), 1u);
+  EXPECT_EQ(sched.completed(), 0u);
+  EXPECT_EQ(sched.dependability().jobs_lost(), 1u);
+}
+
+// --- acceptance: every policy survives sustained chaos -----------------------
+
+namespace {
+
+/// 1000-job bag on 8 hosts with MTBF comparable to the mean job length:
+/// outages land mid-job routinely, and every job must still finish.
+void run_chaos_bag(mw::RecoveryPolicyKind policy) {
+  core::Engine eng(core::QueueKind::kBinaryHeap, 1234);
+  Farm farm(eng, std::vector<double>(8, 1000.0));
+
+  mw::FailureInjector chaos(eng);
+  for (auto* cpu : farm.cpus) chaos.add_cpu(*cpu);
+  chaos.start(/*mtbf=*/2.0, /*mttr=*/0.5, /*t_end=*/1e6);
+
+  mw::RecoveryConfig cfg;
+  cfg.policy = policy;
+  cfg.backoff_base = 0.25;
+  cfg.checkpoint_interval_ops = 500.0;
+  cfg.checkpoint_overhead_ops = 25.0;
+  cfg.replicas = 2;
+  mw::FaultTolerantScheduler sched(eng, farm.cpus, mw::Heuristic::kSjf, cfg);
+
+  constexpr std::size_t kJobs = 1000;
+  auto& rng = eng.rng("bag");
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    sched.submit(make_job(j + 1, rng.exponential(2000.0)));  // ~2 s mean
+  }
+  std::size_t settled = 0;
+  const auto on_settled = [&](const hosts::Job&) {
+    if (++settled == kJobs) eng.stop();
+  };
+  sched.run(on_settled, on_settled);
+  eng.run();
+
+  EXPECT_EQ(sched.completed(), kJobs) << mw::to_string(policy);
+  EXPECT_EQ(sched.lost(), 0u) << mw::to_string(policy);
+  EXPECT_GT(sched.kills(), 0u) << mw::to_string(policy);
+  EXPECT_GT(sched.dependability().wasted_ops(), 0.0) << mw::to_string(policy);
+  sched.finalize_availability(sched.makespan());
+  const double avail = sched.dependability().mean_availability();
+  EXPECT_GT(avail, 0.5) << mw::to_string(policy);
+  EXPECT_LT(avail, 1.0) << mw::to_string(policy);
+}
+
+}  // namespace
+
+TEST(ChaosBag, RetryCompletesEverything) { run_chaos_bag(mw::RecoveryPolicyKind::kRetry); }
+TEST(ChaosBag, ResubmitCompletesEverything) {
+  run_chaos_bag(mw::RecoveryPolicyKind::kResubmit);
+}
+TEST(ChaosBag, CheckpointCompletesEverything) {
+  run_chaos_bag(mw::RecoveryPolicyKind::kCheckpoint);
+}
+TEST(ChaosBag, ReplicateCompletesEverything) {
+  run_chaos_bag(mw::RecoveryPolicyKind::kReplicate);
+}
