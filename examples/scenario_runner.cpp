@@ -20,6 +20,9 @@
 #include "sim/chicsim/chicsim.hpp"
 #include "sim/gridsim/gridsim.hpp"
 #include "sim/monarc/monarc.hpp"
+#include "sim/parallel/bag_model.hpp"
+#include "sim/parallel/execution.hpp"
+#include "sim/parallel/tier_model.hpp"
 #include "sim/optorsim/optorsim.hpp"
 #include "sim/simg/simg.hpp"
 #include "util/flags.hpp"
@@ -118,6 +121,13 @@ int run_optorsim(core::Engine& eng, const util::IniConfig& ini) {
   return 0;
 }
 
+/// Parse the [execution] section against the [scenario] determinism knobs.
+hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini) {
+  return sim::parallel::parse_execution(
+      ini, static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42)),
+      parse_queue(ini.get_string("scenario", "queue", "heap")));
+}
+
 int run_monarc(core::Engine& eng, const util::IniConfig& ini) {
   sim::monarc::Config cfg;
   cfg.num_t1 = static_cast<std::size_t>(ini.get_int("monarc", "t1", 4));
@@ -126,7 +136,26 @@ int run_monarc(core::Engine& eng, const util::IniConfig& ini) {
   cfg.file_bytes = ini.get_size("monarc", "file_size", 20e9);
   cfg.production_interval = ini.get_duration("monarc", "interval", 40);
   cfg.run_analysis = ini.get_bool("monarc", "analysis", true);
+  cfg.t2_per_t1 = static_cast<std::size_t>(ini.get_int("monarc", "t2_per_t1", 0));
+  cfg.t2_fraction = ini.get_double("monarc", "t2_fraction", 0.3);
+  cfg.archive_to_tape = ini.get_bool("monarc", "archive", false);
   cfg.failures = parse_resume_failures(ini);
+
+  const auto exec = parse_exec_spec(ini);
+  if (exec.parallel) {
+    const auto res = sim::monarc::run_parallel(cfg, exec);
+    std::printf(
+        "monarc: link %s, %llu files -> %llu replicas (%llu archived), "
+        "backlog@prod-end %s, mean lag %.1f s, %llu jobs, makespan %.1f s\n",
+        util::format_rate(cfg.t0_t1_bandwidth).c_str(),
+        static_cast<unsigned long long>(res.files_produced),
+        static_cast<unsigned long long>(res.replicas_delivered),
+        static_cast<unsigned long long>(res.files_archived),
+        util::format_size(res.backlog_at_production_end).c_str(), res.replication_lag.mean(),
+        static_cast<unsigned long long>(res.jobs.size()), res.makespan);
+    std::printf("%s", sim::parallel::describe(res.exec).c_str());
+    return 0;
+  }
   const auto res = sim::monarc::run(eng, cfg);
   std::printf(
       "monarc: link %s, util %.0f%%, backlog@prod-end %s, mean lag %.1f s -> %s\n",
@@ -144,6 +173,17 @@ int run_gridsim(core::Engine& eng, const util::IniConfig& ini) {
   cfg.strategy = ini.get_string("gridsim", "strategy", "cost") == "time"
                      ? middleware::DbcStrategy::kTimeOptimization
                      : middleware::DbcStrategy::kCostOptimization;
+
+  const auto exec = parse_exec_spec(ini);
+  if (exec.parallel) {
+    const auto res = sim::gridsim::run_parallel(cfg, exec);
+    std::printf("gridsim(%s): accepted %llu rejected %llu, spend %.1f, makespan %.2f s\n",
+                middleware::to_string(cfg.strategy),
+                static_cast<unsigned long long>(res.accepted),
+                static_cast<unsigned long long>(res.rejected), res.cost, res.makespan);
+    std::printf("%s", sim::parallel::describe(res.exec).c_str());
+    return 0;
+  }
   const auto res = sim::gridsim::run(eng, cfg);
   std::printf("gridsim(%s): accepted %llu rejected %llu, spend %.1f, makespan %.2f s\n",
               middleware::to_string(cfg.strategy),

@@ -97,6 +97,31 @@ std::uint64_t Engine::run_until(SimTime t_end) {
   return n;
 }
 
+std::uint64_t Engine::run_window(SimTime t_end, bool inclusive) {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_->empty()) {
+    EventRecord ev = queue_->pop();
+    auto it = tombstones_.find(ev.seq);
+    if (it != tombstones_.end()) {
+      tombstones_.erase(it);
+      continue;
+    }
+    if (inclusive ? (ev.time > t_end) : (ev.time >= t_end)) {
+      queue_->push(std::move(ev));
+      break;
+    }
+    assert(ev.time + kTimeEpsilon >= now_);
+    now_ = ev.time;
+    if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    ++stats_.executed;
+    ++n;
+    ev.fn();
+    if (max_events_ && stats_.executed >= max_events_) throw EventBudgetExceeded(max_events_);
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+  return n;
+}
+
 RngStream& Engine::rng(const std::string& name) {
   auto it = streams_.find(name);
   if (it == streams_.end()) {

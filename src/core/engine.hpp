@@ -86,6 +86,16 @@ class Engine {
   /// Returns the number of events executed.
   std::uint64_t run_until(SimTime t_end);
 
+  /// Run all events with time strictly below `t_end` (<= when `inclusive`),
+  /// then advance the clock to t_end. This is the drain primitive of the
+  /// conservative parallel engine: window k covers [k*L, (k+1)*L), so events
+  /// that land exactly on the boundary belong to the *next* window — except
+  /// in the final window, which is closed. Returns events executed.
+  std::uint64_t run_window(SimTime t_end, bool inclusive);
+
+  /// Timestamp of the earliest pending event, or kInfTime when drained.
+  SimTime next_event_time() const { return queue_->min_time(); }
+
   /// Execute exactly one event. Returns false when nothing is pending.
   bool step();
 

@@ -16,17 +16,35 @@ ParallelEngine::ParallelEngine(Config cfg)
     // Per-LP seeds derived from the master seed; stable across thread counts.
     std::uint64_t s = cfg.seed;
     for (unsigned k = 0; k <= i; ++k) splitmix64(s);
-    lps_.emplace_back(new Lp(*this, i, cfg.queue, s));
+    lps_.emplace_back(new Lp(*this, i, cfg, s));
   }
 }
 
 ParallelEngine::~ParallelEngine() = default;
 
-ParallelEngine::Lp::Lp(ParallelEngine& parent, unsigned index, QueueKind kind, std::uint64_t seed)
-    : parent_(parent), index_(index), queue_(make_event_queue(kind)), rng_(seed) {}
+ParallelEngine::Lp::Lp(ParallelEngine& parent, unsigned index, const Config& cfg,
+                       std::uint64_t seed)
+    : parent_(parent), index_(index), rng_(seed) {
+  if (cfg.hosted_engines) {
+    Engine::Config ecfg;
+    ecfg.queue = cfg.queue;
+    ecfg.seed = seed;
+    engine_ = std::make_unique<Engine>(ecfg);
+  } else {
+    queue_ = make_event_queue(cfg.queue);
+  }
+}
 
 void ParallelEngine::Lp::schedule_at(SimTime t, EventFn fn) {
-  if (t < now_) t = now_;
+  if (engine_) {
+    // The hosted engine clamps and counts past times itself.
+    engine_->schedule_at(t, std::move(fn));
+    return;
+  }
+  if (t < now_) {
+    t = now_;
+    parent_.past_clamped_.fetch_add(1, std::memory_order_relaxed);
+  }
   queue_->push(EventRecord{t, next_seq_++, std::move(fn)});
 }
 
@@ -50,7 +68,19 @@ void ParallelEngine::Lp::send(unsigned dst_lp, SimTime t, EventFn fn) {
   // cross_messages is tallied at delivery time (single-threaded phase).
 }
 
+bool ParallelEngine::Lp::has_pending() const {
+  return engine_ ? engine_->pending() > 0 : !queue_->empty();
+}
+
+SimTime ParallelEngine::Lp::next_time() const {
+  return engine_ ? engine_->next_event_time() : queue_->min_time();
+}
+
 void ParallelEngine::Lp::run_window(SimTime window_end, bool final_window) {
+  if (engine_) {
+    engine_->run_window(window_end, final_window);
+    return;
+  }
   while (!queue_->empty()) {
     const SimTime t = queue_->min_time();
     if (final_window ? (t > window_end) : (t >= window_end)) break;
@@ -80,21 +110,44 @@ void ParallelEngine::deliver_inboxes() {
   }
 }
 
+ParallelEngine::Stats ParallelEngine::snapshot_stats() {
+  stats_.events = 0;
+  stats_.per_lp_events.clear();
+  for (auto& lp : lps_) {
+    stats_.events += lp->events_executed();
+    stats_.per_lp_events.push_back(lp->events_executed());
+  }
+  stats_.lookahead_violations = la_violations_.load(std::memory_order_relaxed);
+  stats_.past_clamped = past_clamped_.load(std::memory_order_relaxed);
+  for (auto& lp : lps_) {
+    if (lp->engine_) stats_.past_clamped += lp->engine_->stats().past_clamped;
+  }
+  return stats_;
+}
+
 ParallelEngine::Stats ParallelEngine::run_until(SimTime t_end) {
   for (;;) {
-    bool any_pending = false;
-    for (auto& lp : lps_) {
-      if (!lp->queue_->empty()) {
-        any_pending = true;
-        break;
-      }
+    // Conservative time advance: the next window starts at the earliest
+    // pending event anywhere — empty stretches of virtual time cost no
+    // windows (and no barriers).
+    SimTime next = kInfTime;
+    for (auto& lp : lps_) next = std::min(next, lp->next_time());
+    if (next == kInfTime) break;  // drained
+    if (next > t_end) {
+      window_start_ = t_end;
+      break;
     }
-    if (!any_pending || window_start_ >= t_end) break;
+    window_start_ = std::max(window_start_, next);
 
     window_end_ = std::min(window_start_ + cfg_.lookahead, t_end);
     const bool final_window = (window_end_ >= t_end);
 
+    // Only LPs with work inside the window are dispatched; an idle LP's
+    // clock lags harmlessly (it jumps forward when it next executes).
     for (auto& lp : lps_) {
+      if (final_window ? (lp->next_time() > window_end_) : (lp->next_time() >= window_end_)) {
+        continue;
+      }
       Lp* p = lp.get();
       const SimTime we = window_end_;
       pool_.submit([p, we, final_window] { p->run_window(we, final_window); });
@@ -107,10 +160,7 @@ ParallelEngine::Stats ParallelEngine::run_until(SimTime t_end) {
     window_start_ = window_end_;
   }
 
-  stats_.events = 0;
-  for (auto& lp : lps_) stats_.events += lp->events_executed();
-  stats_.lookahead_violations = la_violations_.load(std::memory_order_relaxed);
-  return stats_;
+  return snapshot_stats();
 }
 
 }  // namespace lsds::core

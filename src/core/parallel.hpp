@@ -13,13 +13,22 @@
 // Synchronization is conservative with fixed lookahead windows (a
 // barrier-synchronous variant of the null-message idea of Misra 1986):
 //
-//   window k covers [k*L, (k+1)*L)  where L = lookahead
+//   window k covers [T_k, T_k + L)  where L = lookahead
 //   1. all LPs drain their events inside the window, in parallel;
 //   2. barrier;
 //   3. cross-LP messages (which must arrive >= one window later — that is
 //      what lookahead means) are injected into destination queues in a
 //      deterministic merge order;
-//   4. repeat.
+//   4. T_{k+1} starts at the earliest pending event time (never earlier
+//      than the end of window k) — sparse stretches of virtual time cost
+//      no windows.
+//
+// An LP is either *raw* (a bare event queue, the PHOLD-style usage) or
+// *engine-hosted* (Config::hosted_engines): each LP owns a full
+// core::Engine, so the entire entity/process model layer — CpuResource,
+// StorageDevice, coroutine processes — runs unmodified inside a partition.
+// Engine-hosted LPs are what hosts::ParallelGrid builds on to partition
+// Sites across LPs.
 //
 // Determinism: cross-window messages are sorted by (time, src_lp, src_seq)
 // before injection, so for a fixed seed the result is independent of thread
@@ -32,6 +41,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/event.hpp"
 #include "core/event_queue.hpp"
 #include "core/rng.hpp"
@@ -48,6 +58,10 @@ class ParallelEngine {
     double lookahead = 1.0;  // window length; cross-LP latency lower bound
     QueueKind queue = QueueKind::kBinaryHeap;
     std::uint64_t seed = 42;
+    /// When true every LP hosts a full core::Engine (per-LP clock, named
+    /// RNG streams, entity registry) instead of a bare event queue, so the
+    /// model layer runs unmodified inside each partition.
+    bool hosted_engines = false;
   };
 
   explicit ParallelEngine(Config cfg);
@@ -60,11 +74,12 @@ class ParallelEngine {
   class Lp {
    public:
     unsigned index() const { return index_; }
-    SimTime now() const { return now_; }
+    SimTime now() const { return engine_ ? engine_->now() : now_; }
 
-    /// Schedule a local event (same LP). `t` below the clock is clamped.
+    /// Schedule a local event (same LP). `t` below the clock is clamped to
+    /// the clock and counted (ParallelEngine::Stats::past_clamped).
     void schedule_at(SimTime t, EventFn fn);
-    void schedule_in(SimTime dt, EventFn fn) { schedule_at(now_ + dt, std::move(fn)); }
+    void schedule_in(SimTime dt, EventFn fn) { schedule_at(now() + dt, std::move(fn)); }
 
     /// Send an event to another LP. The delivery time must respect the
     /// lookahead: t >= end of the current window. Violations are clamped
@@ -74,20 +89,29 @@ class ParallelEngine {
     /// Per-LP deterministic stream.
     RngStream& rng() { return rng_; }
 
-    std::uint64_t events_executed() const { return executed_; }
+    /// The hosted engine (Config::hosted_engines only; else nullptr).
+    Engine* engine() { return engine_.get(); }
+
+    std::uint64_t events_executed() const {
+      return engine_ ? engine_->stats().executed : executed_;
+    }
 
    private:
     friend class ParallelEngine;
-    Lp(ParallelEngine& parent, unsigned index, QueueKind kind, std::uint64_t seed);
+    Lp(ParallelEngine& parent, unsigned index, const Config& cfg, std::uint64_t seed);
 
     /// Drain events with time < window_end (<= when final). Sets now_ to
     /// window_end afterwards.
     void run_window(SimTime window_end, bool final_window);
 
+    bool has_pending() const;
+    SimTime next_time() const;  // kInfTime when drained
+
     ParallelEngine& parent_;
     unsigned index_;
     SimTime now_ = 0;
-    std::unique_ptr<EventQueue> queue_;
+    std::unique_ptr<EventQueue> queue_;   // raw mode
+    std::unique_ptr<Engine> engine_;      // hosted mode
     EventId next_seq_ = 1;
     std::uint64_t executed_ = 0;
     RngStream rng_;
@@ -102,6 +126,13 @@ class ParallelEngine {
     std::uint64_t events = 0;
     std::uint64_t cross_messages = 0;
     std::uint64_t lookahead_violations = 0;
+    /// Lp::schedule_at calls whose timestamp was below the LP clock and got
+    /// clamped — the local analogue of lookahead_violations. A correct
+    /// model schedules into its own future; tests assert this stays 0.
+    std::uint64_t past_clamped = 0;
+    /// Events executed by each LP — the load-balance profile. Rolled up
+    /// into a stats summary by the model layer (hosts::ParallelGrid).
+    std::vector<std::uint64_t> per_lp_events;
   };
 
   /// Run windows until no LP has pending work or the horizon is reached.
@@ -118,6 +149,7 @@ class ParallelEngine {
   };
 
   void deliver_inboxes();
+  Stats snapshot_stats();
 
   Config cfg_;
   std::vector<std::unique_ptr<Lp>> lps_;
@@ -128,6 +160,7 @@ class ParallelEngine {
   SimTime window_end_ = 0;
   Stats stats_;
   std::atomic<std::uint64_t> la_violations_{0};  // incremented from LP threads
+  std::atomic<std::uint64_t> past_clamped_{0};   // raw-mode clamps, LP threads
 };
 
 }  // namespace lsds::core

@@ -38,6 +38,17 @@ void CalendarQueue::insert_sorted(Bucket& b, EventRecord ev) {
 }
 
 void CalendarQueue::push(EventRecord ev) {
+  // Non-monotone insert: an event earlier than the current day breaks the
+  // dequeue-scan invariant (no pending event before the anchor day), which
+  // would make locate_min return a bucket-order event instead of the true
+  // minimum. Re-anchor the cursor on the new event's day. This happens when
+  // an event is popped, found past a horizon and requeued (Engine::run_until
+  // / run_window), and earlier events are scheduled afterwards.
+  if (ev.time < bucket_top_ - width_) {
+    last_bucket_ = bucket_of(ev.time);
+    const double day = std::floor(ev.time / width_);
+    bucket_top_ = (day + 1.0) * width_;
+  }
   insert_sorted(buckets_[bucket_of(ev.time)], std::move(ev));
   ++size_;
   if (size_ > grow_threshold_) resize(buckets_.size() * 2);

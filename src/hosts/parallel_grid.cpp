@@ -1,0 +1,139 @@
+#include "hosts/parallel_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lsds::hosts {
+
+SiteId ParallelGrid::add_site(const SiteSpec& spec) {
+  assert(!finalized() && "cannot add sites after finalize()");
+  const auto id = static_cast<SiteId>(specs_.size());
+  nodes_.push_back(topo_.add_node(spec.name, net::NodeKind::kHost));
+  specs_.push_back(spec);
+  return id;
+}
+
+void ParallelGrid::finalize() {
+  assert(!finalized());
+  routing_ = std::make_unique<net::Routing>(topo_);
+
+  unsigned lps = 1;
+  unsigned threads = 1;
+  lookahead_ = core::kInfTime;
+  net::Partition part;
+  if (spec_.parallel) {
+    threads = std::max(1u, spec_.threads);
+    lps = spec_.lps > 0 ? spec_.lps : threads;
+    part = net::partition_sites(*routing_, nodes_, lps, spec_.partition);
+    lps = part.parts;
+    lookahead_ = part.lookahead;
+    if (spec_.lookahead_override > 0) {
+      lookahead_ = std::min(lookahead_, spec_.lookahead_override);
+    }
+    if (lps <= 1) {
+      fallback_reason_ = "partitioning yielded a single LP";
+    } else if (!(lookahead_ > 0)) {
+      // A zero-latency path crosses the cut: no conservative window can
+      // separate the partitions. Run serial — same model, same results.
+      fallback_reason_ =
+          "topology-derived lookahead <= 0 (zero-latency path crosses the partition cut)";
+    }
+    if (!fallback_reason_.empty()) {
+      LSDS_LOG_WARN("parallel_grid: falling back to serial execution: %s",
+                    fallback_reason_.c_str());
+      lps = 1;
+      threads = 1;
+      lookahead_ = core::kInfTime;
+    }
+  }
+
+  owner_.assign(specs_.size(), 0);
+  if (lps > 1) owner_ = part.owner;
+
+  core::ParallelEngine::Config pcfg;
+  pcfg.num_lps = lps;
+  pcfg.num_threads = threads;
+  pcfg.lookahead = lookahead_;
+  pcfg.queue = spec_.queue;
+  pcfg.seed = spec_.seed;
+  pcfg.hosted_engines = true;
+  pe_ = std::make_unique<core::ParallelEngine>(pcfg);
+
+  sites_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    sites_.push_back(std::make_unique<Site>(*pe_->lp(owner_[i]).engine(),
+                                            static_cast<SiteId>(i), nodes_[i], specs_[i]));
+  }
+  chan_busy_.assign(specs_.size(), {});
+  chan_bytes_.assign(specs_.size(), {});
+}
+
+void ParallelGrid::at(SiteId at_site, core::SimTime t, core::EventFn fn) {
+  assert(finalized());
+  pe_->lp(owner_[at_site]).schedule_at(t, std::move(fn));
+}
+
+void ParallelGrid::post(SiteId from, SiteId to, core::SimTime t, core::EventFn fn) {
+  assert(finalized());
+  pe_->lp(owner_[from]).send(owner_[to], t, std::move(fn));
+}
+
+double ParallelGrid::path_latency(SiteId from, SiteId to) {
+  return routing_->path_latency(nodes_[from], nodes_[to]);
+}
+
+double ParallelGrid::transfer_duration(SiteId from, SiteId to, double bytes) {
+  const double bw = routing_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
+  assert(bw > 0 && "transfer over an unreachable or zero-bandwidth path");
+  return bytes / bw + path_latency(from, to);
+}
+
+core::SimTime ParallelGrid::transfer(SiteId from, SiteId to, double bytes,
+                                     core::EventFn on_arrival) {
+  assert(finalized());
+  const double bw = routing_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
+  assert(bw > 0 && "transfer over an unreachable or zero-bandwidth path");
+  const core::SimTime now = pe_->lp(owner_[from]).now();
+  double& busy = chan_busy_[from].try_emplace(to, 0).first->second;
+  const core::SimTime start = std::max(now, busy);
+  busy = start + bytes / bw;
+  const core::SimTime arrival = busy + path_latency(from, to);
+  chan_bytes_[from][to] += bytes;
+  post(from, to, arrival, std::move(on_arrival));
+  return arrival;
+}
+
+double ParallelGrid::bytes_sent(SiteId from, SiteId to) const {
+  const auto it = chan_bytes_[from].find(to);
+  return it == chan_bytes_[from].end() ? 0 : it->second;
+}
+
+std::vector<std::tuple<SiteId, SiteId, double>> ParallelGrid::channel_bytes() const {
+  std::vector<std::tuple<SiteId, SiteId, double>> out;
+  for (SiteId from = 0; from < static_cast<SiteId>(chan_bytes_.size()); ++from) {
+    for (const auto& [to, bytes] : chan_bytes_[from]) {
+      out.emplace_back(from, to, bytes);
+    }
+  }
+  return out;
+}
+
+ExecutionReport ParallelGrid::run(core::SimTime horizon) {
+  assert(finalized());
+  ExecutionReport rep;
+  rep.parallel = parallel();
+  rep.fallback_reason = fallback_reason_;
+  rep.lps = pe_->num_lps();
+  rep.threads = spec_.parallel && fallback_reason_.empty() ? std::max(1u, spec_.threads) : 1;
+  rep.lookahead = lookahead_;
+  rep.partition = spec_.partition;
+  rep.engine = pe_->run_until(horizon);
+  for (std::uint64_t e : rep.engine.per_lp_events) {
+    rep.lp_events.add(static_cast<double>(e));
+  }
+  return rep;
+}
+
+}  // namespace lsds::hosts

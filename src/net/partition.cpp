@@ -1,0 +1,132 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lsds::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// All-pairs site latency matrix (n Dijkstras over the cached Routing).
+std::vector<std::vector<double>> latency_matrix(Routing& routing,
+                                                const std::vector<NodeId>& sites) {
+  const std::size_t n = sites.size();
+  std::vector<std::vector<double>> lat(n, std::vector<double>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) lat[i][j] = routing.path_latency(sites[i], sites[j]);
+    }
+  }
+  return lat;
+}
+
+}  // namespace
+
+const char* to_string(PartitionScheme s) {
+  switch (s) {
+    case PartitionScheme::kRoundRobin: return "round-robin";
+    case PartitionScheme::kTopology: return "metis-ish";
+  }
+  return "?";
+}
+
+double derive_lookahead(Routing& routing, const std::vector<NodeId>& sites,
+                        const std::vector<unsigned>& owner) {
+  assert(owner.size() == sites.size());
+  double la = kInf;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      if (owner[i] == owner[j]) continue;
+      la = std::min(la, routing.path_latency(sites[i], sites[j]));
+    }
+  }
+  return la;
+}
+
+Partition partition_sites(Routing& routing, const std::vector<NodeId>& sites, unsigned parts,
+                          PartitionScheme scheme) {
+  const std::size_t n = sites.size();
+  Partition p;
+  p.parts = std::max(1u, std::min<unsigned>(parts, static_cast<unsigned>(std::max<std::size_t>(n, 1))));
+  p.owner.assign(n, 0);
+  if (p.parts == 1 || n <= 1) {
+    p.lookahead = kInf;
+    return p;
+  }
+
+  if (scheme == PartitionScheme::kRoundRobin) {
+    for (std::size_t i = 0; i < n; ++i) {
+      p.owner[i] = static_cast<unsigned>(i % p.parts);
+    }
+    p.lookahead = derive_lookahead(routing, sites, p.owner);
+    return p;
+  }
+
+  // kTopology. Seeds by k-center: site 0 seeds block 0, each further seed is
+  // the site farthest (in min latency) from the seeds chosen so far — seeds
+  // land across WAN boundaries, one per latency cluster.
+  const auto lat = latency_matrix(routing, sites);
+  std::vector<std::size_t> seeds{0};
+  while (seeds.size() < p.parts) {
+    std::size_t best = 0;
+    double best_d = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = kInf;
+      for (std::size_t s : seeds) d = std::min(d, lat[i][s]);
+      if (d > best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+  }
+
+  // Balanced greedy growth: every non-seed site, in order of how strongly it
+  // prefers its nearest block, joins the nearest block with spare capacity.
+  // Zero-latency neighbors sort first, so LAN clusters are absorbed before
+  // blocks fill up.
+  const std::size_t cap = (n + p.parts - 1) / p.parts;  // ceil(n / parts)
+  std::vector<unsigned> owner(n, static_cast<unsigned>(-1));
+  std::vector<std::size_t> load(p.parts, 0);
+  for (std::size_t b = 0; b < seeds.size(); ++b) {
+    owner[seeds[b]] = static_cast<unsigned>(b);
+    ++load[b];
+  }
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (owner[i] == static_cast<unsigned>(-1)) todo.push_back(i);
+  }
+  std::sort(todo.begin(), todo.end(), [&](std::size_t a, std::size_t b) {
+    double da = kInf, db = kInf;
+    for (std::size_t s : seeds) da = std::min(da, lat[a][s]);
+    for (std::size_t s : seeds) db = std::min(db, lat[b][s]);
+    if (da != db) return da < db;
+    return a < b;  // deterministic tiebreak
+  });
+  for (std::size_t i : todo) {
+    unsigned best_b = 0;
+    double best_d = kInf;
+    bool placed = false;
+    for (unsigned b = 0; b < p.parts; ++b) {
+      if (load[b] >= cap) continue;
+      const double d = lat[i][seeds[b]];
+      if (!placed || d < best_d) {
+        best_b = b;
+        best_d = d;
+        placed = true;
+      }
+    }
+    assert(placed && "capacity ceil(n/parts) * parts >= n");
+    owner[i] = best_b;
+    ++load[best_b];
+  }
+
+  p.owner = std::move(owner);
+  p.lookahead = derive_lookahead(routing, sites, p.owner);
+  return p;
+}
+
+}  // namespace lsds::net

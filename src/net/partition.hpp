@@ -1,0 +1,56 @@
+// Topology partitioning for parallel execution.
+//
+// A conservative parallel simulation is only as good as its lookahead, and
+// the lookahead of a partitioned network model is the minimum communication
+// latency between any two sites placed in *different* partitions: an event
+// at one site cannot affect another site sooner than the propagation delay
+// of the path between them. Partitioning therefore decides performance
+// twice — balance (equal work per LP) and lookahead (keep low-latency pairs
+// together so the windows stay wide).
+//
+// Two schemes:
+//   * kRoundRobin — site i goes to partition i % parts. The baseline: fair
+//     by count, oblivious to the topology, and it happily cuts LAN-latency
+//     edges (small or zero lookahead).
+//   * kTopology — a METIS-flavored greedy: k-center seeds spread far apart
+//     in latency space, then balanced growth that assigns each site to the
+//     nearest seed block. Low-latency clusters (a site farm, a campus) stay
+//     in one partition, so the cut — and hence the lookahead — runs along
+//     the expensive WAN links.
+#pragma once
+
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace lsds::net {
+
+enum class PartitionScheme { kRoundRobin, kTopology };
+
+const char* to_string(PartitionScheme s);
+
+struct Partition {
+  /// owner[i] = partition of the i-th site (index into the `sites` argument,
+  /// not NodeId). All values < parts.
+  std::vector<unsigned> owner;
+  unsigned parts = 1;
+  /// Minimum path latency between sites in different partitions — the
+  /// topology-derived lookahead. +inf when parts == 1 or nothing is cut;
+  /// <= 0 means the cut crosses a zero-latency path and conservative
+  /// parallel execution is impossible (callers fall back to serial).
+  double lookahead = 0;
+};
+
+/// Partition `sites` (topology nodes hosting model state) into `parts`
+/// blocks. `routing` supplies path latencies; it is also used to derive the
+/// resulting lookahead. parts is clamped to [1, sites.size()].
+Partition partition_sites(Routing& routing, const std::vector<NodeId>& sites, unsigned parts,
+                          PartitionScheme scheme);
+
+/// The lookahead of an externally supplied assignment (e.g. a hand-written
+/// placement): min cross-partition path latency, +inf when nothing is cut.
+double derive_lookahead(Routing& routing, const std::vector<NodeId>& sites,
+                        const std::vector<unsigned>& owner);
+
+}  // namespace lsds::net

@@ -13,6 +13,19 @@ const Route& Routing::route(NodeId src, NodeId dst) {
   return cache_[src][dst];
 }
 
+double Routing::path_latency(NodeId src, NodeId dst) {
+  const Route& r = route(src, dst);
+  return r.valid ? r.total_latency : std::numeric_limits<double>::infinity();
+}
+
+double Routing::bottleneck_bandwidth(NodeId src, NodeId dst) {
+  const Route& r = route(src, dst);
+  if (!r.valid || r.links.empty()) return 0;
+  double bw = std::numeric_limits<double>::infinity();
+  for (LinkId l : r.links) bw = std::min(bw, topo_.link(l).bandwidth);
+  return bw;
+}
+
 void Routing::run_dijkstra(NodeId src) {
   const std::size_t n = topo_.node_count();
   constexpr double kInf = std::numeric_limits<double>::infinity();

@@ -29,6 +29,13 @@ class Routing {
   /// Cached; the topology must not change after the first query.
   const Route& route(NodeId src, NodeId dst);
 
+  /// Total propagation latency of the route; +inf when unreachable.
+  double path_latency(NodeId src, NodeId dst);
+
+  /// Minimum bandwidth over the route's links — the store-and-forward
+  /// serialization rate of the path; 0 when unreachable or src == dst.
+  double bottleneck_bandwidth(NodeId src, NodeId dst);
+
   const Topology& topology() const { return topo_; }
 
  private:

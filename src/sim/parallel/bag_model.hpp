@@ -1,0 +1,63 @@
+// GridSim-style priced bag-of-tasks on ParallelGrid — the parallel
+// execution opt-in for the gridsim facade.
+//
+// Same economy study as sim/gridsim (heterogeneous priced resources, a
+// deadline-and-budget-constrained broker farming out independent tasks),
+// but run on hosts::ParallelGrid: the broker host and every resource are
+// sites partitioned across LPs, and each dispatch / completion ack is a
+// cross-LP message over the star topology. The DBC schedule itself is
+// computed *statically at setup* from the (deterministic) resource
+// completion-time estimates, so the plan — and therefore every event — is
+// independent of the partitioning; the differential determinism suite
+// compares the resulting traces across LP counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hosts/parallel_grid.hpp"
+#include "sim/gridsim/gridsim.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::sim::parallel {
+
+/// One completed task with its broker-side accounting.
+struct BagJobRecord {
+  std::uint64_t id = 0;
+  std::uint32_t site = 0;     // executing resource site
+  double submit = 0;          // broker dispatch time
+  double completion = 0;      // resource-side finish
+  double acked = 0;           // broker-side ack arrival
+  double ops = 0;
+  double cost = 0;
+};
+
+struct BagResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   // over budget / past deadline at plan time
+  std::uint64_t completed = 0;
+  double cost = 0;
+  double makespan = 0;          // last broker ack
+  bool deadline_met = false;
+  stats::SampleSet response_times;
+  std::vector<BagJobRecord> jobs;  // sorted by id
+  std::vector<std::tuple<hosts::SiteId, hosts::SiteId, double>> channel_bytes;
+  hosts::ExecutionReport exec;
+
+  /// Canonical %.17g serialization for byte-identical comparison.
+  std::string trace() const;
+};
+
+/// Run the bag-of-tasks study under the given execution spec.
+BagResult run_bag(const gridsim::Config& cfg, const hosts::ExecutionSpec& exec);
+
+}  // namespace lsds::sim::parallel
+
+namespace lsds::sim::gridsim {
+/// Parallel-execution opt-in for the GridSim facade ([execution] section in
+/// scenario files): the priced bag run across LPs.
+inline parallel::BagResult run_parallel(const Config& cfg, const hosts::ExecutionSpec& exec) {
+  return parallel::run_bag(cfg, exec);
+}
+}  // namespace lsds::sim::gridsim

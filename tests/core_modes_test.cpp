@@ -215,6 +215,7 @@ TEST(ParallelEngine, LookaheadViolationsClampedAndCounted) {
   const auto stats = eng.run_until(20.0);
   EXPECT_EQ(stats.lookahead_violations, 1u);
   EXPECT_GE(delivered_at, 5.0);  // clamped to the window boundary
+  EXPECT_EQ(stats.past_clamped, 0u);
 }
 
 TEST(ParallelEngine, StopsWhenDrained) {
@@ -230,6 +231,7 @@ TEST(ParallelEngine, StopsWhenDrained) {
   EXPECT_EQ(count, 2);
   EXPECT_EQ(stats.events, 2u);
   EXPECT_LT(stats.windows, 10u);  // terminates early, not at the horizon
+  EXPECT_EQ(stats.past_clamped, 0u);
 }
 
 TEST(ParallelEngine, CrossMessagesCounted) {
@@ -247,4 +249,170 @@ TEST(ParallelEngine, CrossMessagesCounted) {
   const auto stats = eng.run_until(100.0);
   EXPECT_EQ(received, 5);
   EXPECT_EQ(stats.cross_messages, 5u);
+  EXPECT_EQ(stats.past_clamped, 0u);
+}
+
+TEST(ParallelEngine, PastSchedulesClampedAndCounted) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 1;
+  cfg.lookahead = 1.0;
+  core::ParallelEngine eng(cfg);
+  double ran_at = -1;
+  eng.lp(0).schedule_at(5.0, [&] {
+    // Schedule into the LP's own past: clamped to now, counted in stats.
+    eng.lp(0).schedule_at(2.0, [&] { ran_at = eng.lp(0).now(); });
+  });
+  const auto stats = eng.run_until(10.0);
+  EXPECT_EQ(stats.past_clamped, 1u);
+  EXPECT_DOUBLE_EQ(ran_at, 5.0);
+}
+
+TEST(ParallelEngine, HostedEnginesCountPastClamps) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  cfg.hosted_engines = true;
+  core::ParallelEngine eng(cfg);
+  ASSERT_NE(eng.lp(0).engine(), nullptr);
+  int ran = 0;
+  eng.lp(0).schedule_at(3.0, [&] {
+    eng.lp(0).schedule_at(1.0, [&] { ++ran; });  // past: clamped by the engine
+    eng.lp(0).send(1, 10.0, [&] { ++ran; });
+  });
+  const auto stats = eng.run_until(20.0);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(stats.past_clamped, 1u);
+  EXPECT_EQ(stats.cross_messages, 1u);
+  EXPECT_EQ(stats.events, 3u);
+}
+
+TEST(ParallelEngine, PerLpEventCountsSumToTotal) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 3;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  core::ParallelEngine eng(cfg);
+  for (unsigned i = 0; i < 3; ++i) {
+    for (int k = 0; k <= static_cast<int>(i); ++k) {
+      eng.lp(i).schedule_at(0.5 + k, [] {});
+    }
+  }
+  const auto stats = eng.run_until(10.0);
+  ASSERT_EQ(stats.per_lp_events.size(), 3u);
+  EXPECT_EQ(stats.per_lp_events[0], 1u);
+  EXPECT_EQ(stats.per_lp_events[1], 2u);
+  EXPECT_EQ(stats.per_lp_events[2], 3u);
+  EXPECT_EQ(stats.events, 6u);
+}
+
+// --- cross-LP message path property test ------------------------------------
+//
+// Randomized sends fuzzed across window boundaries. Invariants:
+//   1. a message intended for time t executes at exactly t when t clears the
+//      current window, and strictly later (the clamp) when it does not —
+//      lookahead_violations counts EXACTLY the clamped sends;
+//   2. same-timestamp deliveries at one LP execute in (src_lp, src_seq)
+//      order — the deterministic merge;
+//   3. the whole observation log is invariant across worker thread counts.
+
+namespace {
+
+struct Delivery {
+  double exec_time;
+  double intended;
+  unsigned src;
+  int seq;
+  bool operator==(const Delivery& o) const {
+    return exec_time == o.exec_time && intended == o.intended && src == o.src && seq == o.seq;
+  }
+};
+
+std::vector<Delivery> run_fuzzed_cross_sends(unsigned num_threads, std::uint64_t seed) {
+  constexpr unsigned kSenders = 3;
+  constexpr int kSendsEach = 50;
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = kSenders + 1;  // LP 0 receives, LPs 1..kSenders send
+  cfg.num_threads = num_threads;
+  cfg.lookahead = 2.0;
+  core::ParallelEngine eng(cfg);
+
+  // Pre-drawn plan (identical for every thread count): each sender fires at
+  // a random time and targets a random intended delivery time around its own
+  // clock — before, inside and beyond the 2.0 s window, all three cases.
+  struct Planned {
+    double fire_at;
+    double intended;
+  };
+  core::RngStream rng(seed);
+  std::vector<std::vector<Planned>> plan(kSenders);
+  for (auto& sends : plan) {
+    for (int i = 0; i < kSendsEach; ++i) {
+      const double fire = rng.uniform(0.0, 40.0);
+      sends.push_back({fire, fire + rng.uniform(-1.0, 6.0)});
+    }
+  }
+
+  std::vector<Delivery> log;
+  // Per-sender send counter, stamped when the send is issued — this mirrors
+  // the src_seq the deterministic merge orders by. Each slot is only ever
+  // touched by its own LP.
+  std::vector<int> sends_issued(kSenders + 1, 0);
+  for (unsigned s = 0; s < kSenders; ++s) {
+    for (int i = 0; i < kSendsEach; ++i) {
+      const Planned& p = plan[s][i];
+      const unsigned src_lp = s + 1;
+      eng.lp(src_lp).schedule_at(p.fire_at, [&eng, &log, &sends_issued, p, src_lp] {
+        const int seq = sends_issued[src_lp]++;
+        eng.lp(src_lp).send(0, p.intended, [&eng, &log, p, src_lp, seq] {
+          log.push_back({eng.lp(0).now(), p.intended, src_lp, seq});
+        });
+      });
+    }
+  }
+  const auto stats = eng.run_until(100.0);
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kSenders) * kSendsEach);
+  EXPECT_EQ(stats.past_clamped, 0u);
+
+  // Invariant 1: violations == exactly the sends observed later than asked.
+  std::uint64_t clamped = 0;
+  for (const auto& d : log) {
+    EXPECT_GE(d.exec_time, d.intended);
+    if (d.exec_time > d.intended) ++clamped;
+  }
+  EXPECT_EQ(stats.lookahead_violations, clamped);
+  EXPECT_GT(clamped, 0u) << "fuzz plan never crossed a window boundary";
+  EXPECT_LT(clamped, static_cast<std::uint64_t>(kSenders) * kSendsEach)
+      << "fuzz plan never cleared a window boundary";
+
+  // Invariant 2: equal-time deliveries are merged in (src_lp, src_seq)
+  // order. Equal execution times only arise within one delivery batch (a
+  // later window's boundary is strictly larger, and unclamped intended
+  // times are continuous draws), so the full lexicographic order applies.
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].exec_time, log[i].exec_time);
+    if (log[i - 1].exec_time == log[i].exec_time) {
+      EXPECT_TRUE(log[i - 1].src < log[i].src ||
+                  (log[i - 1].src == log[i].src && log[i - 1].seq < log[i].seq))
+          << "merge order violated at log index " << i << ": prev(t=" << log[i - 1].exec_time
+          << " intended=" << log[i - 1].intended << " src=" << log[i - 1].src
+          << " seq=" << log[i - 1].seq << ") cur(t=" << log[i].exec_time
+          << " intended=" << log[i].intended << " src=" << log[i].src
+          << " seq=" << log[i].seq << ")";
+    }
+  }
+  return log;
+}
+
+}  // namespace
+
+TEST(ParallelEngine, FuzzedCrossSendsClampedSortedAndThreadInvariant) {
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    const auto one = run_fuzzed_cross_sends(1, seed);
+    const auto two = run_fuzzed_cross_sends(2, seed);
+    const auto four = run_fuzzed_cross_sends(4, seed);
+    EXPECT_EQ(one, two) << "seed " << seed;
+    EXPECT_EQ(one, four) << "seed " << seed;
+  }
 }

@@ -197,6 +197,25 @@ TEST_P(QueueTest, CrossImplementationEquivalence) {
   }
 }
 
+TEST_P(QueueTest, NonMonotonePushAfterPop) {
+  // The windowed-run idiom: pop an event past a horizon, requeue it, then
+  // schedule events EARLIER than the requeued one (e.g. cross-LP deliveries
+  // at the next window boundary). The calendar queue's dequeue cursor used
+  // to stay anchored on the far-future day and return events in bucket
+  // order instead of time order.
+  auto q = make();
+  q->push({100.0, 0, nullptr});
+  auto far = q->pop();
+  q->push(std::move(far));      // requeue beyond the horizon
+  q->push({30.0, 2, nullptr});  // earlier than the last popped priority
+  q->push({21.0, 3, nullptr});
+  EXPECT_DOUBLE_EQ(q->min_time(), 21.0);
+  EXPECT_DOUBLE_EQ(q->pop().time, 21.0);
+  EXPECT_DOUBLE_EQ(q->pop().time, 30.0);
+  EXPECT_DOUBLE_EQ(q->pop().time, 100.0);
+  EXPECT_TRUE(q->empty());
+}
+
 TEST_P(QueueTest, NameIsStable) {
   auto q = make();
   EXPECT_STREQ(q->name(), core::to_string(GetParam()));

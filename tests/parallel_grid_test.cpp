@@ -1,0 +1,282 @@
+// Differential determinism suite for parallel Grid execution.
+//
+// The contract under test: for a given master seed, the ParallelGrid models
+// (tier_model, bag_model) produce BIT-IDENTICAL results — every job
+// completion time, every transfer byte count, every summary statistic — no
+// matter how the sites are partitioned (1, 2 or 4 LPs), how many worker
+// threads run the windows, or which partition scheme draws the cut. The
+// serial reference (exec.parallel = false) is the baseline; traces are
+// compared byte-for-byte via TierResult::trace() / BagResult::trace().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hosts/parallel_grid.hpp"
+#include "sim/parallel/bag_model.hpp"
+#include "sim/parallel/execution.hpp"
+#include "sim/parallel/tier_model.hpp"
+#include "util/ini.hpp"
+
+namespace hosts = lsds::hosts;
+namespace net = lsds::net;
+namespace parallel = lsds::sim::parallel;
+
+namespace {
+
+lsds::sim::monarc::Config small_tier() {
+  lsds::sim::monarc::Config cfg;
+  cfg.num_t1 = 5;
+  cfg.num_files = 10;
+  cfg.file_bytes = 1e9;
+  cfg.production_interval = 5.0;
+  cfg.t2_per_t1 = 2;
+  cfg.t2_fraction = 0.5;
+  cfg.archive_to_tape = true;
+  return cfg;
+}
+
+hosts::ExecutionSpec par(unsigned lps, unsigned threads,
+                         net::PartitionScheme scheme = net::PartitionScheme::kTopology) {
+  hosts::ExecutionSpec spec;
+  spec.parallel = true;
+  spec.lps = lps;
+  spec.threads = threads;
+  spec.partition = scheme;
+  return spec;
+}
+
+}  // namespace
+
+// --- tier model (MONARC facade opt-in) -------------------------------------
+
+TEST(ParallelTier, SerialVsParallelBitIdentical) {
+  const auto cfg = small_tier();
+  const auto serial = parallel::run_tier(cfg, {});
+  ASSERT_FALSE(serial.exec.parallel);
+  EXPECT_EQ(serial.files_produced, cfg.num_files);
+  EXPECT_EQ(serial.replicas_delivered, cfg.num_files * cfg.num_t1);
+  EXPECT_GT(serial.jobs.size(), cfg.num_files * cfg.num_t1 / 2);  // T1 + some T2 jobs
+
+  for (unsigned lps : {1u, 2u, 4u}) {
+    const auto p = parallel::run_tier(cfg, par(lps, 2));
+    EXPECT_EQ(serial.trace(), p.trace()) << lps << " LPs diverged from the serial reference";
+    EXPECT_EQ(p.exec.engine.lookahead_violations, 0u)
+        << "model sends must be conservative by construction";
+    EXPECT_EQ(p.exec.engine.past_clamped, 0u);
+    if (lps > 1) {
+      EXPECT_TRUE(p.exec.parallel);
+      EXPECT_GT(p.exec.engine.cross_messages, 0u);
+      EXPECT_GT(p.exec.lookahead, 0.0);
+    }
+  }
+}
+
+TEST(ParallelTier, ParallelRunTwiceByteIdentical) {
+  const auto cfg = small_tier();
+  const auto a = parallel::run_tier(cfg, par(4, 4));
+  const auto b = parallel::run_tier(cfg, par(4, 4));
+  EXPECT_EQ(a.trace(), b.trace());
+  EXPECT_EQ(a.exec.engine.windows, b.exec.engine.windows);
+  EXPECT_EQ(a.exec.engine.cross_messages, b.exec.engine.cross_messages);
+}
+
+TEST(ParallelTier, ThreadCountInvariance) {
+  const auto cfg = small_tier();
+  const auto t1 = parallel::run_tier(cfg, par(4, 1));
+  const auto t2 = parallel::run_tier(cfg, par(4, 2));
+  const auto t4 = parallel::run_tier(cfg, par(4, 4));
+  EXPECT_EQ(t1.trace(), t2.trace());
+  EXPECT_EQ(t1.trace(), t4.trace());
+}
+
+TEST(ParallelTier, PartitionSchemeInvariance) {
+  // The partition scheme may change the cut (and thus lookahead & balance),
+  // but never the simulation results.
+  const auto cfg = small_tier();
+  const auto topo = parallel::run_tier(cfg, par(3, 2, net::PartitionScheme::kTopology));
+  const auto rr = parallel::run_tier(cfg, par(3, 2, net::PartitionScheme::kRoundRobin));
+  EXPECT_EQ(topo.trace(), rr.trace());
+}
+
+TEST(ParallelTier, Lhc64SiteScenario) {
+  // 1 T0 + 9 T1 + 54 T2 = 64 sites, as in the bench scenario.
+  auto cfg = small_tier();
+  cfg.num_t1 = 9;
+  cfg.t2_per_t1 = 6;
+  cfg.num_files = 6;
+  const auto serial = parallel::run_tier(cfg, {});
+  const auto p = parallel::run_tier(cfg, par(4, 4));
+  ASSERT_TRUE(p.exec.parallel);
+  EXPECT_EQ(p.exec.lps, 4u);
+  EXPECT_EQ(serial.trace(), p.trace());
+  // The cut must cross some T1--T2 (0.01 s) or T0--T1 (0.05 s) link.
+  EXPECT_GT(p.exec.lookahead, 0.0);
+  EXPECT_LE(p.exec.lookahead, 0.05);
+  // Per-LP rollup covers every LP and sums to the event total.
+  ASSERT_EQ(p.exec.engine.per_lp_events.size(), 4u);
+  std::uint64_t sum = 0;
+  for (auto e : p.exec.engine.per_lp_events) sum += e;
+  EXPECT_EQ(sum, p.exec.engine.events);
+  EXPECT_GE(p.exec.imbalance(), 1.0);
+}
+
+TEST(ParallelTier, QueueKindInvariance) {
+  // The event-queue structure is a performance knob, never a results knob —
+  // including the calendar queue, whose dequeue cursor must survive the
+  // windowed run's requeue-then-deliver-earlier pattern.
+  const auto cfg = small_tier();
+  const auto heap = parallel::run_tier(cfg, par(4, 2));
+  for (auto q : {lsds::core::QueueKind::kCalendarQueue, lsds::core::QueueKind::kSplayTree,
+                 lsds::core::QueueKind::kLadderQueue}) {
+    auto spec = par(4, 2);
+    spec.queue = q;
+    const auto r = parallel::run_tier(cfg, spec);
+    EXPECT_EQ(heap.trace(), r.trace()) << lsds::core::to_string(q);
+    EXPECT_EQ(r.exec.engine.lookahead_violations, 0u) << lsds::core::to_string(q);
+  }
+}
+
+TEST(ParallelTier, SampleStatsMatchAcrossModes) {
+  const auto cfg = small_tier();
+  const auto serial = parallel::run_tier(cfg, {});
+  const auto p = parallel::run_tier(cfg, par(4, 2));
+  EXPECT_EQ(serial.replication_lag.count(), p.replication_lag.count());
+  EXPECT_DOUBLE_EQ(serial.replication_lag.mean(), p.replication_lag.mean());
+  EXPECT_DOUBLE_EQ(serial.analysis_delays.mean(), p.analysis_delays.mean());
+  EXPECT_DOUBLE_EQ(serial.t2_delays.mean(), p.t2_delays.mean());
+  EXPECT_DOUBLE_EQ(serial.backlog_at_production_end, p.backlog_at_production_end);
+  EXPECT_DOUBLE_EQ(serial.makespan, p.makespan);
+}
+
+TEST(ParallelTier, HorizonCutIdenticalAcrossModes) {
+  auto cfg = small_tier();
+  cfg.horizon = 22.0;  // cut mid-replication
+  const auto serial = parallel::run_tier(cfg, {});
+  const auto p = parallel::run_tier(cfg, par(4, 2));
+  EXPECT_EQ(serial.trace(), p.trace());
+  EXPECT_LT(serial.replicas_delivered, cfg.num_files * cfg.num_t1);
+}
+
+TEST(ParallelTier, FailureInjectionRejected) {
+  auto cfg = small_tier();
+  cfg.failures.enabled = true;
+  EXPECT_THROW(parallel::run_tier(cfg, par(2, 2)), std::runtime_error);
+}
+
+// --- bag model (GridSim facade opt-in) -------------------------------------
+
+TEST(ParallelBag, SerialVsParallelBitIdentical) {
+  lsds::sim::gridsim::Config cfg;
+  cfg.num_resources = 6;
+  cfg.num_jobs = 40;
+  const auto serial = parallel::run_bag(cfg, {});
+  EXPECT_EQ(serial.completed, cfg.num_jobs);
+  for (unsigned lps : {2u, 4u}) {
+    const auto p = parallel::run_bag(cfg, par(lps, 2));
+    EXPECT_EQ(serial.trace(), p.trace()) << lps << " LPs diverged";
+    EXPECT_EQ(p.exec.engine.lookahead_violations, 0u);
+    EXPECT_EQ(p.exec.engine.past_clamped, 0u);
+  }
+}
+
+TEST(ParallelBag, StrategiesAndConstraintsSurvive) {
+  lsds::sim::gridsim::Config cfg;
+  cfg.num_resources = 5;
+  cfg.num_jobs = 30;
+  cfg.strategy = lsds::middleware::DbcStrategy::kTimeOptimization;
+  cfg.budget = 60.0;  // tight: forces rejections
+  const auto serial = parallel::run_bag(cfg, {});
+  const auto p = parallel::run_bag(cfg, par(3, 2));
+  EXPECT_EQ(serial.trace(), p.trace());
+  EXPECT_GT(serial.rejected, 0u);
+  EXPECT_EQ(serial.accepted + serial.rejected, cfg.num_jobs);
+  EXPECT_EQ(serial.completed, serial.accepted);
+  EXPECT_LE(serial.cost, cfg.budget);
+}
+
+// --- lookahead derivation & fallback ---------------------------------------
+
+TEST(ParallelGridCore, LookaheadOverrideNarrowsWindowsNotResults) {
+  const auto cfg = small_tier();
+  auto wide = par(4, 2);
+  auto narrow = par(4, 2);
+  narrow.lookahead_override = 0.002;
+  const auto a = parallel::run_tier(cfg, wide);
+  const auto b = parallel::run_tier(cfg, narrow);
+  EXPECT_EQ(a.trace(), b.trace());
+  ASSERT_TRUE(b.exec.parallel);
+  EXPECT_DOUBLE_EQ(b.exec.lookahead, 0.002);
+  EXPECT_GT(b.exec.engine.windows, a.exec.engine.windows);
+}
+
+TEST(ParallelGridCore, ZeroLatencyCutFallsBackToSerial) {
+  hosts::ParallelGrid grid(par(2, 2));
+  hosts::SiteSpec s;
+  s.name = "a";
+  const auto a = grid.add_site(s);
+  s.name = "b";
+  const auto b = grid.add_site(s);
+  grid.topology().add_link(a, b, 1e9, 0.0);  // zero latency: no conservative window
+  grid.finalize();
+  EXPECT_FALSE(grid.parallel());
+  EXPECT_FALSE(grid.fallback_reason().empty());
+  int ran = 0;
+  grid.at(a, 1.0, [&] { ++ran; });
+  grid.at(b, 2.0, [&] { ++ran; });
+  const auto rep = grid.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(rep.parallel);
+  EXPECT_EQ(rep.fallback_reason, grid.fallback_reason());
+  EXPECT_EQ(rep.lps, 1u);
+}
+
+TEST(ParallelGridCore, SingleSiteFallsBackToSerial) {
+  hosts::ParallelGrid grid(par(4, 4));
+  hosts::SiteSpec s;
+  s.name = "only";
+  grid.add_site(s);
+  grid.finalize();
+  EXPECT_FALSE(grid.parallel());
+  EXPECT_FALSE(grid.fallback_reason().empty());
+}
+
+// --- [execution] scenario section ------------------------------------------
+
+TEST(ExecutionIni, ParsesSection) {
+  const auto ini = lsds::util::IniConfig::parse(
+      "[execution]\n"
+      "mode = parallel\n"
+      "threads = 8\n"
+      "lps = 3\n"
+      "partition = round-robin\n"
+      "lookahead = 5ms\n");
+  const auto spec = parallel::parse_execution(ini, 7, lsds::core::QueueKind::kBinaryHeap);
+  EXPECT_TRUE(spec.parallel);
+  EXPECT_EQ(spec.threads, 8u);
+  EXPECT_EQ(spec.lps, 3u);
+  EXPECT_EQ(spec.partition, net::PartitionScheme::kRoundRobin);
+  EXPECT_DOUBLE_EQ(spec.lookahead_override, 0.005);
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(ExecutionIni, DefaultsToSerialAndRejectsUnknown) {
+  const auto empty = lsds::util::IniConfig::parse("");
+  EXPECT_FALSE(
+      parallel::parse_execution(empty, 1, lsds::core::QueueKind::kBinaryHeap).parallel);
+  const auto bad = lsds::util::IniConfig::parse("[execution]\nmode = speculative\n");
+  EXPECT_THROW(parallel::parse_execution(bad, 1, lsds::core::QueueKind::kBinaryHeap),
+               lsds::util::ConfigError);
+  const auto badp = lsds::util::IniConfig::parse("[execution]\npartition = simulated-annealing\n");
+  EXPECT_THROW(parallel::parse_execution(badp, 1, lsds::core::QueueKind::kBinaryHeap),
+               lsds::util::ConfigError);
+}
+
+TEST(ExecutionIni, DescribeCoversBothModes) {
+  const auto cfg = small_tier();
+  const auto serial = parallel::run_tier(cfg, {});
+  const auto p = parallel::run_tier(cfg, par(2, 2));
+  EXPECT_NE(parallel::describe(serial.exec).find("serial"), std::string::npos);
+  const auto text = parallel::describe(p.exec);
+  EXPECT_NE(text.find("parallel"), std::string::npos);
+  EXPECT_NE(text.find("lookahead"), std::string::npos);
+}
