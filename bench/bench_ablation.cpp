@@ -46,7 +46,7 @@ struct Outcome {
 
 template <typename SetupFn>
 Outcome run_timed(SetupFn&& setup) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
   setup(eng);
   const auto t0 = std::chrono::steady_clock::now();
   eng.run();

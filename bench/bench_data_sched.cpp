@@ -34,7 +34,7 @@ chic::Config base_config() {
 }
 
 chic::Result run_cfg(const chic::Config& cfg) {
-  lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 777);
+  lsds::core::Engine eng({.queue = lsds::core::QueueKind::kBinaryHeap, .seed = 777});
   return chic::run(eng, cfg);
 }
 

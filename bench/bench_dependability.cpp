@@ -45,7 +45,7 @@ struct Outcome {
 };
 
 Outcome run_cell(mw::RecoveryPolicyKind policy, double mtbf, std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   std::vector<std::unique_ptr<hosts::CpuResource>> farm;
   std::vector<hosts::CpuResource*> cpus;
   for (std::size_t i = 0; i < kHosts; ++i) {

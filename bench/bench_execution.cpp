@@ -45,7 +45,7 @@ struct Outcome {
 
 // Sequential reference: same PHOLD logic on the centralized engine.
 Outcome run_centralized() {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 42);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 42});
   auto& rng = eng.rng("phold");
   std::function<void()> hop = [&] {
     const double dt = kLookahead + rng.exponential(0.5);

@@ -35,7 +35,7 @@ int main() {
   lsds::stats::AsciiTable t({"link", "util", "peak backlog", "backlog @prod end", "mean lag [s]",
                              "drain [s]", "analysis delay [s]", "verdict"});
   for (double gbps : {0.622, 1.0, 2.5, 5.0, 10.0, 20.0, 30.0, 40.0}) {
-    lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 2005);
+    lsds::core::Engine eng({.queue = lsds::core::QueueKind::kBinaryHeap, .seed = 2005});
     lsds::sim::monarc::Config cfg;
     cfg.num_t1 = 4;
     cfg.num_files = 60;

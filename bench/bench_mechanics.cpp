@@ -58,7 +58,7 @@ struct MM1Model {
 };
 
 RunOutcome run_event_driven() {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
   MM1Model model{eng, {}, 0, {}};
   eng.schedule_at(0.0, [&] { model.arrival(); });
   const auto t0 = std::chrono::steady_clock::now();

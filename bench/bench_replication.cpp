@@ -28,7 +28,7 @@ int main() {
                              "network", "replications", "evictions"});
   for (double zipf : {0.0, 0.8, 1.2}) {
     for (auto policy : mw::kAllReplicationPolicies) {
-      lsds::core::Engine eng(lsds::core::QueueKind::kBinaryHeap, 4242);
+      lsds::core::Engine eng({.queue = lsds::core::QueueKind::kBinaryHeap, .seed = 4242});
       lsds::sim::optorsim::Config cfg;
       cfg.num_sites = 6;
       cfg.cache_fraction = 0.2;

@@ -38,7 +38,7 @@ struct Outcome {
 };
 
 Outcome run_population(core::QueueKind kind, std::size_t population, std::uint64_t budget) {
-  core::Engine eng(kind, 7);
+  core::Engine eng({.queue = kind, .seed = 7});
   auto& rng = eng.rng("pop");
   std::function<void()> tick = [&] { eng.schedule_in(rng.exponential(1.0), tick); };
   for (std::size_t i = 0; i < population; ++i) eng.schedule_at(rng.uniform(0, 1.0), tick);

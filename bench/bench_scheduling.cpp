@@ -38,7 +38,7 @@ namespace net = lsds::net;
 namespace {
 
 double run_heuristic(mw::Heuristic h, double speed_ratio, std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   // 4 resources, speeds spread linearly up to speed_ratio x.
   std::vector<std::unique_ptr<hosts::CpuResource>> pool;
   std::vector<hosts::CpuResource*> ptrs;
@@ -68,7 +68,7 @@ struct DagOutcome {
 };
 
 DagOutcome run_dag(mw::DagAlgorithm algo, double comm_bytes, std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   net::Topology topo;
   std::vector<mw::DagScheduler::Resource> resources;
   std::vector<std::unique_ptr<hosts::CpuResource>> cpus;
@@ -119,10 +119,10 @@ int main() {
       cfg.num_tasks = 100;
       cfg.estimate_error = err;
       cfg.mode = lsds::sim::simg::SchedulingMode::kCompileTime;
-      core::Engine a(core::QueueKind::kBinaryHeap, s);
+      core::Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = s});
       ct += lsds::sim::simg::run(a, cfg).makespan;
       cfg.mode = lsds::sim::simg::SchedulingMode::kRuntime;
-      core::Engine b(core::QueueKind::kBinaryHeap, s);
+      core::Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = s});
       rt += lsds::sim::simg::run(b, cfg).makespan;
     }
     t2.row().cell(err).cell(ct / 3).cell(rt / 3);
@@ -137,7 +137,7 @@ int main() {
       lsds::sim::gridsim::Config cfg;
       cfg.strategy = strat;
       cfg.budget = budget;
-      core::Engine eng(core::QueueKind::kBinaryHeap, 8);
+      core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 8});
       const auto r = lsds::sim::gridsim::run(eng, cfg);
       t3.row()
           .cell(std::string(mw::to_string(strat)))

@@ -40,7 +40,7 @@ constexpr int kJobs = 60000;
 double sim_queue_metric(unsigned cores, hosts::SharingPolicy policy, double lambda, double mu,
                         bool wait_only, std::uint64_t seed,
                         bool deterministic_service = false) {
-  core::Engine eng(core::QueueKind::kCalendarQueue, seed);
+  core::Engine eng({.queue = core::QueueKind::kCalendarQueue, .seed = seed});
   hosts::CpuResource cpu(eng, "srv", cores, 1.0, policy);
   auto& arrivals = eng.rng("arrivals");
   auto& sizes = eng.rng("sizes");

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   rcfg.checkpoint_overhead_ops = 25;
   rcfg.replicas = 2;
 
-  core::Engine engine(core::QueueKind::kBinaryHeap, seed);
+  core::Engine engine({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
 
   // Four compute sites around a hub.
   hosts::Grid grid(engine);

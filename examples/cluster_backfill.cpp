@@ -29,7 +29,7 @@ struct Outcome {
 
 Outcome replay(const std::vector<apps::SwfJob>& jobs, unsigned cores,
                middleware::BatchPolicy policy, std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kCalendarQueue, seed);
+  core::Engine eng({.queue = core::QueueKind::kCalendarQueue, .seed = seed});
   middleware::BatchQueue q(eng, cores, policy);
   for (const auto& j : jobs) {
     eng.schedule_at(j.submit_time, [&q, job = j.job] { q.submit(job); });

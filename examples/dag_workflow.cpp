@@ -28,7 +28,7 @@ struct Pool {
   std::vector<std::unique_ptr<hosts::CpuResource>> cpus;
   std::vector<middleware::DagScheduler::Resource> resources;
 
-  explicit Pool(std::uint64_t seed) : eng(core::QueueKind::kBinaryHeap, seed) {
+  explicit Pool(std::uint64_t seed) : eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed}) {
     const double speeds[] = {100, 200, 400, 800};
     for (int i = 0; i < 4; ++i) topo.add_node("host" + std::to_string(i));
     const auto hub = topo.add_node("hub", net::NodeKind::kRouter);

@@ -19,8 +19,8 @@ namespace {
 
 sim::optorsim::Result run_policy(middleware::ReplicationPolicy policy,
                                  const util::Flags& flags) {
-  core::Engine engine(core::QueueKind::kCalendarQueue,
-                      static_cast<std::uint64_t>(flags.get_int("seed", 4242)));
+  core::Engine engine({.queue = core::QueueKind::kCalendarQueue,
+                      .seed = static_cast<std::uint64_t>(flags.get_int("seed", 4242))});
   sim::optorsim::Config cfg;
   cfg.num_sites = static_cast<std::size_t>(flags.get_int("sites", 6));
   cfg.cache_fraction = flags.get_double("cache", 0.2);

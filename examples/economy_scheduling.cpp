@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::Engine engine(core::QueueKind::kBinaryHeap,
-                      static_cast<std::uint64_t>(flags.get_int("seed", 8)));
+  core::Engine engine({.queue = core::QueueKind::kBinaryHeap,
+                      .seed = static_cast<std::uint64_t>(flags.get_int("seed", 8))});
   const auto res = sim::gridsim::run(engine, cfg);
 
   std::printf("strategy:       %s\n", middleware::to_string(cfg.strategy));

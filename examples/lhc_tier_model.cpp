@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
   cfg.production_interval = flags.get_double("interval", 40.0);
   cfg.run_analysis = true;
 
-  core::Engine engine(core::QueueKind::kCalendarQueue,
-                      static_cast<std::uint64_t>(flags.get_int("seed", 2005)));
+  core::Engine engine({.queue = core::QueueKind::kCalendarQueue,
+                      .seed = static_cast<std::uint64_t>(flags.get_int("seed", 2005))});
   const auto res = sim::monarc::run(engine, cfg);
 
   const double offered =

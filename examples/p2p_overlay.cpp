@@ -35,7 +35,7 @@ struct Row {
 };
 
 Row run_size(std::size_t n_peers, int n_lookups, std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   core::RngStream topo_rng(seed * 31 + 1);
   auto topo = net::Topology::random_connected(n_peers, n_peers / 2, 1e8, 0.01, topo_rng);
   net::Routing routing(topo);

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   // 1. An engine: the clock + pending event set (pluggable structure).
-  core::Engine engine(core::QueueKind::kCalendarQueue, seed);
+  core::Engine engine({.queue = core::QueueKind::kCalendarQueue, .seed = seed});
 
   // 2. A grid: sites (CPU farm + storage) wired by a network.
   hosts::Grid grid(engine);

@@ -1,349 +1,81 @@
-// Scenario runner: drive any facade from an INI scenario file — the
-// "configuration over code" workflow a simulation user expects.
+// Scenario runner: drive any registered facade from an INI scenario file —
+// the "configuration over code" workflow a simulation user expects.
 //
 //   ./scenario_runner examples/scenarios/lhc_2.5gbps.ini
+//   ./scenario_runner --report=out.json examples/scenarios/chaos_bag.ini
 //
 // See examples/scenarios/*.ini for the format. The [scenario] section picks
-// the facade, seed and event-queue structure; the facade-named section
-// holds its parameters (rates/sizes/durations accept units: 2.5Gbps, 20GB,
-// 40s).
+// the facade (resolved through sim::FacadeRegistry), seed and event-queue
+// structure; the facade-named section holds its parameters (rates/sizes/
+// durations accept units: 2.5Gbps, 20GB, 40s). `strict = true` rejects
+// unknown keys with a near-miss suggestion. The [observability] section (or
+// a --report= override) turns on the metrics/trace/profiler layer and
+// writes a structured RunReport JSON.
 #include <cstdio>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "core/engine.hpp"
-#include "middleware/failures.hpp"
-#include "middleware/recovery.hpp"
-#include "middleware/replication.hpp"
-#include "sim/bricks/bricks.hpp"
-#include "sim/chicsim/chicsim.hpp"
-#include "sim/gridsim/gridsim.hpp"
-#include "sim/monarc/monarc.hpp"
-#include "sim/parallel/bag_model.hpp"
-#include "sim/parallel/execution.hpp"
-#include "sim/parallel/tier_model.hpp"
-#include "sim/optorsim/optorsim.hpp"
-#include "sim/simg/simg.hpp"
+#include "obs/observability.hpp"
+#include "obs/report.hpp"
+#include "sim/facade_registry.hpp"
+#include "sim/facades/common.hpp"
 #include "util/flags.hpp"
 #include "util/ini.hpp"
 #include "util/strings.hpp"
-#include "util/units.hpp"
 
 using namespace lsds;
-
-namespace {
-
-core::QueueKind parse_queue(const std::string& s) {
-  if (s == "sorted") return core::QueueKind::kSortedList;
-  if (s == "heap") return core::QueueKind::kBinaryHeap;
-  if (s == "splay") return core::QueueKind::kSplayTree;
-  if (s == "calendar") return core::QueueKind::kCalendarQueue;
-  if (s == "ladder") return core::QueueKind::kLadderQueue;
-  throw util::ConfigError("unknown queue kind: " + s);
-}
-
-/// `[failures]` section: mtbf, mttr, semantics (resume|stop), weibull_shape,
-/// horizon, links — plus policy knobs consumed by the chaos facade. The
-/// section's presence (an `mtbf` key or `enabled = true`) turns chaos on.
-middleware::FailureSpec parse_failures(const util::IniConfig& ini) {
-  middleware::FailureSpec spec;
-  spec.enabled = ini.get_bool("failures", "enabled", ini.has("failures", "mtbf"));
-  spec.mtbf = ini.get_duration("failures", "mtbf", spec.mtbf);
-  spec.mttr = ini.get_duration("failures", "mttr", spec.mttr);
-  spec.horizon = ini.get_duration("failures", "horizon", spec.horizon);
-  spec.weibull_shape = ini.get_double("failures", "weibull_shape", 0);
-  spec.include_links = ini.get_bool("failures", "links", true);
-  const std::string sem = ini.get_string("failures", "semantics", "resume");
-  if (sem == "stop") {
-    spec.semantics = core::FailureSemantics::kFailStop;
-  } else if (sem != "resume") {
-    throw util::ConfigError("unknown failure semantics: " + sem + " (resume|stop)");
-  }
-  return spec;
-}
-
-/// The data-grid facades model transparent outages only; fail-stop recovery
-/// needs the chaos facade's FaultTolerantScheduler.
-middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini) {
-  middleware::FailureSpec spec = parse_failures(ini);
-  if (spec.enabled && spec.semantics == core::FailureSemantics::kFailStop) {
-    throw util::ConfigError("semantics = stop requires facade = chaos");
-  }
-  return spec;
-}
-
-int run_bricks(core::Engine& eng, const util::IniConfig& ini) {
-  sim::bricks::Config cfg;
-  cfg.num_clients = static_cast<std::size_t>(ini.get_int("bricks", "clients", 8));
-  cfg.jobs_per_client = static_cast<std::size_t>(ini.get_int("bricks", "jobs_per_client", 20));
-  cfg.mean_interarrival = ini.get_duration("bricks", "interarrival", 10);
-  cfg.mean_ops = ini.get_double("bricks", "mean_ops", 2000);
-  cfg.input_bytes = ini.get_size("bricks", "input", 10e6);
-  cfg.output_bytes = ini.get_size("bricks", "output", 1e6);
-  cfg.server_cores = static_cast<unsigned>(ini.get_int("bricks", "server_cores", 4));
-  cfg.client_bw = ini.get_rate("bricks", "client_bw", 12.5e6);
-  cfg.failures = parse_resume_failures(ini);
-  const auto res = sim::bricks::run(eng, cfg);
-  std::printf("bricks: %llu jobs, mean response %.2f s, server util %.1f%%, makespan %.1f s\n",
-              static_cast<unsigned long long>(res.jobs), res.response_times.mean(),
-              res.server_utilization * 100, res.makespan);
-  return 0;
-}
-
-int run_optorsim(core::Engine& eng, const util::IniConfig& ini) {
-  sim::optorsim::Config cfg;
-  cfg.num_sites = static_cast<std::size_t>(ini.get_int("optorsim", "sites", 6));
-  cfg.cache_fraction = ini.get_double("optorsim", "cache_fraction", 0.2);
-  const std::string policy = ini.get_string("optorsim", "policy", "lru");
-  bool matched = false;
-  for (auto p : middleware::kAllReplicationPolicies) {
-    if (policy == middleware::to_string(p)) {
-      cfg.policy = p;
-      matched = true;
-    }
-  }
-  if (!matched) throw util::ConfigError("unknown replication policy: " + policy);
-  cfg.workload.num_jobs = static_cast<std::size_t>(ini.get_int("optorsim", "jobs", 300));
-  cfg.workload.num_files = static_cast<std::size_t>(ini.get_int("optorsim", "files", 60));
-  cfg.workload.zipf_exponent = ini.get_double("optorsim", "zipf", 1.0);
-  cfg.workload.mean_interarrival = ini.get_duration("optorsim", "interarrival", 1.5);
-  cfg.workload.file_bytes = {apps::SizeDist::kConstant,
-                             ini.get_size("optorsim", "file_size", 50e6), 0};
-  cfg.failures = parse_resume_failures(ini);
-  const auto res = sim::optorsim::run(eng, cfg);
-  std::printf(
-      "optorsim(%s): %llu jobs, mean job time %.2f s, hit ratio %.2f, network %s, "
-      "%llu replications\n",
-      policy.c_str(), static_cast<unsigned long long>(res.jobs), res.mean_job_time(),
-      res.local_hit_ratio(), util::format_size(res.network_bytes).c_str(),
-      static_cast<unsigned long long>(res.replications));
-  return 0;
-}
-
-/// Parse the [execution] section against the [scenario] determinism knobs.
-hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini) {
-  return sim::parallel::parse_execution(
-      ini, static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42)),
-      parse_queue(ini.get_string("scenario", "queue", "heap")));
-}
-
-int run_monarc(core::Engine& eng, const util::IniConfig& ini) {
-  sim::monarc::Config cfg;
-  cfg.num_t1 = static_cast<std::size_t>(ini.get_int("monarc", "t1", 4));
-  cfg.t0_t1_bandwidth = ini.get_rate("monarc", "link", util::gbps(2.5));
-  cfg.num_files = static_cast<std::size_t>(ini.get_int("monarc", "files", 60));
-  cfg.file_bytes = ini.get_size("monarc", "file_size", 20e9);
-  cfg.production_interval = ini.get_duration("monarc", "interval", 40);
-  cfg.run_analysis = ini.get_bool("monarc", "analysis", true);
-  cfg.t2_per_t1 = static_cast<std::size_t>(ini.get_int("monarc", "t2_per_t1", 0));
-  cfg.t2_fraction = ini.get_double("monarc", "t2_fraction", 0.3);
-  cfg.archive_to_tape = ini.get_bool("monarc", "archive", false);
-  cfg.failures = parse_resume_failures(ini);
-
-  const auto exec = parse_exec_spec(ini);
-  if (exec.parallel) {
-    const auto res = sim::monarc::run_parallel(cfg, exec);
-    std::printf(
-        "monarc: link %s, %llu files -> %llu replicas (%llu archived), "
-        "backlog@prod-end %s, mean lag %.1f s, %llu jobs, makespan %.1f s\n",
-        util::format_rate(cfg.t0_t1_bandwidth).c_str(),
-        static_cast<unsigned long long>(res.files_produced),
-        static_cast<unsigned long long>(res.replicas_delivered),
-        static_cast<unsigned long long>(res.files_archived),
-        util::format_size(res.backlog_at_production_end).c_str(), res.replication_lag.mean(),
-        static_cast<unsigned long long>(res.jobs.size()), res.makespan);
-    std::printf("%s", sim::parallel::describe(res.exec).c_str());
-    return 0;
-  }
-  const auto res = sim::monarc::run(eng, cfg);
-  std::printf(
-      "monarc: link %s, util %.0f%%, backlog@prod-end %s, mean lag %.1f s -> %s\n",
-      util::format_rate(cfg.t0_t1_bandwidth).c_str(), res.link_utilization * 100,
-      util::format_size(res.backlog_at_production_end).c_str(), res.replication_lag.mean(),
-      res.sustainable() ? "keeps up" : "INSUFFICIENT");
-  return 0;
-}
-
-int run_gridsim(core::Engine& eng, const util::IniConfig& ini) {
-  sim::gridsim::Config cfg;
-  cfg.num_jobs = static_cast<std::size_t>(ini.get_int("gridsim", "jobs", 60));
-  cfg.budget = ini.get_double("gridsim", "budget", 1e18);
-  cfg.deadline = ini.get_duration("gridsim", "deadline", 1e18);
-  cfg.strategy = ini.get_string("gridsim", "strategy", "cost") == "time"
-                     ? middleware::DbcStrategy::kTimeOptimization
-                     : middleware::DbcStrategy::kCostOptimization;
-
-  const auto exec = parse_exec_spec(ini);
-  if (exec.parallel) {
-    const auto res = sim::gridsim::run_parallel(cfg, exec);
-    std::printf("gridsim(%s): accepted %llu rejected %llu, spend %.1f, makespan %.2f s\n",
-                middleware::to_string(cfg.strategy),
-                static_cast<unsigned long long>(res.accepted),
-                static_cast<unsigned long long>(res.rejected), res.cost, res.makespan);
-    std::printf("%s", sim::parallel::describe(res.exec).c_str());
-    return 0;
-  }
-  const auto res = sim::gridsim::run(eng, cfg);
-  std::printf("gridsim(%s): accepted %llu rejected %llu, spend %.1f, makespan %.2f s\n",
-              middleware::to_string(cfg.strategy),
-              static_cast<unsigned long long>(res.accepted),
-              static_cast<unsigned long long>(res.rejected), res.cost, res.makespan);
-  return 0;
-}
-
-int run_chicsim(core::Engine& eng, const util::IniConfig& ini) {
-  sim::chicsim::Config cfg;
-  cfg.num_sites = static_cast<std::size_t>(ini.get_int("chicsim", "sites", 6));
-  const std::string jp = ini.get_string("chicsim", "job_policy", "job-data-present");
-  for (auto p : sim::chicsim::kAllJobPolicies) {
-    if (jp == to_string(p)) cfg.job_policy = p;
-  }
-  const std::string dp = ini.get_string("chicsim", "data_policy", "data-cache");
-  for (auto p : sim::chicsim::kAllDataPolicies) {
-    if (dp == to_string(p)) cfg.data_policy = p;
-  }
-  cfg.workload.num_jobs = static_cast<std::size_t>(ini.get_int("chicsim", "jobs", 400));
-  cfg.workload.zipf_exponent = ini.get_double("chicsim", "zipf", 0.9);
-  cfg.failures = parse_resume_failures(ini);
-  const auto res = sim::chicsim::run(eng, cfg);
-  std::printf("chicsim(%s,%s): %llu jobs, mean response %.2f s, locality %.2f, network %s\n",
-              jp.c_str(), dp.c_str(), static_cast<unsigned long long>(res.jobs),
-              res.response_times.mean(), res.locality(),
-              util::format_size(res.network_bytes).c_str());
-  return 0;
-}
-
-int run_simg(core::Engine& eng, const util::IniConfig& ini) {
-  sim::simg::Config cfg;
-  cfg.num_workers = static_cast<std::size_t>(ini.get_int("simg", "workers", 4));
-  cfg.num_tasks = static_cast<std::size_t>(ini.get_int("simg", "tasks", 64));
-  cfg.estimate_error = ini.get_double("simg", "estimate_error", 0.3);
-  cfg.mode = ini.get_string("simg", "mode", "runtime") == "compile-time"
-                 ? sim::simg::SchedulingMode::kCompileTime
-                 : sim::simg::SchedulingMode::kRuntime;
-  const auto res = sim::simg::run(eng, cfg);
-  std::printf("simg(%s): %llu tasks, makespan %.2f s\n", to_string(cfg.mode),
-              static_cast<unsigned long long>(res.tasks), res.makespan);
-  return 0;
-}
-
-/// Fail-stop bag-of-tasks under a recovery policy: the dependability layer
-/// end-to-end. `[chaos]` sizes the farm and the bag, `[failures]` drives the
-/// injector (semantics defaults to stop here) and picks the policy.
-int run_chaos(core::Engine& eng, const util::IniConfig& ini) {
-  const auto hosts = static_cast<std::size_t>(ini.get_int("chaos", "hosts", 8));
-  const auto cores = static_cast<unsigned>(ini.get_int("chaos", "cores", 1));
-  const double speed = ini.get_double("chaos", "cpu_speed", 1000);
-  const auto num_jobs = static_cast<std::size_t>(ini.get_int("chaos", "jobs", 1000));
-  const double mean_ops = ini.get_double("chaos", "mean_ops", 2000);
-
-  middleware::Heuristic heuristic = middleware::Heuristic::kFifo;
-  const std::string h = ini.get_string("chaos", "heuristic", "fifo");
-  bool matched = false;
-  for (auto cand : middleware::kAllHeuristics) {
-    if (h == middleware::to_string(cand)) {
-      heuristic = cand;
-      matched = true;
-    }
-  }
-  if (!matched) throw util::ConfigError("unknown heuristic: " + h);
-
-  middleware::RecoveryConfig rcfg;
-  const std::string policy = ini.get_string("failures", "policy", "retry");
-  matched = false;
-  for (auto cand : middleware::kAllRecoveryPolicies) {
-    if (policy == middleware::to_string(cand)) {
-      rcfg.policy = cand;
-      matched = true;
-    }
-  }
-  if (!matched) throw util::ConfigError("unknown recovery policy: " + policy);
-  rcfg.backoff_base = ini.get_duration("failures", "backoff", rcfg.backoff_base);
-  rcfg.max_attempts =
-      static_cast<std::size_t>(ini.get_int("failures", "max_attempts", 0));
-  rcfg.blacklist_duration =
-      ini.get_duration("failures", "blacklist", rcfg.blacklist_duration);
-  rcfg.checkpoint_interval_ops =
-      ini.get_double("failures", "checkpoint_interval_ops", mean_ops / 4);
-  rcfg.checkpoint_overhead_ops =
-      ini.get_double("failures", "checkpoint_overhead_ops", mean_ops / 50);
-  rcfg.replicas = static_cast<std::size_t>(ini.get_int("failures", "replicas", 2));
-
-  std::vector<std::unique_ptr<hosts::CpuResource>> farm;
-  std::vector<hosts::CpuResource*> cpus;
-  for (std::size_t i = 0; i < hosts; ++i) {
-    farm.push_back(std::make_unique<hosts::CpuResource>(eng, "host" + std::to_string(i), cores,
-                                                        speed, hosts::SharingPolicy::kSpaceShared));
-    cpus.push_back(farm.back().get());
-  }
-
-  middleware::FailureSpec spec = parse_failures(ini);
-  spec.enabled = true;  // facade = chaos implies chaos
-  if (spec.horizon <= 0) spec.horizon = 1e6;
-  middleware::FailureInjector inject(eng);
-  for (auto* cpu : cpus) inject.add_cpu(*cpu);
-  if (spec.weibull_shape > 0) {
-    inject.start_weibull(spec.weibull_shape, spec.mtbf, spec.mttr, spec.horizon);
-  } else {
-    inject.start(spec.mtbf, spec.mttr, spec.horizon);
-  }
-
-  // The scheduler flips every resource to kFailStop and owns recovery.
-  middleware::FaultTolerantScheduler sched(eng, cpus, heuristic, rcfg);
-  auto& rng = eng.rng("chaos-workload");
-  for (std::size_t j = 0; j < num_jobs; ++j) {
-    hosts::Job job;
-    job.id = j + 1;
-    job.ops = rng.exponential(mean_ops);
-    sched.submit(std::move(job));
-  }
-  // Stop the clock when the bag is fully accounted for — otherwise the
-  // injector keeps the engine alive until its horizon and the post-bag
-  // outages would pollute the availability window.
-  std::size_t settled = 0;
-  const auto on_settled = [&](const hosts::Job&) {
-    if (++settled == num_jobs) eng.stop();
-  };
-  sched.run(on_settled, on_settled);
-  eng.run();
-
-  const double t_end = sched.makespan();
-  sched.finalize_availability(t_end);
-  std::printf("chaos(%s/%s): %llu done, %llu lost, %llu kills, makespan %.1f s\n",
-              middleware::to_string(heuristic), policy.c_str(),
-              static_cast<unsigned long long>(sched.completed()),
-              static_cast<unsigned long long>(sched.lost()),
-              static_cast<unsigned long long>(sched.kills()), t_end);
-  std::printf("%s", sched.dependability().report(t_end).c_str());
-  return sched.lost() == 0 ? 0 : 1;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.positional().empty()) {
-    std::fprintf(stderr, "usage: scenario_runner <scenario.ini>\n");
+    std::fprintf(stderr, "usage: scenario_runner [--report=out.json] <scenario.ini>\n");
     return 2;
   }
   try {
-    const auto ini = util::IniConfig::load(flags.positional()[0]);
+    const std::string source = flags.positional()[0];
+    const auto ini = util::IniConfig::load(source);
     const std::string facade = ini.get_string("scenario", "facade", "");
+
+    sim::register_builtin_facades();
+    const auto& reg = sim::FacadeRegistry::global();
+    const auto* entry = reg.find(facade);
+    if (!entry) {
+      std::fprintf(stderr, "unknown facade '%s' in [scenario]; registered: %s\n",
+                   facade.c_str(), util::join(reg.names(), ", ").c_str());
+      return 2;
+    }
+    if (ini.get_bool("scenario", "strict", false)) {
+      sim::validate_scenario_keys(ini, *entry);
+    }
+
     core::Engine::Config ecfg;
     ecfg.seed = static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42));
-    ecfg.queue = parse_queue(ini.get_string("scenario", "queue", "heap"));
+    const std::string queue = ini.get_string("scenario", "queue", "heap");
+    ecfg.queue = sim::facades::parse_queue(queue);
     core::Engine engine(ecfg);
 
-    if (facade == "bricks") return run_bricks(engine, ini);
-    if (facade == "optorsim") return run_optorsim(engine, ini);
-    if (facade == "monarc") return run_monarc(engine, ini);
-    if (facade == "gridsim") return run_gridsim(engine, ini);
-    if (facade == "chicsim") return run_chicsim(engine, ini);
-    if (facade == "simg") return run_simg(engine, ini);
-    if (facade == "chaos") return run_chaos(engine, ini);
-    std::fprintf(stderr, "unknown facade '%s' in [scenario]\n", facade.c_str());
-    return 2;
+    obs::Options oopts = obs::parse_options(ini);
+    if (flags.has("report")) {
+      // A --report= flag forces observability on and overrides the path.
+      oopts.enabled = true;
+      oopts.report_path = flags.get_string("report");
+    }
+    obs::Observability observability(oopts);
+    observability.attach(engine);
+
+    obs::RunReport report;
+    report.set_scenario(facade, ecfg.seed, queue, source);
+    report.echo_config(ini);
+
+    const int rc = entry->run(engine, ini, report);
+
+    if (observability.enabled()) {
+      observability.finalize(engine, report);
+      const std::string path = observability.report_path(facade);
+      report.write(path);
+      std::printf("report: %s\n", path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenario error: %s\n", e.what());
     return 1;

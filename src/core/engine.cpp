@@ -1,12 +1,22 @@
 #include "core/engine.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "core/entity.hpp"
+#include "core/probe.hpp"
 
 namespace lsds::core {
+
+namespace {
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+          .count());
+}
+}  // namespace
 
 Engine::Engine(Config cfg)
     : queue_(make_event_queue(cfg.queue)),
@@ -34,9 +44,27 @@ EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
   }
   t = quantize(t);
   const EventId id = next_seq_++;
-  queue_->push(EventRecord{t, id, std::move(fn)});
+  push_record(EventRecord{t, id, std::move(fn)});
   ++stats_.scheduled;
   return EventHandle{id, t};
+}
+
+EventRecord Engine::pop_record() {
+  if (!probe_) return queue_->pop();
+  const auto w0 = std::chrono::steady_clock::now();
+  EventRecord rec = queue_->pop();
+  probe_->on_queue_pop(elapsed_ns(w0));
+  return rec;
+}
+
+void Engine::push_record(EventRecord rec) {
+  if (!probe_) {
+    queue_->push(std::move(rec));
+    return;
+  }
+  const auto w0 = std::chrono::steady_clock::now();
+  queue_->push(std::move(rec));
+  probe_->on_queue_push(elapsed_ns(w0), queue_->size());
 }
 
 bool Engine::cancel(const EventHandle& h) {
@@ -48,7 +76,7 @@ bool Engine::cancel(const EventHandle& h) {
 
 bool Engine::step() {
   while (!queue_->empty()) {
-    EventRecord ev = queue_->pop();
+    EventRecord ev = pop_record();
     auto it = tombstones_.find(ev.seq);
     if (it != tombstones_.end()) {
       tombstones_.erase(it);
@@ -57,6 +85,7 @@ bool Engine::step() {
     assert(ev.time + kTimeEpsilon >= now_ && "event queue returned an event out of order");
     now_ = ev.time;
     if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    if (probe_) probe_->on_event(ev.time, ev.seq);
     ++stats_.executed;
     ev.fn();
     return true;
@@ -75,19 +104,20 @@ std::uint64_t Engine::run_until(SimTime t_end) {
   while (!stopped_ && !queue_->empty()) {
     // Pop/inspect/requeue rather than polling min_time(): min_time() is
     // O(buckets) for the calendar queue, while one extra push is O(1).
-    EventRecord ev = queue_->pop();
+    EventRecord ev = pop_record();
     auto it = tombstones_.find(ev.seq);
     if (it != tombstones_.end()) {
       tombstones_.erase(it);
       continue;
     }
     if (ev.time > t_end) {
-      queue_->push(std::move(ev));
+      push_record(std::move(ev));
       break;
     }
     assert(ev.time + kTimeEpsilon >= now_);
     now_ = ev.time;
     if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    if (probe_) probe_->on_event(ev.time, ev.seq);
     ++stats_.executed;
     ++n;
     ev.fn();
@@ -100,19 +130,20 @@ std::uint64_t Engine::run_until(SimTime t_end) {
 std::uint64_t Engine::run_window(SimTime t_end, bool inclusive) {
   std::uint64_t n = 0;
   while (!stopped_ && !queue_->empty()) {
-    EventRecord ev = queue_->pop();
+    EventRecord ev = pop_record();
     auto it = tombstones_.find(ev.seq);
     if (it != tombstones_.end()) {
       tombstones_.erase(it);
       continue;
     }
     if (inclusive ? (ev.time > t_end) : (ev.time >= t_end)) {
-      queue_->push(std::move(ev));
+      push_record(std::move(ev));
       break;
     }
     assert(ev.time + kTimeEpsilon >= now_);
     now_ = ev.time;
     if (trace_hook_) trace_hook_(ev.time, ev.seq);
+    if (probe_) probe_->on_event(ev.time, ev.seq);
     ++stats_.executed;
     ++n;
     ev.fn();

@@ -29,6 +29,7 @@
 namespace lsds::core {
 
 class Entity;
+class EngineProbe;
 
 /// Thrown when Config::max_events is exhausted (model watchdog).
 class EventBudgetExceeded : public std::runtime_error {
@@ -56,7 +57,9 @@ class Engine {
 
   explicit Engine(Config cfg);
   Engine() : Engine(Config{}) {}
-  Engine(QueueKind queue, std::uint64_t seed) : Engine(Config{queue, seed, 0}) {}
+  [[deprecated("use Engine(Engine::Config{.queue = ..., .seed = ...}) — Config is the one "
+               "extension point for engine options")]]
+  Engine(QueueKind queue, std::uint64_t seed) : Engine(Config{queue, seed, 0, 0}) {}
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -130,6 +133,14 @@ class Engine {
   using TraceHook = std::function<void(SimTime, EventId)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // --- observation probe ---------------------------------------------------
+
+  /// Attach (or detach with nullptr) the observation probe (core/probe.hpp).
+  /// The probe must outlive the engine or be detached first. Independent of
+  /// the trace hook, so tests can trace an observed engine.
+  void set_probe(EngineProbe* probe) { probe_ = probe; }
+  EngineProbe* probe() const { return probe_; }
+
   // --- entity registry (core/entity.hpp) -----------------------------------
 
   std::uint32_t register_entity(Entity* e);
@@ -147,6 +158,9 @@ class Engine {
 
  private:
   SimTime quantize(SimTime t) const;
+  /// queue_->pop() / push() with wall-clock timing when a probe is attached.
+  EventRecord pop_record();
+  void push_record(EventRecord rec);
 
   std::unique_ptr<EventQueue> queue_;
   SimTime now_ = 0;
@@ -159,6 +173,7 @@ class Engine {
   std::unordered_set<EventId> tombstones_;
   std::map<std::string, RngStream> streams_;
   TraceHook trace_hook_;
+  EngineProbe* probe_ = nullptr;
   std::vector<Entity*> entities_;  // slot = id; nullptr after unregister
   std::unordered_set<void*> coroutines_;
 };

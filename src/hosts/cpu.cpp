@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace lsds::hosts {
 
 namespace {
@@ -33,7 +35,7 @@ bool CpuResource::has_idle_core() const {
 void CpuResource::submit(JobId id, double ops, DoneFn on_done) {
   assert(id != kInvalidJob && ops >= 0);
   const double demand = std::max(ops, kOpsEpsilon);
-  Running r{demand, demand, 0, std::move(on_done)};
+  Running r{demand, demand, 0, std::move(on_done), engine_.now()};
   if (policy_ == SharingPolicy::kSpaceShared && running_.size() >= cores_) {
     queue_.emplace_back(id, std::move(r));
     record_load();
@@ -114,6 +116,7 @@ void CpuResource::on_completion_event(std::uint64_t generation) {
   callbacks.reserve(done.size());
   for (JobId id : done) {
     auto it = running_.find(id);
+    publish_span(id, it->second, "done");
     callbacks.emplace_back(id, std::move(it->second.on_done));
     running_.erase(it);
     ++jobs_completed_;
@@ -139,6 +142,7 @@ bool CpuResource::cancel(JobId id, double* done_ops) {
   progress_to_now();  // credit work before measuring this attempt's progress
   if (auto it = running_.find(id); it != running_.end()) {
     if (done_ops) *done_ops = it->second.ops - it->second.remaining;
+    publish_span(id, it->second, "cancelled");
     running_.erase(it);
     try_dispatch();
     record_load();
@@ -173,8 +177,14 @@ void CpuResource::set_online(bool up) {
   if (!up && semantics_ == core::FailureSemantics::kFailStop &&
       (!running_.empty() || !queue_.empty())) {
     killed.reserve(running_.size() + queue_.size());
-    for (const auto& [id, r] : running_) killed.emplace_back(id, r.ops - r.remaining);
-    for (const auto& [id, r] : queue_) killed.emplace_back(id, 0.0);
+    for (const auto& [id, r] : running_) {
+      publish_span(id, r, "killed");
+      killed.emplace_back(id, r.ops - r.remaining);
+    }
+    for (const auto& [id, r] : queue_) {
+      publish_span(id, r, "returned");
+      killed.emplace_back(id, 0.0);
+    }
     running_.clear();
     queue_.clear();
     std::sort(killed.begin(), killed.end());  // deterministic callback order
@@ -199,6 +209,20 @@ double CpuResource::availability(double t_end) const {
 }
 
 double CpuResource::busy_ops() const { return delivered_ops_; }
+
+void CpuResource::publish_span(JobId id, const Running& r, const char* status) const {
+  const auto& bus = obs::SpanBus::global();
+  if (!bus.enabled()) return;
+  obs::Span s;
+  s.kind = "job";
+  s.status = status;
+  s.id = id;
+  s.t0 = r.submitted;
+  s.t1 = engine_.now();
+  s.quantity = r.ops;
+  s.name = name_.c_str();
+  bus.publish(s);
+}
 
 double CpuResource::utilization(double t_end) const {
   if (t_end <= 0) return 0;

@@ -104,7 +104,11 @@ class CpuResource {
     double remaining;
     double rate = 0;
     DoneFn on_done;
+    double submitted = 0;  // span bookkeeping (obs/span.hpp)
   };
+
+  /// Publish a finished job-attempt span to the observability bus.
+  void publish_span(JobId id, const Running& r, const char* status) const;
 
   void record_load();
   void progress_to_now();

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace lsds::middleware {
 
 namespace {
@@ -249,6 +251,7 @@ void FaultTolerantScheduler::requeue(std::size_t slot, std::size_t failed_resour
     t.finished = true;
     ++lost_;
     tracker_.job_lost(t.attempts);
+    publish_span(t, "lost");
     if (on_lost_) on_lost_(t.job);
     return;
   }
@@ -279,7 +282,22 @@ void FaultTolerantScheduler::complete(std::size_t slot) {
   responses_.add(t.job.response_time());
   ++completed_;
   tracker_.job_completed(t.job.ops, t.attempts);
+  publish_span(t, "done");
   if (on_done_) on_done_(t.job);
+}
+
+void FaultTolerantScheduler::publish_span(const TaskState& t, const char* status) const {
+  const auto& bus = obs::SpanBus::global();
+  if (!bus.enabled()) return;
+  obs::Span s;
+  s.kind = "task";
+  s.status = status;
+  s.id = t.job.id;
+  s.t0 = t.job.submit_time;
+  s.t1 = engine_.now();
+  s.quantity = t.job.ops;
+  s.dst = t.attempts;  // attempt count: the dependability dimension of a task span
+  bus.publish(s);
 }
 
 void FaultTolerantScheduler::finalize_availability(double t_end) {

@@ -133,6 +133,8 @@ class FaultTolerantScheduler {
   void on_attempt_killed(std::size_t resource, hosts::JobId attempt_id, double lost_ops);
   void requeue(std::size_t slot, std::size_t failed_resource);
   void complete(std::size_t slot);
+  /// Publish a finished task span (done/lost) to the observability bus.
+  void publish_span(const TaskState& t, const char* status) const;
   void schedule_wakeup(double t);
   double backoff_delay(std::uint32_t fails) const;
   bool resource_eligible(std::size_t r, double now) const;

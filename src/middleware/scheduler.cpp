@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/span.hpp"
+
 namespace lsds::middleware {
 
 const char* to_string(Heuristic h) {
@@ -98,6 +100,18 @@ void BagScheduler::start_job(std::size_t r, hosts::Job job) {
         makespan_ = std::max(makespan_, job.finish_time);
         responses_.add(job.response_time());
         ++completed_;
+        if (const auto& bus = obs::SpanBus::global(); bus.enabled()) {
+          obs::Span s;
+          s.kind = "dispatch";
+          s.status = "done";
+          s.id = job.id;
+          s.t0 = job.dispatch_time;
+          s.t1 = job.finish_time;
+          s.quantity = job.ops;
+          s.dst = static_cast<std::uint32_t>(r);
+          s.name = resources_[r]->name().c_str();
+          bus.publish(s);
+        }
         if (on_done_) on_done_(job);
         if (online) pull_next(r);  // self-scheduling refill
       });

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace lsds::net {
 
 namespace {
@@ -37,6 +39,7 @@ void FlowNetwork::set_link_up(LinkId id, bool up) {
     std::sort(doomed.begin(), doomed.end());  // deterministic callback order
     for (FlowId fid : doomed) {
       auto it = flows_.find(fid);
+      publish_span(it->second, "aborted");
       aborted.emplace_back(fid, std::move(it->second.on_error));
       flows_.erase(it);
       ++flows_aborted_;
@@ -65,13 +68,16 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
   Flow flow{id,     src == dst ? std::vector<LinkId>{} : route.links,
             bytes,  0,
             weight, false,
-            std::move(on_complete), std::move(on_error)};
+            std::move(on_complete), std::move(on_error),
+            src,    dst,
+            bytes,  engine_.now()};
   // Fail-stop + route already down = connection refused: fail asynchronously
   // (callers expect the error after start_flow returns), never admit the flow.
   if (semantics_ == core::FailureSemantics::kFailStop) {
     for (LinkId l : flow.links) {
       if (!link_up_[l]) {
         ++flows_aborted_;
+        publish_span(flow, "refused");
         engine_.schedule_in(0, [cb = std::move(flow.on_error), id] {
           if (cb) cb(id);
         });
@@ -108,6 +114,7 @@ bool FlowNetwork::cancel(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   progress_to_now();
+  publish_span(it->second, "cancelled");
   flows_.erase(it);
   resolve_and_reschedule();
   return true;
@@ -266,10 +273,26 @@ void FlowNetwork::on_completion_event(std::uint64_t generation) {
 void FlowNetwork::finish_flow(FlowId id) {
   auto it = flows_.find(id);
   assert(it != flows_.end());
+  publish_span(it->second, "done");
   CompletionFn cb = std::move(it->second.on_complete);
   flows_.erase(it);
   ++flows_completed_;
   if (cb) cb(id);
+}
+
+void FlowNetwork::publish_span(const Flow& flow, const char* status) const {
+  const auto& bus = obs::SpanBus::global();
+  if (!bus.enabled()) return;
+  obs::Span s;
+  s.kind = "flow";
+  s.status = status;
+  s.id = flow.id;
+  s.t0 = flow.started;
+  s.t1 = engine_.now();
+  s.quantity = flow.bytes;
+  s.src = flow.src;
+  s.dst = flow.dst;
+  bus.publish(s);
 }
 
 }  // namespace lsds::net

@@ -112,7 +112,15 @@ class FlowNetwork {
     bool sharing = false;  // false during the latency phase
     CompletionFn on_complete;
     ErrorFn on_error;
+    // Span bookkeeping (obs/span.hpp): endpoints, demand and start time.
+    NodeId src = 0;
+    NodeId dst = 0;
+    double bytes = 0;
+    double started = 0;
   };
+
+  /// Publish a completed/aborted flow span to the observability bus.
+  void publish_span(const Flow& flow, const char* status) const;
 
   void activate(FlowId id);
   /// Progress all sharing flows to now, crediting per-link byte counters.

@@ -1,0 +1,152 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lsds::obs {
+
+Json& Json::set(const std::string& key, Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, Json{});
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::push(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+std::string Json::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Json::number(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[32];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  // Keep it recognizably numeric for strict parsers ("1e+20" is fine, a
+  // bare "inf" is not — handled above).
+  return buf;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                       static_cast<std::size_t>(depth + 1),
+                                                   ' ')
+                                     : std::string{};
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                               ' ')
+                 : std::string{};
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble: out += number(double_); break;
+    case Kind::kString: out += quote(str_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        out += (i ? "," : "");
+        out += nl;
+        out += pad;
+        array_[i].write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += (i ? "," : "");
+        out += nl;
+        out += pad;
+        out += quote(object_[i].first);
+        out += kv_sep;
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += "}";
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace lsds::obs

@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace lsds::obs {
+
+void MetricsRegistry::bump(const std::string& name, double amount) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += amount;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::gauge(const std::string& name, GaugeFn pull) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(pull);
+}
+
+void MetricsRegistry::time(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timers_[name].add(seconds);
+}
+
+void MetricsRegistry::sample(double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, pull] : gauges_) {
+    series_[name].record(t, pull());
+  }
+  for (const auto& [name, value] : counters_) {
+    series_[name].record(t, value);
+  }
+}
+
+void MetricsRegistry::advance_slow(double t) {
+  // Sample once at the last crossed boundary: the instruments are
+  // piecewise-constant state pulled "now", so intermediate boundaries in a
+  // sparse stretch of virtual time would only repeat the same values.
+  const double boundary = std::floor(t / sample_interval_) * sample_interval_;
+  sample(boundary);
+  next_sample_ = boundary + sample_interval_;
+}
+
+Json MetricsRegistry::to_json(double t_end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  out.set("sample_interval_s", sample_interval_);
+  Json& counters = out["counters"];
+  counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  Json& timers = out["timers"];
+  timers = Json::object();
+  for (const auto& [name, set] : timers_) {
+    Json t = Json::object();
+    t.set("count", static_cast<std::uint64_t>(set.count()));
+    t.set("mean_s", set.mean());
+    t.set("min_s", set.min());
+    t.set("max_s", set.max());
+    t.set("stddev_s", set.stddev());
+    timers.set(name, std::move(t));
+  }
+  Json& series = out["series"];
+  series = Json::object();
+  for (const auto& [name, ts] : series_) {
+    Json s = Json::object();
+    s.set("samples", static_cast<std::uint64_t>(ts.size()));
+    if (!ts.empty()) {
+      const double last_t = ts.points().back().t;
+      s.set("last_t", last_t);
+      s.set("last", ts.points().back().v);
+      s.set("max", ts.max_value());
+      s.set("time_weighted_mean", ts.time_weighted_mean(t_end > last_t ? t_end : last_t));
+    }
+    series.set(name, std::move(s));
+  }
+  return out;
+}
+
+}  // namespace lsds::obs

@@ -1,0 +1,91 @@
+// Pull-based metrics registry.
+//
+// The paper's taxonomy makes *output analysis* a first-class axis of a
+// simulator; MetricsRegistry is the uniform instrument panel behind it.
+// Three instrument kinds, registered by name:
+//
+//   * counter — monotone accumulation (flows completed, bytes moved);
+//   * gauge   — a pull callback sampled on a simulated-time cadence
+//               (pending events, active flows, queue depth);
+//   * timer   — a duration distribution (flow/job span lengths).
+//
+// Sampling is *pull-based and event-carried*: `advance(t)` is called from
+// the engine observation probe before each executed event, and when the
+// clock has crossed the next cadence boundary every gauge is polled and
+// every counter's running value recorded into a stats::TimeSeries. No
+// sampling event is ever scheduled in the engine — the observed run's event
+// trace stays byte-identical to the unobserved run's (a test asserts this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lsds::obs {
+
+class Json;
+
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  explicit MetricsRegistry(double sample_interval = 1.0)
+      : sample_interval_(sample_interval > 0 ? sample_interval : 1.0) {}
+
+  // --- instruments (create on first use, stable thereafter) -----------------
+
+  /// Monotone counter. Thread-safe to *look up* concurrently only after
+  /// creation; create instruments before the run starts, bump them freely
+  /// during it (bump() takes the registry lock — spans are rare relative to
+  /// events, and parallel LP threads may publish concurrently).
+  void bump(const std::string& name, double amount = 1);
+  double counter(const std::string& name) const;
+
+  /// Register a pull gauge; sampled at every cadence boundary.
+  void gauge(const std::string& name, GaugeFn pull);
+
+  /// Record one duration sample (seconds) into the named timer.
+  void time(const std::string& name, double seconds);
+
+  // --- sampling -------------------------------------------------------------
+
+  double sample_interval() const { return sample_interval_; }
+
+  /// Poll every gauge and counter at simulated time `t` into its series.
+  void sample(double t);
+
+  /// Event-carried cadence: called with the engine clock before each event;
+  /// samples at the last crossed boundary when one has been passed.
+  void advance(double t) {
+    if (t >= next_sample_) advance_slow(t);
+  }
+
+  // --- output ---------------------------------------------------------------
+
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, stats::SampleSet>& timers() const { return timers_; }
+  const std::map<std::string, stats::TimeSeries>& series() const { return series_; }
+
+  /// Serialize the registry: counters as values, timers as summary stats,
+  /// gauges/counters as sampled series summaries (count/mean/max + last).
+  Json to_json(double t_end) const;
+
+ private:
+  void advance_slow(double t);
+
+  double sample_interval_;
+  double next_sample_ = 0;
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, GaugeFn> gauges_;
+  std::map<std::string, stats::SampleSet> timers_;
+  std::map<std::string, stats::TimeSeries> series_;
+};
+
+}  // namespace lsds::obs

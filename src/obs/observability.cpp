@@ -1,0 +1,104 @@
+#include "obs/observability.hpp"
+
+#include <string>
+
+#include "obs/report.hpp"
+#include "util/ini.hpp"
+
+namespace lsds::obs {
+
+Options parse_options(const util::IniConfig& ini) {
+  Options o;
+  o.enabled = ini.get_bool("observability", "enabled", false);
+  o.report_path = ini.get_string("observability", "report", "");
+  o.trace_path = ini.get_string("observability", "trace", "");
+  o.sample_interval = ini.get_duration("observability", "sample_interval", 1.0);
+  o.trace_events = ini.get_bool("observability", "trace_events", false);
+  return o;
+}
+
+Observability::Observability(Options opts)
+    : opts_(std::move(opts)), metrics_(opts_.sample_interval) {
+  if (!opts_.enabled) return;
+  if (!opts_.trace_path.empty()) sink_ = std::make_unique<TraceSink>(opts_.trace_path);
+  SpanBus::global().subscribe([this](const Span& s) { on_span(s); });
+  bus_subscribed_ = true;
+}
+
+Observability::~Observability() {
+  if (bus_subscribed_) SpanBus::global().reset();
+  detach();
+}
+
+void Observability::detach() {
+  if (!engine_) return;
+  engine_->set_probe(nullptr);
+  engine_ = nullptr;
+}
+
+void Observability::attach(core::Engine& engine) {
+  if (!opts_.enabled) return;
+  engine_ = &engine;
+  engine.set_probe(this);
+  metrics_.gauge("engine.pending_events", [&engine] {
+    return static_cast<double>(engine.pending());
+  });
+  metrics_.gauge("engine.live_processes", [&engine] {
+    return static_cast<double>(engine.live_processes());
+  });
+  profiler_.start();
+}
+
+void Observability::on_span(const Span& s) {
+  // Standard span-derived instruments: per-kind completion counters, moved
+  // quantities and duration timers. Feeds both serial and parallel runs
+  // (LP threads publish concurrently; the registry and sink are locked).
+  const std::string kind(s.kind);
+  metrics_.bump("span." + kind + "." + s.status);
+  if (kind == "flow") {
+    metrics_.bump("net.bytes_moved", s.quantity);
+  } else if (kind == "job") {
+    metrics_.bump("cpu.ops_done", s.quantity);
+  }
+  metrics_.time("span." + kind + ".duration_s", s.t1 - s.t0);
+  if (sink_) sink_->record_span(s);
+}
+
+void Observability::on_event(core::SimTime t, core::EventId seq) {
+  metrics_.advance(t);
+  profiler_.on_event(t, seq);
+  if (opts_.trace_events && sink_) sink_->record_event(t, seq);
+}
+
+void Observability::on_queue_push(std::uint64_t ns, std::size_t pending) {
+  profiler_.on_queue_push(ns, pending);
+}
+
+void Observability::on_queue_pop(std::uint64_t ns) { profiler_.on_queue_pop(ns); }
+
+void Observability::finalize(core::Engine& engine, RunReport& report) {
+  if (!opts_.enabled) return;
+  profiler_.ingest(engine);
+  finalize(report, engine.now());
+}
+
+void Observability::finalize(RunReport& report, double t_end) {
+  if (!opts_.enabled) return;
+  profiler_.stop();
+  metrics_.sample(t_end);  // closing sample so every series reaches the horizon
+  report.add_metrics(metrics_, t_end);
+  report.add_profiler(profiler_);
+  if (sink_) {
+    sink_->flush();
+    Json t = Json::object();
+    t.set("path", sink_->path());
+    t.set("records", sink_->records());
+    report.root().set("trace", std::move(t));
+  }
+}
+
+std::string Observability::report_path(const std::string& facade) const {
+  return opts_.report_path.empty() ? "RUN_" + facade + ".json" : opts_.report_path;
+}
+
+}  // namespace lsds::obs

@@ -1,0 +1,82 @@
+// Structured run reports.
+//
+// One simulation run, one JSON document: scenario identity, a verbatim echo
+// of the configuration, the facade's outcome under *shared field names*
+// (jobs_done / makespan / bytes_moved, so Bricks, OptorSim, MONARC,
+// GridSim, ChicSim, SimG and chaos reports are comparable column-for-
+// column), the metrics registry dump, the engine profiler, and — when the
+// run had chaos — the dependability ledger. Same spirit as the BENCH_*.json
+// files the bench drivers emit; this is the per-run counterpart the
+// EXPERIMENTS.md tables are assembled from.
+//
+// Facades fill the "result" section through Result::to_report(...); the
+// runner owns the rest. tools/check_run_report.py validates emitted files
+// in CI (required fields present, every number finite).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace lsds::util {
+class IniConfig;
+}
+namespace lsds::core {
+class Engine;
+}
+namespace lsds::stats {
+class DependabilityTracker;
+}
+namespace lsds::hosts {
+struct ExecutionReport;
+}
+
+namespace lsds::obs {
+
+class MetricsRegistry;
+class EngineProfiler;
+
+/// Schema identifier stamped into every report; bump on breaking changes.
+inline constexpr const char* kRunReportSchema = "lsds.run_report/1";
+
+class RunReport {
+ public:
+  RunReport();
+
+  Json& root() { return root_; }
+  const Json& root() const { return root_; }
+
+  /// Top-level section, created on first use.
+  Json& section(const std::string& name) { return root_[name]; }
+
+  // --- writers (called by the runner / facade adapters) ---------------------
+
+  void set_scenario(const std::string& facade, std::uint64_t seed, const std::string& queue,
+                    const std::string& source_path = "");
+  /// Verbatim echo of every [section] key = value pair.
+  void echo_config(const util::IniConfig& ini);
+  void add_metrics(const MetricsRegistry& metrics, double t_end);
+  void add_profiler(const EngineProfiler& profiler);
+  void add_dependability(const stats::DependabilityTracker& ledger, double horizon);
+  /// Parallel-execution footprint, mirrored under "execution" (the profiler
+  /// also carries it; this keeps serial consumers one key away).
+  void add_execution(const hosts::ExecutionReport& report);
+
+  /// The facade outcome. Shared field names every facade writes:
+  ///   jobs_done (uint), makespan (s), bytes_moved (bytes).
+  Json& result() { return root_["result"]; }
+  /// Convenience for the three shared fields.
+  void set_result_core(std::uint64_t jobs_done, double makespan, double bytes_moved);
+
+  // --- output ---------------------------------------------------------------
+
+  std::string to_json_string(int indent = 2) const { return root_.dump(indent); }
+  /// Write to `path`. Throws std::runtime_error when unwritable.
+  void write(const std::string& path) const;
+
+ private:
+  Json root_;
+};
+
+}  // namespace lsds::obs

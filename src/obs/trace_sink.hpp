@@ -1,0 +1,55 @@
+// Structured JSONL trace sink.
+//
+// One line per record, append-only, flat JSON objects — the format every
+// trace-analysis stack ingests directly. Two record types:
+//
+//   {"type":"span","kind":"flow","id":7,"t0":0.05,"t1":1.2,"quantity":2e7,
+//    "src":0,"dst":3,"status":"done","name":"..."}
+//   {"type":"event","t":12.5,"seq":4031}
+//
+// Span records come from the process-wide SpanBus (net/flow transfers,
+// hosts/cpu job attempts, middleware scheduler dispatches); event records
+// from the engine probe when per-event tracing is explicitly requested
+// ([observability] trace_events — high volume, off by default). The sink is
+// thread-safe: parallel LP threads publish spans concurrently, so every
+// write takes a mutex. Line order across threads is therefore arbitrary;
+// determinism guarantees cover the *simulation*, never trace file order.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace lsds::obs {
+
+class TraceSink {
+ public:
+  /// Opens `path` for writing. Throws std::runtime_error when unwritable.
+  explicit TraceSink(const std::string& path);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void record_span(const Span& s);
+  void record_event(double t, std::uint64_t seq);
+
+  std::uint64_t records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+  /// Flush buffered lines to disk (also done on destruction).
+  void flush();
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::FILE* file_;
+  std::mutex mu_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace lsds::obs

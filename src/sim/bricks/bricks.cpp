@@ -1,5 +1,7 @@
 #include "sim/bricks/bricks.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -190,6 +192,14 @@ Result run(core::Engine& engine, const Config& cfg) {
     res.server_utilization = util / static_cast<double>(cfg.num_servers);
   }
   return res;
+}
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(jobs, makespan, network_bytes);
+  auto& r = report.result();
+  r.set("mean_response_s", response_times.mean());
+  r.set("mean_queue_wait_s", queue_waits.mean());
+  r.set("server_utilization", server_utilization);
 }
 
 }  // namespace lsds::sim::bricks

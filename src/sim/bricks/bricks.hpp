@@ -19,6 +19,10 @@
 #include "middleware/failures.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::bricks {
 
 enum class ServerScheme {
@@ -73,6 +77,10 @@ struct Result {
   double server_utilization = 0;    // mean over servers, over the makespan
   double network_bytes = 0;
   std::vector<std::uint64_t> per_server;  // jobs executed per server
+
+  /// Fill the report's "result" section (shared names: jobs_done /
+  /// makespan / bytes_moved, then facade-specific extras).
+  void to_report(obs::RunReport& report) const;
 };
 
 /// Run the scenario to completion on `engine` (seed/queue via engine config).

@@ -1,0 +1,59 @@
+// Chaos facade: fail-stop bag-of-tasks under a recovery policy — the
+// dependability layer exercised end-to-end.
+//
+// A farm of identical hosts runs an exponential bag while the failure
+// injector takes hosts down with fail-stop semantics (progress lost, queued
+// work bounced). The FaultTolerantScheduler re-drives the work under the
+// configured recovery policy (retry / resubmit / checkpoint / replicate)
+// and keeps the dependability ledger the report prints: goodput vs raw
+// throughput, waste fraction, attempts, per-host availability.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "middleware/failures.hpp"
+#include "middleware/recovery.hpp"
+#include "middleware/scheduler.hpp"
+#include "stats/dependability.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::obs {
+class RunReport;
+}
+
+namespace lsds::sim::chaos {
+
+struct Config {
+  std::size_t num_hosts = 8;
+  unsigned cores = 1;
+  double cpu_speed = 1000;
+
+  std::size_t num_jobs = 1000;
+  double mean_ops = 2000;  // exponential job length
+  middleware::Heuristic heuristic = middleware::Heuristic::kFifo;
+
+  /// Injector knobs. `enabled` is ignored — facade = chaos implies chaos;
+  /// a non-positive horizon defaults to 1e6 s.
+  middleware::FailureSpec failures;
+  middleware::RecoveryConfig recovery;
+};
+
+struct Result {
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;   // abandoned after max_attempts
+  std::uint64_t kills = 0;  // fail-stop kills (attempt granularity)
+  double makespan = 0;
+  stats::SampleSet response_times;
+  stats::DependabilityTracker dependability;  // availability rows included
+
+  /// Fill the report's "result" section (shared names: jobs_done /
+  /// makespan / bytes_moved) and the dependability ledger.
+  void to_report(obs::RunReport& report) const;
+};
+
+/// Run the bag to full accounting (every job completed or lost), then stop
+/// the clock — post-bag outages must not pollute the availability window.
+Result run(core::Engine& engine, const Config& cfg);
+
+}  // namespace lsds::sim::chaos

@@ -1,5 +1,7 @@
 #include "sim/chicsim/chicsim.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <map>
 #include <memory>
@@ -249,6 +251,18 @@ Result run(core::Engine& engine, const Config& cfg) {
   }
   engine.run();
   return res;
+}
+
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(jobs, makespan, network_bytes);
+  auto& r = report.result();
+  r.set("mean_response_s", response_times.mean());
+  r.set("locality", locality());
+  r.set("local_reads", local_reads);
+  r.set("remote_reads", remote_reads);
+  r.set("replications", replications);
+  r.set("pushes", pushes);
 }
 
 }  // namespace lsds::sim::chicsim

@@ -26,6 +26,10 @@
 #include "middleware/failures.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::chicsim {
 
 enum class JobPolicy { kRandom, kLeastLoaded, kDataPresent, kLocal };
@@ -82,6 +86,10 @@ struct Result {
     const auto total = local_reads + remote_reads;
     return total ? static_cast<double>(local_reads) / static_cast<double>(total) : 0.0;
   }
+
+  /// Fill the report's "result" section (shared names + data-location
+  /// extras).
+  void to_report(obs::RunReport& report) const;
 };
 
 Result run(core::Engine& engine, const Config& cfg);

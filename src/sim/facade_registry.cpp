@@ -1,0 +1,86 @@
+#include "sim/facade_registry.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/ini.hpp"
+#include "util/strings.hpp"
+
+namespace lsds::sim {
+
+void FacadeRegistry::add(Entry e) {
+  if (entries_.count(e.name)) {
+    throw std::invalid_argument("facade already registered: " + e.name);
+  }
+  const std::string name = e.name;
+  entries_.emplace(name, std::move(e));
+}
+
+const FacadeRegistry::Entry* FacadeRegistry::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FacadeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);  // map = sorted
+  return out;
+}
+
+FacadeRegistry& FacadeRegistry::global() {
+  static FacadeRegistry reg;
+  return reg;
+}
+
+void register_builtin_facades() {
+  static const bool once = [] {
+    auto& reg = FacadeRegistry::global();
+    register_bricks_facade(reg);
+    register_optorsim_facade(reg);
+    register_monarc_facade(reg);
+    register_gridsim_facade(reg);
+    register_chicsim_facade(reg);
+    register_simg_facade(reg);
+    register_chaos_facade(reg);
+    return true;
+  }();
+  (void)once;
+}
+
+void validate_scenario_keys(const util::IniConfig& ini, const FacadeRegistry::Entry& entry) {
+  // Runner-owned sections, known to every scenario.
+  static const std::map<std::string, std::vector<std::string>> kRunnerKeys = {
+      {"scenario", {"facade", "seed", "queue", "strict"}},
+      {"observability", {"enabled", "report", "trace", "sample_interval", "trace_events"}},
+  };
+
+  for (const std::string& section : ini.sections()) {
+    const std::vector<std::string>* known = nullptr;
+    if (auto it = kRunnerKeys.find(section); it != kRunnerKeys.end()) known = &it->second;
+    if (auto it = entry.keys.find(section); it != entry.keys.end()) known = &it->second;
+    if (!known) {
+      throw util::ConfigError("[" + section + "]: unknown section for facade '" + entry.name +
+                              "' (strict mode)");
+    }
+    for (const std::string& key : ini.keys(section)) {
+      if (std::find(known->begin(), known->end(), key) != known->end()) continue;
+      // Near-miss suggestion: closest declared key within edit distance 2.
+      std::string best;
+      std::size_t best_d = std::numeric_limits<std::size_t>::max();
+      for (const std::string& cand : *known) {
+        const std::size_t d = util::edit_distance(key, cand);
+        if (d < best_d) {
+          best_d = d;
+          best = cand;
+        }
+      }
+      std::string msg = "[" + section + "] " + key + ": unknown key (strict mode)";
+      if (best_d <= 2) msg += " — did you mean '" + best + "'?";
+      throw util::ConfigError(msg);
+    }
+  }
+}
+
+}  // namespace lsds::sim

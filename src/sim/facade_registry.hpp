@@ -1,0 +1,82 @@
+// Facade registry: the one dispatch table from `[scenario] facade = <name>`
+// to a runnable study.
+//
+// Each facade registers an Entry — name, a run function with the uniform
+// signature (engine, scenario INI, run report), and the INI keys it
+// understands. The scenario runner resolves the facade by name instead of
+// an if-chain, an unknown name lists what IS registered, and strict key
+// validation ([scenario] strict = true) rejects typo'd keys with a
+// near-miss suggestion.
+//
+// Registration is explicit (register_builtin_facades() calls one function
+// per src/sim/facades/*_facade.cpp) rather than static-initializer magic:
+// facades live in a static library, and a self-registering translation unit
+// nothing references would be dead-stripped by the linker.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsds::core {
+class Engine;
+}
+namespace lsds::util {
+class IniConfig;
+}
+namespace lsds::obs {
+class RunReport;
+}
+
+namespace lsds::sim {
+
+class FacadeRegistry {
+ public:
+  /// Run the facade described by `ini` on `engine`, filling the report's
+  /// "result" (and, where it applies, "dependability" / "execution")
+  /// sections. Returns a process exit code.
+  using RunFn = std::function<int(core::Engine&, const util::IniConfig&, obs::RunReport&)>;
+
+  struct Entry {
+    std::string name;
+    RunFn run;
+    /// Known keys per INI section this facade consumes (its own section,
+    /// [failures], [execution], ...). Strict validation checks against
+    /// these plus the runner-owned sections.
+    std::map<std::string, std::vector<std::string>> keys;
+  };
+
+  /// Throws std::invalid_argument when `e.name` is already registered.
+  void add(Entry e);
+  /// nullptr when unknown.
+  const Entry* find(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return entries_.size(); }
+
+  static FacadeRegistry& global();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+// One registration function per facade adapter (src/sim/facades/).
+void register_bricks_facade(FacadeRegistry& reg);
+void register_optorsim_facade(FacadeRegistry& reg);
+void register_monarc_facade(FacadeRegistry& reg);
+void register_gridsim_facade(FacadeRegistry& reg);
+void register_chicsim_facade(FacadeRegistry& reg);
+void register_simg_facade(FacadeRegistry& reg);
+void register_chaos_facade(FacadeRegistry& reg);
+
+/// Register every built-in facade into the global registry. Idempotent.
+void register_builtin_facades();
+
+/// Strict key validation: every key in `ini` must be consumed by the runner
+/// ([scenario], [observability]) or declared by `entry`. Throws
+/// util::ConfigError naming the first unknown key, with a "did you mean"
+/// suggestion when a declared key is within edit distance 2.
+void validate_scenario_keys(const util::IniConfig& ini, const FacadeRegistry::Entry& entry);
+
+}  // namespace lsds::sim

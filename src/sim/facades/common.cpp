@@ -1,0 +1,55 @@
+#include "sim/facades/common.hpp"
+
+#include "sim/parallel/execution.hpp"
+
+namespace lsds::sim::facades {
+
+core::QueueKind parse_queue(const std::string& s) {
+  if (s == "sorted") return core::QueueKind::kSortedList;
+  if (s == "heap") return core::QueueKind::kBinaryHeap;
+  if (s == "splay") return core::QueueKind::kSplayTree;
+  if (s == "calendar") return core::QueueKind::kCalendarQueue;
+  if (s == "ladder") return core::QueueKind::kLadderQueue;
+  throw util::ConfigError("unknown queue kind: " + s + " (sorted|heap|splay|calendar|ladder)");
+}
+
+middleware::FailureSpec parse_failures(const util::IniConfig& ini) {
+  middleware::FailureSpec spec;
+  spec.enabled = ini.get_bool("failures", "enabled", ini.has("failures", "mtbf"));
+  spec.mtbf = ini.get_duration("failures", "mtbf", spec.mtbf);
+  spec.mttr = ini.get_duration("failures", "mttr", spec.mttr);
+  spec.horizon = ini.get_duration("failures", "horizon", spec.horizon);
+  spec.weibull_shape = ini.get_double("failures", "weibull_shape", 0);
+  spec.include_links = ini.get_bool("failures", "links", true);
+  const std::string sem = ini.get_string("failures", "semantics", "resume");
+  if (sem == "stop") {
+    spec.semantics = core::FailureSemantics::kFailStop;
+  } else if (sem != "resume") {
+    throw util::ConfigError("unknown failure semantics: " + sem + " (resume|stop)");
+  }
+  return spec;
+}
+
+middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini) {
+  middleware::FailureSpec spec = parse_failures(ini);
+  if (spec.enabled && spec.semantics == core::FailureSemantics::kFailStop) {
+    throw util::ConfigError("semantics = stop requires facade = chaos");
+  }
+  return spec;
+}
+
+hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini) {
+  return sim::parallel::parse_execution(
+      ini, static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42)),
+      parse_queue(ini.get_string("scenario", "queue", "heap")));
+}
+
+std::vector<std::string> failures_keys() {
+  return {"enabled", "mtbf", "mttr", "horizon", "weibull_shape", "links", "semantics"};
+}
+
+std::vector<std::string> execution_keys() {
+  return {"mode", "threads", "lps", "partition", "lookahead"};
+}
+
+}  // namespace lsds::sim::facades

@@ -1,0 +1,55 @@
+// Shared INI parsing for the facade adapters (src/sim/facades/*_facade.cpp):
+// the [scenario] determinism knobs, the [failures] chaos section and the
+// [execution] spec — one parser each, so every facade reads them the same
+// way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/parallel_grid.hpp"
+#include "middleware/failures.hpp"
+#include "util/ini.hpp"
+
+namespace lsds::sim::facades {
+
+/// `[scenario] queue =` sorted | heap | splay | calendar | ladder.
+core::QueueKind parse_queue(const std::string& s);
+
+/// `[failures]` section: mtbf, mttr, semantics (resume|stop), weibull_shape,
+/// horizon, links — plus policy knobs consumed by the chaos facade. The
+/// section's presence (an `mtbf` key or `enabled = true`) turns chaos on.
+middleware::FailureSpec parse_failures(const util::IniConfig& ini);
+
+/// The data-grid facades model transparent outages only; fail-stop recovery
+/// needs the chaos facade's FaultTolerantScheduler. Throws on
+/// `semantics = stop`.
+middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini);
+
+/// Parse the [execution] section against the [scenario] determinism knobs.
+hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini);
+
+/// Declared-key lists for strict validation (FacadeRegistry::Entry::keys).
+std::vector<std::string> failures_keys();
+std::vector<std::string> execution_keys();
+
+/// Match `value` against an enum's candidate list by its to_string name,
+/// assigning `out` on a hit; otherwise throw ConfigError naming the bad
+/// value and the accepted set: "unknown <what>: v (a|b|c)".
+template <typename Enum, typename Candidates>
+void parse_enum(const char* what, const std::string& value, const Candidates& candidates,
+                Enum& out) {
+  std::string accepted;
+  for (auto cand : candidates) {
+    if (value == to_string(cand)) {
+      out = cand;
+      return;
+    }
+    if (!accepted.empty()) accepted += "|";
+    accepted += to_string(cand);
+  }
+  throw util::ConfigError("unknown " + std::string(what) + ": " + value + " (" + accepted + ")");
+}
+
+}  // namespace lsds::sim::facades

@@ -1,5 +1,7 @@
 #include "sim/gridsim/gridsim.hpp"
 
+#include "obs/report.hpp"
+
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -51,6 +53,17 @@ Result run(core::Engine& engine, const Config& cfg) {
   res.makespan = broker.makespan();
   res.deadline_met = res.makespan <= cfg.deadline;
   return res;
+}
+
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(completed, makespan, 0);
+  auto& r = report.result();
+  r.set("accepted", accepted);
+  r.set("rejected", rejected);
+  r.set("cost", cost);
+  r.set("deadline_met", deadline_met);
+  r.set("mean_response_s", response_times.mean());
 }
 
 }  // namespace lsds::sim::gridsim

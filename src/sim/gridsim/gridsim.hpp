@@ -16,6 +16,10 @@
 #include "middleware/broker.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::gridsim {
 
 struct Config {
@@ -46,6 +50,9 @@ struct Result {
   double makespan = 0;  // actual
   stats::SampleSet response_times;
   bool deadline_met = false;
+
+  /// Fill the report's "result" section (shared names + economy extras).
+  void to_report(obs::RunReport& report) const;
 };
 
 Result run(core::Engine& engine, const Config& cfg);

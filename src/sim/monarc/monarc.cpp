@@ -1,5 +1,7 @@
 #include "sim/monarc/monarc.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <map>
 #include <memory>
@@ -220,6 +222,20 @@ Result run(core::Engine& engine, const Config& cfg) {
     res.link_utilization = grid.net().link_series(0).time_weighted_mean(ctx.last_delivery);
   }
   return res;
+}
+
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(analysis_jobs + t2_jobs, makespan,
+                         file_bytes * static_cast<double>(replicas_delivered));
+  auto& r = report.result();
+  r.set("files_produced", files_produced);
+  r.set("replicas_delivered", replicas_delivered);
+  r.set("files_archived", files_archived);
+  r.set("backlog_at_production_end_bytes", backlog_at_production_end);
+  r.set("mean_replication_lag_s", replication_lag.mean());
+  r.set("link_utilization", link_utilization);
+  r.set("sustainable", sustainable());
 }
 
 }  // namespace lsds::sim::monarc

@@ -27,6 +27,10 @@
 #include "stats/summary.hpp"
 #include "stats/timeseries.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::monarc {
 
 struct Config {
@@ -110,6 +114,10 @@ struct Result {
   bool sustainable() const {
     return backlog_at_production_end <= 2.5 * file_bytes * static_cast<double>(num_t1);
   }
+
+  /// Fill the report's "result" section (shared names + replication study
+  /// extras; bytes_moved = file_bytes * replicas delivered).
+  void to_report(obs::RunReport& report) const;
 };
 
 Result run(core::Engine& engine, const Config& cfg);

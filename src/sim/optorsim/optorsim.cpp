@@ -1,5 +1,7 @@
 #include "sim/optorsim/optorsim.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <map>
 #include <memory>
@@ -150,6 +152,18 @@ Result run(core::Engine& engine, const Config& cfg) {
   }
   engine.run();
   return res;
+}
+
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(jobs, makespan, network_bytes);
+  auto& r = report.result();
+  r.set("mean_job_time_s", mean_job_time());
+  r.set("hit_ratio", local_hit_ratio());
+  r.set("local_reads", local_reads);
+  r.set("remote_reads", remote_reads);
+  r.set("replications", replications);
+  r.set("evictions", evictions);
 }
 
 }  // namespace lsds::sim::optorsim

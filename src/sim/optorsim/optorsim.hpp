@@ -21,6 +21,10 @@
 #include "middleware/replication.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::optorsim {
 
 struct Config {
@@ -56,6 +60,10 @@ struct Result {
     return total ? static_cast<double>(local_reads) / static_cast<double>(total) : 0.0;
   }
   double mean_job_time() const { return job_times.mean(); }
+
+  /// Fill the report's "result" section (shared names + replica-optimizer
+  /// extras).
+  void to_report(obs::RunReport& report) const;
 };
 
 Result run(core::Engine& engine, const Config& cfg);

@@ -1,5 +1,7 @@
 #include "sim/parallel/bag_model.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -197,6 +199,20 @@ std::string BagResult::trace() const {
     out += util::strformat("chan %u %u %.17g\n", from, to, bytes);
   }
   return out;
+}
+
+
+void BagResult::to_report(obs::RunReport& report) const {
+  double moved = 0;
+  for (const auto& [from, to, bytes] : channel_bytes) moved += bytes;
+  report.set_result_core(completed, makespan, moved);
+  auto& r = report.result();
+  r.set("accepted", accepted);
+  r.set("rejected", rejected);
+  r.set("cost", cost);
+  r.set("deadline_met", deadline_met);
+  r.set("mean_response_s", response_times.mean());
+  report.add_execution(exec);
 }
 
 }  // namespace lsds::sim::parallel

@@ -20,6 +20,10 @@
 #include "sim/gridsim/gridsim.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::parallel {
 
 /// One completed task with its broker-side accounting.
@@ -47,6 +51,10 @@ struct BagResult {
 
   /// Canonical %.17g serialization for byte-identical comparison.
   std::string trace() const;
+
+  /// Fill the report's "result" section (shared names; bytes_moved sums
+  /// channel_bytes) and the "execution" footprint.
+  void to_report(obs::RunReport& report) const;
 };
 
 /// Run the bag-of-tasks study under the given execution spec.

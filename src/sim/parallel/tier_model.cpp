@@ -1,5 +1,7 @@
 #include "sim/parallel/tier_model.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <map>
 #include <stdexcept>
@@ -315,6 +317,20 @@ std::string TierResult::trace() const {
     out += util::strformat("chan %u %u %.17g\n", from, to, bytes);
   }
   return out;
+}
+
+
+void TierResult::to_report(obs::RunReport& report) const {
+  double moved = 0;
+  for (const auto& [from, to, bytes] : channel_bytes) moved += bytes;
+  report.set_result_core(jobs.size(), makespan, moved);
+  auto& r = report.result();
+  r.set("files_produced", files_produced);
+  r.set("replicas_delivered", replicas_delivered);
+  r.set("files_archived", files_archived);
+  r.set("backlog_at_production_end_bytes", backlog_at_production_end);
+  r.set("mean_replication_lag_s", replication_lag.mean());
+  report.add_execution(exec);
 }
 
 }  // namespace lsds::sim::parallel

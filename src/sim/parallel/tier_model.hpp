@@ -27,6 +27,10 @@
 #include "sim/monarc/monarc.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::parallel {
 
 /// One completed analysis job (T1 or T2).
@@ -67,6 +71,10 @@ struct TierResult {
   /// runs are equivalent iff their traces are byte-identical — used by the
   /// parallel-run-twice and serial-vs-parallel checks.
   std::string trace() const;
+
+  /// Fill the report's "result" section (shared names; bytes_moved sums
+  /// channel_bytes) and the "execution" footprint.
+  void to_report(obs::RunReport& report) const;
 };
 
 /// Run the tier model under the given execution spec. Throws

@@ -1,5 +1,7 @@
 #include "sim/simg/simg.hpp"
 
+#include "obs/report.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -165,6 +167,12 @@ Result run(core::Engine& engine, const Config& cfg) {
   }
   engine.run();
   return res;
+}
+
+
+void Result::to_report(obs::RunReport& report) const {
+  report.set_result_core(tasks, makespan, 0);
+  report.result().set("mean_task_time_s", task_times.mean());
 }
 
 }  // namespace lsds::sim::simg

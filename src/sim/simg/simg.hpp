@@ -24,6 +24,10 @@
 #include "core/engine.hpp"
 #include "stats/summary.hpp"
 
+namespace lsds::obs {
+class RunReport;
+}
+
 namespace lsds::sim::simg {
 
 enum class SchedulingMode { kCompileTime, kRuntime };
@@ -53,6 +57,10 @@ struct Result {
   stats::SampleSet task_times;
   /// Tasks executed per worker.
   std::vector<std::uint64_t> per_worker;
+
+  /// Fill the report's "result" section (shared names; bytes_moved = 0, the
+  /// facade measures scheduling, not data movement).
+  void to_report(obs::RunReport& report) const;
 };
 
 Result run(core::Engine& engine, const Config& cfg);

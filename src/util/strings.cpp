@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
@@ -80,6 +81,23 @@ bool parse_long(std::string_view s, long long& out) {
   const char* last = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(first, last, out);
   return ec == std::errc{} && ptr == last;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; rows are indexed by characters of `b`.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];  // row[i-1][j-1]
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({up + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
 }
 
 bool parse_bool(std::string_view s, bool& out) {

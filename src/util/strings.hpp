@@ -48,6 +48,10 @@ bool ends_with(std::string_view s, std::string_view suffix);
 /// Lower-case ASCII copy.
 std::string to_lower(std::string_view s);
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs) — used
+/// for "did you mean" suggestions on unknown configuration keys.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
 /// Parse helpers: return false on malformed input instead of throwing.
 bool parse_double(std::string_view s, double& out);
 bool parse_long(std::string_view s, long long& out);

@@ -115,7 +115,7 @@ TEST(BatchQueue, SpareShrinksAcrossBackfills) {
 
 TEST(BatchQueue, EasyImprovesUtilizationOnMixedLoad) {
   auto run_policy = [](BatchPolicy policy) {
-    core::Engine eng(core::QueueKind::kBinaryHeap, 9);
+    core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 9});
     BatchQueue q(eng, 16, policy);
     auto& rng = eng.rng("wl");
     for (lsds::hosts::JobId i = 1; i <= 120; ++i) {

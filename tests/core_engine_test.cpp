@@ -177,7 +177,7 @@ namespace {
 // delays. Returns the (time, seq) trace.
 std::vector<std::pair<double, core::EventId>> run_cascade(core::QueueKind kind,
                                                           std::uint64_t seed) {
-  core::Engine eng(kind, seed);
+  core::Engine eng({.queue = kind, .seed = seed});
   std::vector<std::pair<double, core::EventId>> trace;
   eng.set_trace_hook([&](double t, core::EventId id) { trace.emplace_back(t, id); });
   auto& rng = eng.rng("cascade");
@@ -229,10 +229,10 @@ INSTANTIATE_TEST_SUITE_P(AllStructures, EngineQueueDeterminism,
 // --- named RNG streams -----------------------------------------------------
 
 TEST(EngineRng, StreamsAreIndependentByName) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
   auto& a = eng.rng("arrivals");
   // Interleaving draws from another stream must not perturb "arrivals".
-  core::Engine eng2(core::QueueKind::kBinaryHeap, 7);
+  core::Engine eng2({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
   auto& a2 = eng2.rng("arrivals");
   auto& b2 = eng2.rng("sizes");
   for (int i = 0; i < 100; ++i) {

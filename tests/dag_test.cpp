@@ -73,7 +73,7 @@ TEST(Dag, GeneratorsProduceExpectedShapes) {
 namespace {
 
 struct DagWorld {
-  core::Engine eng{core::QueueKind::kBinaryHeap, 6};
+  core::Engine eng{{.queue = core::QueueKind::kBinaryHeap, .seed = 6}};
   net::Topology topo;
   std::unique_ptr<net::Routing> routing;
   std::unique_ptr<net::FlowNetwork> fnet;

@@ -1,0 +1,100 @@
+// FacadeRegistry: name -> runnable-study dispatch, duplicate rejection, and
+// strict INI key validation with near-miss suggestions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/facade_registry.hpp"
+#include "util/ini.hpp"
+
+namespace {
+
+using namespace lsds;
+
+TEST(FacadeRegistry, AllSevenBuiltinsResolve) {
+  sim::register_builtin_facades();
+  const auto& reg = sim::FacadeRegistry::global();
+  EXPECT_EQ(reg.size(), 7u);
+  for (const char* name :
+       {"bricks", "optorsim", "monarc", "gridsim", "chicsim", "simg", "chaos"}) {
+    const auto* entry = reg.find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_EQ(entry->name, name);
+    EXPECT_TRUE(static_cast<bool>(entry->run)) << name;
+  }
+}
+
+TEST(FacadeRegistry, RegisterBuiltinsIsIdempotent) {
+  sim::register_builtin_facades();
+  sim::register_builtin_facades();
+  EXPECT_EQ(sim::FacadeRegistry::global().size(), 7u);
+}
+
+TEST(FacadeRegistry, NamesAreSorted) {
+  sim::register_builtin_facades();
+  const auto names = sim::FacadeRegistry::global().names();
+  ASSERT_EQ(names.size(), 7u);
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+}
+
+TEST(FacadeRegistry, UnknownNameReturnsNull) {
+  sim::register_builtin_facades();
+  EXPECT_EQ(sim::FacadeRegistry::global().find("nope"), nullptr);
+}
+
+TEST(FacadeRegistry, DuplicateRegistrationThrows) {
+  sim::FacadeRegistry reg;  // fresh, not the global one
+  sim::register_simg_facade(reg);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW(sim::register_simg_facade(reg), std::invalid_argument);
+}
+
+// --- strict key validation --------------------------------------------------
+
+sim::FacadeRegistry::Entry demo_entry() {
+  sim::FacadeRegistry::Entry e;
+  e.name = "demo";
+  e.keys["demo"] = {"hosts", "jobs", "mean_ops"};
+  return e;
+}
+
+TEST(StrictKeys, AcceptsDeclaredAndRunnerKeys) {
+  const auto ini = util::IniConfig::parse(
+      "[scenario]\nfacade = demo\nseed = 1\nstrict = true\n"
+      "[observability]\nenabled = true\n"
+      "[demo]\nhosts = 4\njobs = 10\n");
+  EXPECT_NO_THROW(sim::validate_scenario_keys(ini, demo_entry()));
+}
+
+TEST(StrictKeys, UnknownKeySuggestsNearMiss) {
+  const auto ini = util::IniConfig::parse("[demo]\nhots = 4\n");
+  try {
+    sim::validate_scenario_keys(ini, demo_entry());
+    FAIL() << "expected ConfigError";
+  } catch (const std::exception& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hots"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("hosts"), std::string::npos) << msg;  // the suggestion
+  }
+}
+
+TEST(StrictKeys, UnknownSectionRejected) {
+  const auto ini = util::IniConfig::parse("[demos]\nhosts = 4\n");
+  EXPECT_THROW(sim::validate_scenario_keys(ini, demo_entry()), std::exception);
+}
+
+TEST(StrictKeys, FarTypoGetsNoSuggestion) {
+  const auto ini = util::IniConfig::parse("[demo]\nzzzzzzzz = 4\n");
+  try {
+    sim::validate_scenario_keys(ini, demo_entry());
+    FAIL() << "expected ConfigError";
+  } catch (const std::exception& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace

@@ -161,7 +161,7 @@ TEST(LinkFailure, ParallelPathUnaffected) {
 // --- stochastic injector ----------------------------------------------------
 
 TEST(FailureInjector, ChaosRunStillCompletesAllWork) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 99);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 99});
   net::Topology topo;
   const auto a = topo.add_node("a");
   const auto b = topo.add_node("b");
@@ -194,7 +194,7 @@ TEST(FailureInjector, ChaosRunStillCompletesAllWork) {
 
 TEST(FailureInjector, DeterministicForSeed) {
   auto run_once = [] {
-    core::Engine eng(core::QueueKind::kBinaryHeap, 7);
+    core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
     hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
     mw::FailureInjector chaos(eng);
     chaos.add_cpu(cpu);
@@ -225,7 +225,7 @@ TEST(FailureInjector, DoubleStartThrows) {
 TEST(FailureInjector, DowntimeTruncatedAtHorizon) {
   constexpr std::uint64_t kSeed = 11;
   constexpr double kMtbf = 10.0, kMttr = 5.0, kHorizon = 40.0;
-  core::Engine eng(core::QueueKind::kBinaryHeap, kSeed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = kSeed});
   hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
   mw::FailureInjector chaos(eng);
   chaos.add_cpu(cpu);
@@ -249,7 +249,7 @@ TEST(FailureInjector, DowntimeTruncatedAtHorizon) {
 }
 
 TEST(FailureInjector, CorrelatedSiteOutage) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 5);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 5});
   hosts::CpuResource c1(eng, "a", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
   hosts::CpuResource c2(eng, "b", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
   mw::FailureInjector chaos(eng);
@@ -264,7 +264,7 @@ TEST(FailureInjector, CorrelatedSiteOutage) {
 
 TEST(FailureInjector, WeibullLifetimesDeterministicForSeed) {
   auto run_once = [] {
-    core::Engine eng(core::QueueKind::kBinaryHeap, 21);
+    core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 21});
     hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
     mw::FailureInjector chaos(eng);
     chaos.add_cpu(cpu);
@@ -285,7 +285,7 @@ namespace {
 /// run by the fault-tolerant scheduler. Returns the engine's (time, seq)
 /// execution trace.
 std::vector<std::pair<double, std::uint64_t>> chaos_trace(std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   std::vector<std::pair<double, std::uint64_t>> trace;
   eng.set_trace_hook([&](double t, core::EventId id) { trace.emplace_back(t, id); });
 
@@ -334,7 +334,7 @@ TEST(ChaosDeterminism, DifferentSeedsDiverge) {
 }
 
 TEST(FailureInjector, NoFailuresBeyondHorizon) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 3);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 3});
   hosts::CpuResource cpu(eng, "n", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
   mw::FailureInjector chaos(eng);
   chaos.add_cpu(cpu);

@@ -106,7 +106,7 @@ namespace {
 
 lsds::sim::bricks::Result run_selection(lsds::sim::bricks::ServerSelection sel,
                                         std::uint64_t seed) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   lsds::sim::bricks::Config cfg;
   cfg.num_clients = 8;
   cfg.jobs_per_client = 12;
@@ -149,14 +149,14 @@ TEST(BricksSelection, ForecastApproachesOracle) {
 }
 
 TEST(BricksSelection, SingleServerUnaffectedBySelection) {
-  core::Engine a(core::QueueKind::kBinaryHeap, 5);
+  core::Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 5});
   lsds::sim::bricks::Config cfg;
   cfg.num_clients = 3;
   cfg.jobs_per_client = 5;
   cfg.num_servers = 1;
   cfg.selection = lsds::sim::bricks::ServerSelection::kRandom;
   const auto r1 = lsds::sim::bricks::run(a, cfg);
-  core::Engine b(core::QueueKind::kBinaryHeap, 5);
+  core::Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 5});
   cfg.selection = lsds::sim::bricks::ServerSelection::kLeastQueue;
   const auto r2 = lsds::sim::bricks::run(b, cfg);
   EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);

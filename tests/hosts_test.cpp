@@ -144,7 +144,7 @@ TEST(Cpu, LoadSeriesTracksQueue) {
 
 // PS validation: M/M/1-PS mean sojourn matches 1/(mu - lambda).
 TEST(CpuTimeShared, MM1PSMeanSojournMatchesTheory) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 1234);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 1234});
   hosts::CpuResource cpu(eng, "node", 1, 1.0, hosts::SharingPolicy::kTimeShared);
   auto& arrivals = eng.rng("arrivals");
   auto& sizes = eng.rng("sizes");

@@ -374,7 +374,7 @@ class MaxMinProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(MaxMinProperty, InvariantsHold) {
   const int seed = GetParam();
-  core::Engine eng(core::QueueKind::kBinaryHeap, static_cast<std::uint64_t>(seed));
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = static_cast<std::uint64_t>(seed)});
   core::RngStream topo_rng(static_cast<std::uint64_t>(seed) * 13 + 1);
   auto topo = net::Topology::random_connected(12, 8, 1e6, 0.0, topo_rng);
   net::Routing routing(topo);

@@ -1,0 +1,249 @@
+// Observability layer: JSON serialization, metrics registry, span bus,
+// structured run reports — and the load-bearing invariant: observing a run
+// must not change it (the event trace of an observed engine is
+// byte-identical to an unobserved one).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observability.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "sim/chaos/chaos.hpp"
+#include "sim/gridsim/gridsim.hpp"
+#include "util/ini.hpp"
+
+namespace {
+
+using namespace lsds;
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, ScalarsAndNesting) {
+  obs::Json j = obs::Json::object();
+  j.set("b", true);
+  j.set("i", std::int64_t{-3});
+  j.set("d", 0.5);
+  j.set("s", "hi");
+  j["nested"].set("k", 1);
+  j["arr"].push(1).push(2);
+  EXPECT_EQ(j.dump(0),
+            R"({"b":true,"i":-3,"d":0.5,"s":"hi","nested":{"k":1},"arr":[1,2]})");
+}
+
+TEST(Json, InsertionOrderPreserved) {
+  obs::Json j = obs::Json::object();
+  j.set("zebra", 1);
+  j.set("alpha", 2);
+  const std::string out = j.dump(0);
+  EXPECT_LT(out.find("zebra"), out.find("alpha"));
+}
+
+TEST(Json, StringQuoting) {
+  EXPECT_EQ(obs::Json::quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(obs::Json::quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  for (double d : {0.1, 1.0 / 3.0, 2.5e9, 619.3793386205052, -0.0, 1e308}) {
+    const std::string s = obs::Json::number(d);
+    EXPECT_EQ(std::stod(s), d) << s;
+  }
+  EXPECT_EQ(obs::Json::number(42.0), "42");
+  EXPECT_EQ(obs::Json::number(std::nan("")), "NaN");
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(Metrics, CountersGaugesTimers) {
+  obs::MetricsRegistry m(1.0);
+  m.bump("jobs", 1);
+  m.bump("jobs", 2);
+  double level = 5;
+  m.gauge("level", [&] { return level; });
+  m.time("svc", 0.25);
+  m.time("svc", 0.75);
+  m.advance(0.5);   // before the first boundary: no sample yet
+  m.advance(2.3);   // crosses t=2 -> samples at 2.0
+  level = 9;
+  m.sample(3.0);    // explicit closing sample
+
+  const obs::Json j = m.to_json(3.0);
+  EXPECT_EQ(j.find("counters")->find("jobs")->as_double(), 3.0);
+  const auto* svc = j.find("timers")->find("svc");
+  EXPECT_EQ(svc->find("count")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(svc->find("mean_s")->as_double(), 0.5);
+  const auto* series = j.find("series")->find("level");
+  EXPECT_EQ(series->find("last")->as_double(), 9.0);
+  EXPECT_EQ(series->find("last_t")->as_double(), 3.0);
+}
+
+TEST(Metrics, AdvanceSamplesAtCadenceBoundary) {
+  obs::MetricsRegistry m(2.0);
+  m.bump("c", 1);
+  m.advance(5.1);  // boundary floor(5.1/2)*2 = 4
+  m.sample(5.1);   // closing sample, as finalize() takes
+  const obs::Json j = m.to_json(5.1);
+  // one cadence sample at t=4 plus the closing sample at 5.1
+  EXPECT_EQ(j.find("series")->find("c")->find("samples")->as_int(), 2);
+}
+
+// --- SpanBus ----------------------------------------------------------------
+
+TEST(SpanBus, DisabledBusDropsAndEnabledDelivers) {
+  auto& bus = obs::SpanBus::global();
+  bus.reset();
+  EXPECT_FALSE(bus.enabled());
+  int seen = 0;
+  obs::Span s;
+  s.kind = "flow";
+  s.status = "done";
+  bus.publish(s);  // unarmed: dropped
+  bus.subscribe([&](const obs::Span&) { ++seen; });
+  EXPECT_TRUE(bus.enabled());
+  bus.publish(s);
+  EXPECT_EQ(seen, 1);
+  bus.reset();
+  bus.publish(s);
+  EXPECT_EQ(seen, 1);
+}
+
+// --- RunReport --------------------------------------------------------------
+
+TEST(RunReport, GoldenSkeleton) {
+  obs::RunReport report;
+  report.set_scenario("demo", 7, "heap", "demo.ini");
+  report.set_result_core(3, 1.5, 250.0);
+  const std::string expected = R"({
+  "schema": "lsds.run_report/1",
+  "scenario": {
+    "facade": "demo",
+    "seed": 7,
+    "queue": "heap",
+    "source": "demo.ini"
+  },
+  "result": {
+    "jobs_done": 3,
+    "makespan": 1.5,
+    "bytes_moved": 250
+  }
+})";
+  EXPECT_EQ(report.to_json_string(), expected);
+}
+
+TEST(RunReport, EchoesConfigVerbatim) {
+  const auto ini = util::IniConfig::parse("[scenario]\nfacade = simg\n[simg]\ntasks = 9\n");
+  obs::RunReport report;
+  report.echo_config(ini);
+  const auto* cfg = report.root().find("config");
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_EQ(cfg->find("simg")->find("tasks")->as_string(), "9");
+}
+
+TEST(RunReport, WriteProducesParseableFile) {
+  const std::string path = ::testing::TempDir() + "obs_report_test.json";
+  obs::RunReport report;
+  report.set_scenario("x", 1, "heap");
+  report.write(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), report.to_json_string() + "\n");
+  std::remove(path.c_str());
+}
+
+// --- the determinism invariant ---------------------------------------------
+
+using Trace = std::vector<std::pair<double, core::EventId>>;
+
+Trace run_chaos_traced(obs::Observability* o) {
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 11});
+  Trace trace;
+  eng.set_trace_hook([&](double t, core::EventId id) { trace.emplace_back(t, id); });
+  if (o) o->attach(eng);
+  sim::chaos::Config cfg;
+  cfg.num_hosts = 4;
+  cfg.num_jobs = 60;
+  cfg.failures.mtbf = 40;
+  cfg.failures.mttr = 5;
+  sim::chaos::run(eng, cfg);
+  if (o) o->detach();
+  return trace;
+}
+
+TEST(ObservabilityDeterminism, ObservedTraceIsByteIdenticalToUnobserved) {
+  const Trace bare = run_chaos_traced(nullptr);
+
+  obs::Options opts;
+  opts.enabled = true;
+  opts.trace_path = ::testing::TempDir() + "obs_det_trace.jsonl";
+  obs::Observability o(opts);
+  const Trace observed = run_chaos_traced(&o);
+
+  ASSERT_EQ(bare.size(), observed.size());
+  EXPECT_EQ(bare, observed);  // same (time, seq) for every event
+  std::remove(opts.trace_path.c_str());
+}
+
+TEST(ObservabilityDeterminism, DisabledIsANoOp) {
+  obs::Options opts;  // enabled = false
+  obs::Observability o(opts);
+  const Trace bare = run_chaos_traced(nullptr);
+  const Trace observed = run_chaos_traced(&o);
+  EXPECT_EQ(bare, observed);
+  EXPECT_FALSE(obs::SpanBus::global().enabled());
+}
+
+// --- end-to-end report finiteness -------------------------------------------
+
+void expect_finite(const obs::Json& j, const std::string& path) {
+  switch (j.kind()) {
+    case obs::Json::Kind::kDouble:
+      EXPECT_TRUE(std::isfinite(j.as_double())) << path;
+      break;
+    case obs::Json::Kind::kObject:
+      for (const auto& [k, v] : j.members()) expect_finite(v, path + "." + k);
+      break;
+    case obs::Json::Kind::kArray: {
+      for (const auto& v : j.items()) expect_finite(v, path + "[]");
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+TEST(RunReport, EndToEndGridsimReportIsFinite) {
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 3});
+  obs::Options opts;
+  opts.enabled = true;
+  obs::Observability o(opts);
+  o.attach(eng);
+
+  sim::gridsim::Config cfg;
+  cfg.num_jobs = 40;
+  const auto res = sim::gridsim::run(eng, cfg);
+
+  obs::RunReport report;
+  report.set_scenario("gridsim", 3, "heap");
+  res.to_report(report);
+  o.finalize(eng, report);
+
+  EXPECT_EQ(report.result().find("jobs_done")->as_int(),
+            static_cast<std::int64_t>(res.completed));
+  ASSERT_NE(report.root().find("metrics"), nullptr);
+  ASSERT_NE(report.root().find("profiler"), nullptr);
+  expect_finite(report.root(), "root");
+}
+
+}  // namespace

@@ -18,7 +18,7 @@ namespace p2p = lsds::p2p;
 namespace {
 
 struct P2pWorld {
-  core::Engine eng{core::QueueKind::kBinaryHeap, 5};
+  core::Engine eng{{.queue = core::QueueKind::kBinaryHeap, .seed = 5}};
   net::Topology topo;
   std::unique_ptr<net::Routing> routing;
 

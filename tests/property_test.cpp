@@ -96,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(AllStructures, QueueAdversarial,
 // --- conservation laws -------------------------------------------------
 
 TEST(Conservation, FlowNetworkDeliversExactlyWhatWasSent) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 3);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 3});
   core::RngStream trng(9);
   auto topo = net::Topology::random_connected(10, 6, 1e6, 0.001, trng);
   net::Routing routing(topo);
@@ -119,7 +119,7 @@ TEST(Conservation, FlowNetworkDeliversExactlyWhatWasSent) {
 
 TEST(Conservation, CpuDeliversExactlyRequestedOps) {
   for (auto policy : {hosts::SharingPolicy::kSpaceShared, hosts::SharingPolicy::kTimeShared}) {
-    core::Engine eng(core::QueueKind::kBinaryHeap, 4);
+    core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 4});
     hosts::CpuResource cpu(eng, "n", 3, 100.0, policy);
     auto& rng = eng.rng("jobs");
     double total = 0;
@@ -137,7 +137,7 @@ TEST(Conservation, CpuDeliversExactlyRequestedOps) {
 }
 
 TEST(Conservation, PacketAccountingBalances) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 5);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 5});
   auto topo = net::Topology::dumbbell(3, 3, 1e7, 0.0005, 1e6, 0.002);
   net::Routing routing(topo);
   net::PacketNetwork::Config cfg;
@@ -166,7 +166,7 @@ class PacketSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(PacketSweep, AllTransfersCompleteOnRandomTopologies) {
   const auto seed = static_cast<std::uint64_t>(GetParam());
-  core::Engine eng(core::QueueKind::kBinaryHeap, seed);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
   core::RngStream trng(seed * 7 + 1);
   auto topo = net::Topology::random_connected(8, 4, 2e6, 0.002, trng);
   net::Routing routing(topo);
@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PacketSweep, ::testing::Range(1, 9));
 // --- transfer service conservation -----------------------------------------
 
 TEST(Conservation, TransferServiceCompletesEverySubmission) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 6);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 6});
   net::Topology topo;
   const auto a = topo.add_node("a");
   const auto b = topo.add_node("b");
@@ -225,7 +225,7 @@ class FullScenarioDeterminism : public ::testing::TestWithParam<core::QueueKind>
 
 TEST_P(FullScenarioDeterminism, FlowScenarioIdenticalAcrossStructures) {
   auto run_with = [](core::QueueKind kind) {
-    core::Engine eng(kind, 77);
+    core::Engine eng({.queue = kind, .seed = 77});
     core::RngStream trng(123);
     auto topo = net::Topology::random_connected(12, 8, 1e6, 0.001, trng);
     net::Routing routing(topo);

@@ -360,7 +360,7 @@ namespace {
 /// 1000-job bag on 8 hosts with MTBF comparable to the mean job length:
 /// outages land mid-job routinely, and every job must still finish.
 void run_chaos_bag(mw::RecoveryPolicyKind policy) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 1234);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 1234});
   Farm farm(eng, std::vector<double>(8, 1000.0));
 
   mw::FailureInjector chaos(eng);

@@ -18,7 +18,7 @@ using core::Engine;
 // --- Bricks ---------------------------------------------------------------
 
 TEST(Bricks, CentralModelCompletesAllJobs) {
-  Engine eng(core::QueueKind::kBinaryHeap, 11);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 11});
   lsds::sim::bricks::Config cfg;
   cfg.num_clients = 4;
   cfg.jobs_per_client = 10;
@@ -35,7 +35,7 @@ TEST(Bricks, DeterministicForSeed) {
   lsds::sim::bricks::Config cfg;
   cfg.num_clients = 3;
   cfg.jobs_per_client = 5;
-  Engine a(core::QueueKind::kBinaryHeap, 5), b(core::QueueKind::kBinaryHeap, 5);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 5}), b({.queue = core::QueueKind::kBinaryHeap, .seed = 5});
   const auto ra = lsds::sim::bricks::run(a, cfg);
   const auto rb = lsds::sim::bricks::run(b, cfg);
   EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
@@ -50,7 +50,7 @@ TEST(Bricks, MoreServersReduceQueueing) {
   slow.server_cores = 1;
   lsds::sim::bricks::Config fast = slow;
   fast.server_cores = 8;
-  Engine a(core::QueueKind::kBinaryHeap, 7), b(core::QueueKind::kBinaryHeap, 7);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 7}), b({.queue = core::QueueKind::kBinaryHeap, .seed = 7});
   const auto r_slow = lsds::sim::bricks::run(a, slow);
   const auto r_fast = lsds::sim::bricks::run(b, fast);
   EXPECT_GT(r_slow.queue_waits.mean(), r_fast.queue_waits.mean());
@@ -76,7 +76,7 @@ lsds::sim::optorsim::Config optor_config() {
 }  // namespace
 
 TEST(OptorSim, AllJobsComplete) {
-  Engine eng(core::QueueKind::kBinaryHeap, 21);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 21});
   auto cfg = optor_config();
   const auto res = lsds::sim::optorsim::run(eng, cfg);
   EXPECT_EQ(res.jobs, 120u);
@@ -85,7 +85,7 @@ TEST(OptorSim, AllJobsComplete) {
 }
 
 TEST(OptorSim, NoReplicationNeverReplicates) {
-  Engine eng(core::QueueKind::kBinaryHeap, 21);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 21});
   auto cfg = optor_config();
   cfg.policy = lsds::middleware::ReplicationPolicy::kNone;
   const auto res = lsds::sim::optorsim::run(eng, cfg);
@@ -96,11 +96,11 @@ TEST(OptorSim, NoReplicationNeverReplicates) {
 TEST(OptorSim, LruCachingImprovesLocalityAndJobTimes) {
   auto cfg = optor_config();
   cfg.policy = lsds::middleware::ReplicationPolicy::kNone;
-  Engine a(core::QueueKind::kBinaryHeap, 21);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 21});
   const auto none = lsds::sim::optorsim::run(a, cfg);
 
   cfg.policy = lsds::middleware::ReplicationPolicy::kLru;
-  Engine b(core::QueueKind::kBinaryHeap, 21);
+  Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 21});
   const auto lru = lsds::sim::optorsim::run(b, cfg);
 
   EXPECT_GT(lru.replications, 0u);
@@ -110,7 +110,7 @@ TEST(OptorSim, LruCachingImprovesLocalityAndJobTimes) {
 }
 
 TEST(OptorSim, CacheNeverExceedsCapacity) {
-  Engine eng(core::QueueKind::kBinaryHeap, 33);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 33});
   auto cfg = optor_config();
   cfg.cache_fraction = 0.1;  // tight caches force constant eviction
   const auto res = lsds::sim::optorsim::run(eng, cfg);
@@ -122,10 +122,10 @@ TEST(OptorSim, EconomicDeclinesColdFiles) {
   auto cfg = optor_config();
   cfg.cache_fraction = 0.1;
   cfg.workload.zipf_exponent = 1.2;  // strong skew: hot files exist
-  Engine a(core::QueueKind::kBinaryHeap, 9);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 9});
   cfg.policy = lsds::middleware::ReplicationPolicy::kLru;
   const auto lru = lsds::sim::optorsim::run(a, cfg);
-  Engine b(core::QueueKind::kBinaryHeap, 9);
+  Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 9});
   cfg.policy = lsds::middleware::ReplicationPolicy::kEconomic;
   const auto eco = lsds::sim::optorsim::run(b, cfg);
   // Economic replicates more selectively than always-replicate LRU.
@@ -138,7 +138,7 @@ TEST(OptorSim, EconomicDeclinesColdFiles) {
 TEST(SimG, BothModesCompleteAllTasks) {
   for (auto mode :
        {lsds::sim::simg::SchedulingMode::kCompileTime, lsds::sim::simg::SchedulingMode::kRuntime}) {
-    Engine eng(core::QueueKind::kBinaryHeap, 3);
+    Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 3});
     lsds::sim::simg::Config cfg;
     cfg.mode = mode;
     cfg.num_tasks = 40;
@@ -155,7 +155,7 @@ TEST(SimG, RuntimeAdaptsBetterUnderEstimateError) {
   // With very noisy estimates, self-scheduling (runtime) should beat the
   // static compile-time plan; with perfect estimates they should be close.
   auto makespan = [](lsds::sim::simg::SchedulingMode mode, double err, std::uint64_t seed) {
-    Engine eng(core::QueueKind::kBinaryHeap, seed);
+    Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = seed});
     lsds::sim::simg::Config cfg;
     cfg.mode = mode;
     cfg.num_tasks = 100;
@@ -172,7 +172,7 @@ TEST(SimG, RuntimeAdaptsBetterUnderEstimateError) {
 }
 
 TEST(SimG, FasterWorkersDoMoreTasks) {
-  Engine eng(core::QueueKind::kBinaryHeap, 8);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 8});
   lsds::sim::simg::Config cfg;
   cfg.mode = lsds::sim::simg::SchedulingMode::kRuntime;
   cfg.num_tasks = 80;
@@ -189,10 +189,10 @@ TEST(GridSim, CostOptCheaperTimeOptFaster) {
   lsds::sim::gridsim::Config cfg;
   cfg.num_jobs = 40;
   cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
-  Engine a(core::QueueKind::kBinaryHeap, 2);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 2});
   const auto cost_opt = lsds::sim::gridsim::run(a, cfg);
   cfg.strategy = lsds::middleware::DbcStrategy::kTimeOptimization;
-  Engine b(core::QueueKind::kBinaryHeap, 2);
+  Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 2});
   const auto time_opt = lsds::sim::gridsim::run(b, cfg);
 
   EXPECT_EQ(cost_opt.completed, 40u);
@@ -206,7 +206,7 @@ TEST(GridSim, TightBudgetRejectsJobs) {
   cfg.num_jobs = 30;
   cfg.budget = 20.0;  // far below unconstrained spend
   cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
-  Engine eng(core::QueueKind::kBinaryHeap, 4);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 4});
   const auto res = lsds::sim::gridsim::run(eng, cfg);
   EXPECT_GT(res.rejected, 0u);
   EXPECT_LE(res.cost, cfg.budget + 1e-9);
@@ -217,10 +217,10 @@ TEST(GridSim, DeadlinePushesCostUp) {
   lsds::sim::gridsim::Config cfg;
   cfg.num_jobs = 30;
   cfg.strategy = lsds::middleware::DbcStrategy::kCostOptimization;
-  Engine a(core::QueueKind::kBinaryHeap, 6);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 6});
   const auto loose = lsds::sim::gridsim::run(a, cfg);
   cfg.deadline = loose.makespan / 3.0;  // force faster placement
-  Engine b(core::QueueKind::kBinaryHeap, 6);
+  Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 6});
   const auto tight = lsds::sim::gridsim::run(b, cfg);
   EXPECT_GE(tight.cost, loose.cost);
   EXPECT_TRUE(tight.deadline_met);
@@ -246,7 +246,7 @@ lsds::sim::chicsim::Config chic_config() {
 TEST(ChicSim, AllPolicyCombinationsComplete) {
   for (auto jp : lsds::sim::chicsim::kAllJobPolicies) {
     for (auto dp : lsds::sim::chicsim::kAllDataPolicies) {
-      Engine eng(core::QueueKind::kBinaryHeap, 17);
+      Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 17});
       auto cfg = chic_config();
       cfg.job_policy = jp;
       cfg.data_policy = dp;
@@ -258,7 +258,7 @@ TEST(ChicSim, AllPolicyCombinationsComplete) {
 
 TEST(ChicSim, DataPresentSchedulingMaximizesLocality) {
   auto run_policy = [](lsds::sim::chicsim::JobPolicy jp) {
-    Engine eng(core::QueueKind::kBinaryHeap, 23);
+    Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 23});
     auto cfg = chic_config();
     cfg.job_policy = jp;
     cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
@@ -271,7 +271,7 @@ TEST(ChicSim, DataPresentSchedulingMaximizesLocality) {
 }
 
 TEST(ChicSim, PushReplicationSpreadsPopularFiles) {
-  Engine eng(core::QueueKind::kBinaryHeap, 29);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 29});
   auto cfg = chic_config();
   cfg.workload.zipf_exponent = 1.2;
   cfg.job_policy = lsds::sim::chicsim::JobPolicy::kRandom;
@@ -279,7 +279,7 @@ TEST(ChicSim, PushReplicationSpreadsPopularFiles) {
   const auto res = lsds::sim::chicsim::run(eng, cfg);
   EXPECT_GT(res.pushes, 0u);
   // Push raises locality above the no-replication baseline.
-  Engine eng2(core::QueueKind::kBinaryHeap, 29);
+  Engine eng2({.queue = core::QueueKind::kBinaryHeap, .seed = 29});
   cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
   const auto none = lsds::sim::chicsim::run(eng2, cfg);
   EXPECT_GT(res.locality(), none.locality());
@@ -287,7 +287,7 @@ TEST(ChicSim, PushReplicationSpreadsPopularFiles) {
 
 TEST(ChicSim, MultipleSchedulersComplete) {
   for (std::size_t k : {1u, 2u, 3u}) {
-    Engine eng(core::QueueKind::kBinaryHeap, 41);
+    Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 41});
     auto cfg = chic_config();
     cfg.num_schedulers = k;
     cfg.job_policy = lsds::sim::chicsim::JobPolicy::kLeastLoaded;
@@ -300,7 +300,7 @@ TEST(ChicSim, SchedulerFragmentationHurtsDataPresentLocality) {
   // With one global scheduler, data-present placement always reaches the
   // data; schedulers restricted to partitions sometimes cannot.
   auto run_k = [](std::size_t k) {
-    Engine eng(core::QueueKind::kBinaryHeap, 43);
+    Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 43});
     auto cfg = chic_config();
     cfg.num_schedulers = k;
     cfg.job_policy = lsds::sim::chicsim::JobPolicy::kDataPresent;
@@ -317,10 +317,10 @@ TEST(ChicSim, SchedulerFragmentationHurtsDataPresentLocality) {
 TEST(ChicSim, CachingImprovesLocality) {
   auto cfg = chic_config();
   cfg.job_policy = lsds::sim::chicsim::JobPolicy::kRandom;
-  Engine a(core::QueueKind::kBinaryHeap, 31);
+  Engine a({.queue = core::QueueKind::kBinaryHeap, .seed = 31});
   cfg.data_policy = lsds::sim::chicsim::DataPolicy::kNone;
   const auto none = lsds::sim::chicsim::run(a, cfg);
-  Engine b(core::QueueKind::kBinaryHeap, 31);
+  Engine b({.queue = core::QueueKind::kBinaryHeap, .seed = 31});
   cfg.data_policy = lsds::sim::chicsim::DataPolicy::kCache;
   const auto cache = lsds::sim::chicsim::run(b, cfg);
   EXPECT_GT(cache.locality(), none.locality());
@@ -345,7 +345,7 @@ lsds::sim::monarc::Config monarc_config(double gbps) {
 }  // namespace
 
 TEST(Monarc, AllReplicasDelivered) {
-  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   auto cfg = monarc_config(10.0);
   cfg.run_analysis = true;
   const auto res = lsds::sim::monarc::run(eng, cfg);
@@ -359,9 +359,9 @@ TEST(Monarc, AllReplicasDelivered) {
 TEST(Monarc, InsufficientLinkDivergesSufficientKeepsUp) {
   // Offered rate is 4 Gbps per link: 2.5 Gbps must fall behind (growing
   // backlog, unsustainable), 10 Gbps must keep up — the paper's LHC story.
-  Engine low(core::QueueKind::kBinaryHeap, 1);
+  Engine low({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   const auto r_low = lsds::sim::monarc::run(low, monarc_config(2.5));
-  Engine high(core::QueueKind::kBinaryHeap, 1);
+  Engine high({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   const auto r_high = lsds::sim::monarc::run(high, monarc_config(10.0));
 
   EXPECT_FALSE(r_low.sustainable());
@@ -375,7 +375,7 @@ TEST(Monarc, InsufficientLinkDivergesSufficientKeepsUp) {
 }
 
 TEST(Monarc, BacklogSeriesMonotoneUnderStarvation) {
-  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   const auto res = lsds::sim::monarc::run(eng, monarc_config(1.0));
   // Peak backlog equals backlog at production end when the link can't keep
   // up at all.
@@ -385,7 +385,7 @@ TEST(Monarc, BacklogSeriesMonotoneUnderStarvation) {
 
 TEST(Monarc, TapeArchiveKeepsUpWhenFastEnough) {
   // Production: 10 GB / 20 s = 0.5 GB/s offered to the tape robots.
-  Engine fast(core::QueueKind::kBinaryHeap, 1);
+  Engine fast({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   auto cfg = monarc_config(10.0);
   cfg.archive_to_tape = true;
   cfg.tape_bandwidth = 2e9;  // 4x headroom
@@ -393,7 +393,7 @@ TEST(Monarc, TapeArchiveKeepsUpWhenFastEnough) {
   const auto r_fast = lsds::sim::monarc::run(fast, cfg);
   EXPECT_EQ(r_fast.files_archived, 20u);
   // Starved robots: archive lag grows far beyond the fast case.
-  Engine slow(core::QueueKind::kBinaryHeap, 1);
+  Engine slow({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   cfg.tape_bandwidth = 0.25e9;  // half the offered rate
   const auto r_slow = lsds::sim::monarc::run(slow, cfg);
   EXPECT_EQ(r_slow.files_archived, 20u);
@@ -401,7 +401,7 @@ TEST(Monarc, TapeArchiveKeepsUpWhenFastEnough) {
 }
 
 TEST(Monarc, ThreeTierHierarchyRuns) {
-  Engine eng(core::QueueKind::kBinaryHeap, 1);
+  Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   auto cfg = monarc_config(10.0);
   cfg.run_analysis = true;
   cfg.t2_per_t1 = 2;
@@ -417,11 +417,11 @@ TEST(Monarc, ThreeTierHierarchyRuns) {
 }
 
 TEST(Monarc, AnalysisWaitsForReplicas) {
-  Engine slow(core::QueueKind::kBinaryHeap, 1);
+  Engine slow({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   auto cfg = monarc_config(2.5);
   cfg.run_analysis = true;
   const auto r_slow = lsds::sim::monarc::run(slow, cfg);
-  Engine fast(core::QueueKind::kBinaryHeap, 1);
+  Engine fast({.queue = core::QueueKind::kBinaryHeap, .seed = 1});
   auto cfg2 = monarc_config(20.0);
   cfg2.run_analysis = true;
   const auto r_fast = lsds::sim::monarc::run(fast, cfg2);

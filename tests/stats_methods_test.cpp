@@ -106,7 +106,7 @@ TEST(Analytical, MD1SimulationMatchesPK) {
   // Space-shared CPU with *deterministic* service vs the PK closed form.
   const double lambda = 0.7;
   const double service = 1.0;  // ops 100 at speed 100
-  core::Engine eng(core::QueueKind::kCalendarQueue, 31);
+  core::Engine eng({.queue = core::QueueKind::kCalendarQueue, .seed = 31});
   hosts::CpuResource cpu(eng, "srv", 1, 100.0, hosts::SharingPolicy::kSpaceShared);
   auto& arrivals = eng.rng("arr");
   stats::BatchMeans wait(500, /*warmup=*/500);
@@ -181,7 +181,7 @@ TEST(WeightedMaxMin, WeightedCompletionTimes) {
 }
 
 TEST(WeightedMaxMin, CrossTopologyInvariantsStillHold) {
-  core::Engine eng(core::QueueKind::kBinaryHeap, 11);
+  core::Engine eng({.queue = core::QueueKind::kBinaryHeap, .seed = 11});
   core::RngStream trng(12);
   auto topo = net::Topology::random_connected(10, 6, 1e6, 0.0, trng);
   net::Routing routing(topo);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a RunReport JSON file (schema lsds.run_report/1).
+
+Usage: check_run_report.py RUN_*.json ...
+
+Checks, per file:
+  * the file parses as JSON and contains no NaN/Infinity literals;
+  * schema == "lsds.run_report/1";
+  * required sections exist: scenario{facade,seed,queue},
+    result{jobs_done,makespan,bytes_moved}, metrics, profiler;
+  * every number anywhere in the document is finite;
+  * makespan >= 0 and jobs_done is a non-negative integer.
+
+Exit code 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+
+class NonFinite(Exception):
+    pass
+
+
+def reject_constant(name):
+    raise NonFinite(f"non-finite literal {name!r} in document")
+
+
+def walk_finite(node, path):
+    if isinstance(node, float) and not math.isfinite(node):
+        raise NonFinite(f"non-finite number at {path}")
+    if isinstance(node, dict):
+        for k, v in node.items():
+            walk_finite(v, f"{path}.{k}")
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_finite(v, f"{path}[{i}]")
+
+
+def require(doc, path, types=None):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"missing required field '{path}'")
+        node = node[part]
+    if types is not None and not isinstance(node, types):
+        raise TypeError(f"field '{path}' has type {type(node).__name__}")
+    return node
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f, parse_constant=reject_constant)
+    if require(doc, "schema", str) != "lsds.run_report/1":
+        raise ValueError(f"unexpected schema {doc['schema']!r}")
+    require(doc, "scenario.facade", str)
+    require(doc, "scenario.seed", int)
+    require(doc, "scenario.queue", str)
+    jobs_done = require(doc, "result.jobs_done", int)
+    makespan = require(doc, "result.makespan", (int, float))
+    require(doc, "result.bytes_moved", (int, float))
+    require(doc, "metrics", dict)
+    require(doc, "profiler", dict)
+    walk_finite(doc, "$")
+    if jobs_done < 0:
+        raise ValueError(f"result.jobs_done is negative: {jobs_done}")
+    if makespan < 0:
+        raise ValueError(f"result.makespan is negative: {makespan}")
+    return doc
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv:
+        try:
+            doc = check(path)
+        except Exception as e:  # report every file, then fail
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed += 1
+            continue
+        r = doc["result"]
+        print(f"ok   {path}: facade={doc['scenario']['facade']} "
+              f"jobs_done={r['jobs_done']} makespan={r['makespan']}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
