@@ -144,7 +144,8 @@ void CalendarQueue::resize(std::size_t new_nbuckets) {
   const double new_width = estimate_width();
 
   std::vector<Bucket> old = std::move(buckets_);
-  buckets_.assign(new_nbuckets, Bucket{});
+  buckets_.clear();
+  buckets_.resize(new_nbuckets);
   width_ = new_width;
   grow_threshold_ = 2 * new_nbuckets;
   shrink_threshold_ = new_nbuckets / 2;

@@ -68,6 +68,21 @@ void ParallelGrid::finalize() {
   }
   chan_busy_.assign(specs_.size(), {});
   chan_bytes_.assign(specs_.size(), {});
+
+  // Per-LP flow networks for partition-local flow-level transfers. Warm the
+  // routing cache for every site pair first: Routing::route caches lazily
+  // and is not thread-safe, so all lookups LP threads might trigger must be
+  // materialized here, single-threaded.
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    for (std::size_t b = 0; b < nodes_.size(); ++b) {
+      if (a != b) routing_->route(nodes_[a], nodes_[b]);
+    }
+  }
+  flow_nets_.reserve(lps);
+  for (unsigned lp = 0; lp < lps; ++lp) {
+    flow_nets_.push_back(
+        std::make_unique<net::FlowNetwork>(*pe_->lp(lp).engine(), *routing_, spec_.network));
+  }
 }
 
 void ParallelGrid::at(SiteId at_site, core::SimTime t, core::EventFn fn) {

@@ -57,6 +57,9 @@ struct ExecutionSpec {
   double lookahead_override = 0;
   core::QueueKind queue = core::QueueKind::kBinaryHeap;
   std::uint64_t seed = 42;
+  /// Flow-network solver configuration for the per-LP flow networks
+  /// (hosts the `[network] incremental` INI toggle end to end).
+  net::FlowNetwork::Config network{};
 };
 
 /// Outcome of a ParallelGrid run: the engine's window/message counters plus
@@ -103,6 +106,12 @@ class ParallelGrid {
   unsigned num_lps() const { return pe_->num_lps(); }
   core::Engine& engine_of(SiteId id) { return *pe_->lp(owner_[id]).engine(); }
   net::Routing& routing() { return *routing_; }
+  /// Flow network of the LP owning `id` — flow-level (max-min shared)
+  /// transfers between sites of the SAME partition, driven from events on
+  /// that LP. Sharing is partition-local by design; cross-partition data
+  /// movement goes through transfer()'s analytic channels. Routes are
+  /// pre-warmed at finalize() (Routing's lazy cache is not thread-safe).
+  net::FlowNetwork& flows_of(SiteId id) { return *flow_nets_[owner_[id]]; }
   /// Effective window length; +inf when serial (single LP).
   double lookahead() const { return lookahead_; }
   /// True when the run will actually be multi-LP.
@@ -158,6 +167,7 @@ class ParallelGrid {
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<net::Routing> routing_;
   std::unique_ptr<core::ParallelEngine> pe_;
+  std::vector<std::unique_ptr<net::FlowNetwork>> flow_nets_;  // one per LP
   double lookahead_ = 0;
   std::string fallback_reason_;
   // Per ordered (from, to) pair: when the channel frees up, and bytes ever

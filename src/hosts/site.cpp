@@ -31,10 +31,10 @@ Site& Grid::add_site_at(const SiteSpec& spec, net::NodeId node) {
   return *sites_.back();
 }
 
-void Grid::finalize() {
+void Grid::finalize(net::FlowNetwork::Config net_cfg) {
   assert(!finalized());
   routing_ = std::make_unique<net::Routing>(topo_);
-  net_ = std::make_unique<net::FlowNetwork>(engine_, *routing_);
+  net_ = std::make_unique<net::FlowNetwork>(engine_, *routing_, net_cfg);
 }
 
 SiteId Grid::find_site(const std::string& name) const {

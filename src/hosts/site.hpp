@@ -85,7 +85,7 @@ class Grid {
   Site& add_site_at(const SiteSpec& spec, net::NodeId node);
 
   /// Build routing + flow network. Topology must not change afterwards.
-  void finalize();
+  void finalize(net::FlowNetwork::Config net_cfg = {});
   bool finalized() const { return routing_ != nullptr; }
 
   net::Routing& routing() { return *routing_; }

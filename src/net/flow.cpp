@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 #include "obs/span.hpp"
@@ -13,33 +14,49 @@ namespace {
 // A flow is "done" when its residue is below one millionth of a byte —
 // absorbs float error from progressing to the scheduled completion instant.
 constexpr double kByteEpsilon = 1e-6;
+// Residual weight below this is floating-point dust from the weighted
+// subtractions, not a real unfixed flow.
+constexpr double kWeightEpsilon = 1e-9;
 }  // namespace
 
-FlowNetwork::FlowNetwork(core::Engine& engine, Routing& routing)
+FlowNetwork::FlowNetwork(core::Engine& engine, Routing& routing, Config cfg)
     : engine_(engine),
       routing_(routing),
+      cfg_(cfg),
       link_rate_(routing.topology().link_count(), 0.0),
       link_bytes_(routing.topology().link_count(), 0.0),
-      link_up_(routing.topology().link_count(), 1) {}
+      link_up_(routing.topology().link_count(), 1),
+      dsu_parent_(routing.topology().link_count()),
+      solve_cap_(routing.topology().link_count(), 0.0),
+      solve_wsum_(routing.topology().link_count(), 0.0),
+      link_mark_(routing.topology().link_count(), 0) {
+  std::iota(dsu_parent_.begin(), dsu_parent_.end(), LinkId{0});
+  scratch_members_.reserve(64);
+  scratch_old_rate_.reserve(64);
+  scratch_fixed_.reserve(64);
+  scratch_links_.reserve(64);
+  dirty_links_.reserve(16);
+}
 
 void FlowNetwork::set_link_up(LinkId id, bool up) {
   if (static_cast<bool>(link_up_[id]) == up) return;
-  progress_to_now();
   link_up_[id] = up ? 1 : 0;
+  if (cfg_.incremental) dirty_links_.push_back(id);
   // Fail-stop: the outage severs every connection crossing the link. Abort
   // them all (latency-phase flows included — their handshake dies too).
   std::vector<std::pair<FlowId, ErrorFn>> aborted;
   if (!up && semantics_ == core::FailureSemantics::kFailStop) {
-    std::vector<FlowId> doomed;
+    std::vector<FlowId> doomed;  // flows_ is ordered: ascending-id callbacks
     for (const auto& [fid, flow] : flows_) {
       if (std::find(flow.links.begin(), flow.links.end(), id) != flow.links.end()) {
         doomed.push_back(fid);
       }
     }
-    std::sort(doomed.begin(), doomed.end());  // deterministic callback order
     for (FlowId fid : doomed) {
       auto it = flows_.find(fid);
+      settle(it->second, it->second.rate);
       publish_span(it->second, "aborted");
+      detach_sharing(it->second);
       aborted.emplace_back(fid, std::move(it->second.on_error));
       flows_.erase(it);
       ++flows_aborted_;
@@ -65,12 +82,17 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
     throw std::invalid_argument("FlowNetwork: no route between nodes");
   }
   const FlowId id = next_id_++;
-  Flow flow{id,     src == dst ? std::vector<LinkId>{} : route.links,
-            bytes,  0,
-            weight, false,
-            std::move(on_complete), std::move(on_error),
-            src,    dst,
-            bytes,  engine_.now()};
+  Flow flow;
+  flow.id = id;
+  if (src != dst) flow.links = route.links;
+  flow.remaining = bytes;
+  flow.weight = weight;
+  flow.on_complete = std::move(on_complete);
+  flow.on_error = std::move(on_error);
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes = bytes;
+  flow.started = engine_.now();
   // Fail-stop + route already down = connection refused: fail asynchronously
   // (callers expect the error after start_flow returns), never admit the flow.
   if (semantics_ == core::FailureSemantics::kFailStop) {
@@ -85,14 +107,15 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
       }
     }
   }
-  flows_.emplace(id, std::move(flow));
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
 
   const double latency = src == dst ? 0.0 : route.total_latency;
-  if (bytes <= kByteEpsilon || flows_.at(id).links.empty()) {
+  if (bytes <= kByteEpsilon || it->second.links.empty()) {
     // Pure-latency delivery (empty payload or local copy).
     engine_.schedule_in(latency, [this, id, bytes] {
-      auto it = flows_.find(id);
-      if (it == flows_.end()) return;  // cancelled
+      auto fit = flows_.find(id);
+      if (fit == flows_.end()) return;  // cancelled
       bytes_delivered_ += bytes;
       finish_flow(id);
     });
@@ -105,18 +128,29 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
 void FlowNetwork::activate(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;  // cancelled during the latency phase
-  progress_to_now();
-  it->second.sharing = true;
+  Flow& flow = it->second;
+  flow.sharing = true;
+  flow.anchor_t = engine_.now();
+  ++sharing_count_;
+  if (cfg_.incremental) {
+    const LinkId anchor = flow.links.front();
+    for (LinkId l : flow.links) dsu_unite(anchor, l);
+    comp_members_[dsu_find(anchor)].push_back(id);
+    dirty_links_.push_back(anchor);
+  }
   resolve_and_reschedule();
 }
 
 bool FlowNetwork::cancel(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
-  progress_to_now();
+  settle(it->second, it->second.rate);
   publish_span(it->second, "cancelled");
+  const bool was_sharing = it->second.sharing;
+  detach_sharing(it->second);
   flows_.erase(it);
-  resolve_and_reschedule();
+  // A latency-phase flow never held bandwidth: nothing to re-solve.
+  if (was_sharing) resolve_and_reschedule();
   return true;
 }
 
@@ -129,58 +163,210 @@ void FlowNetwork::track_link(LinkId id) { tracked_.emplace(id, stats::TimeSeries
 
 const stats::TimeSeries& FlowNetwork::link_series(LinkId id) const { return tracked_.at(id); }
 
-void FlowNetwork::progress_to_now() {
+void FlowNetwork::settle(Flow& flow, double old_rate) {
   const double now = engine_.now();
-  const double dt = now - last_update_;
-  last_update_ = now;
-  if (dt <= 0) return;
-  for (auto& [id, flow] : flows_) {
+  const double dt = now - flow.anchor_t;
+  flow.anchor_t = now;
+  if (dt <= 0 || !flow.sharing || old_rate <= 0) return;
+  const double moved = std::min(old_rate * dt, flow.remaining);
+  flow.remaining -= moved;
+  bytes_delivered_ += moved;
+  for (LinkId l : flow.links) link_bytes_[l] += moved;
+}
+
+double FlowNetwork::total_bytes_delivered() const {
+  // Settled segments plus every live flow's in-flight bytes since its
+  // anchor, summed in ascending-FlowId order (deterministic and identical
+  // under either solver, because anchors sit at rate-change instants).
+  double total = bytes_delivered_;
+  const double now = engine_.now();
+  for (const auto& [id, flow] : flows_) {
     if (!flow.sharing || flow.rate <= 0) continue;
-    const double moved = std::min(flow.rate * dt, flow.remaining);
-    flow.remaining -= moved;
-    bytes_delivered_ += moved;
-    for (LinkId l : flow.links) link_bytes_[l] += moved;
+    total += std::min(flow.rate * (now - flow.anchor_t), flow.remaining);
+  }
+  return total;
+}
+
+double FlowNetwork::link_bytes(LinkId id) const {
+  double total = link_bytes_[id];
+  const double now = engine_.now();
+  for (const auto& [fid, flow] : flows_) {
+    if (!flow.sharing || flow.rate <= 0) continue;
+    if (std::find(flow.links.begin(), flow.links.end(), id) == flow.links.end()) continue;
+    total += std::min(flow.rate * (now - flow.anchor_t), flow.remaining);
+  }
+  return total;
+}
+
+void FlowNetwork::detach_sharing(Flow& flow) {
+  if (!flow.sharing) return;
+  flow.sharing = false;
+  --sharing_count_;
+  if (flow.completion.valid()) {
+    engine_.cancel(flow.completion);
+    flow.completion = {};
+  }
+  if (cfg_.incremental) {
+    // The departing flow's links must be re-solved (and zeroed when it was
+    // their last user); its component entry goes stale until the next
+    // rebuild.
+    ++stale_members_;
+    for (LinkId l : flow.links) dirty_links_.push_back(l);
   }
 }
 
-void FlowNetwork::solve_maxmin() {
-  std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+LinkId FlowNetwork::dsu_find(LinkId l) {
+  while (dsu_parent_[l] != l) {
+    dsu_parent_[l] = dsu_parent_[dsu_parent_[l]];  // path halving
+    l = dsu_parent_[l];
+  }
+  return l;
+}
 
-  // Gather sharing flows and per-link membership. Weighted max-min: the
-  // bottleneck metric is capacity per unit of unfixed *weight*, and a flow
-  // fixed at a bottleneck receives weight * that unit rate.
-  struct LinkState {
-    double cap_remaining;
-    double weight_unfixed = 0;
+void FlowNetwork::dsu_unite(LinkId a, LinkId b) {
+  const LinkId ra = dsu_find(a);
+  const LinkId rb = dsu_find(b);
+  if (ra == rb) return;
+  const auto list_size = [this](LinkId r) {
+    auto it = comp_members_.find(r);
+    return it == comp_members_.end() ? std::size_t{0} : it->second.size();
   };
-  std::unordered_map<LinkId, LinkState> links;
-  std::vector<Flow*> unfixed;
+  // Small-to-large: the shorter member list is appended to the longer, so a
+  // flow id moves lists O(log n) times. Ties go to the smaller root id —
+  // fully determined by ids and sizes, never by hash layout.
+  LinkId win = ra;
+  LinkId lose = rb;
+  const std::size_t sa = list_size(ra);
+  const std::size_t sb = list_size(rb);
+  if (sb > sa || (sb == sa && rb < ra)) {
+    win = rb;
+    lose = ra;
+  }
+  dsu_parent_[lose] = win;
+  auto it = comp_members_.find(lose);
+  if (it == comp_members_.end()) return;
+  std::vector<FlowId> moved = std::move(it->second);
+  comp_members_.erase(it);
+  auto& dst = comp_members_[win];
+  if (dst.empty()) {
+    dst = std::move(moved);
+  } else {
+    dst.insert(dst.end(), moved.begin(), moved.end());
+  }
+}
+
+void FlowNetwork::maybe_rebuild_components() {
+  // Removals leave the union-find over-merged (supersets stay correct but
+  // shrink the incrementality win). Rebuild from live flows once the stale
+  // entries outnumber the live ones.
+  if (stale_members_ < 64 || stale_members_ < sharing_count_) return;
+  std::iota(dsu_parent_.begin(), dsu_parent_.end(), LinkId{0});
+  comp_members_.clear();
+  stale_members_ = 0;
   for (auto& [id, flow] : flows_) {
-    flow.rate = 0;
     if (!flow.sharing) continue;
-    unfixed.push_back(&flow);
-    for (LinkId l : flow.links) {
-      auto [it, inserted] = links.try_emplace(l, LinkState{0, 0});
-      if (inserted) {
-        it->second.cap_remaining = link_up_[l] ? routing_.topology().link(l).bandwidth : 0.0;
+    const LinkId anchor = flow.links.front();
+    for (LinkId l : flow.links) dsu_unite(anchor, l);
+    comp_members_[dsu_find(anchor)].push_back(id);
+  }
+}
+
+void FlowNetwork::collect_dirty() {
+  scratch_members_.clear();
+  scratch_links_.clear();
+  if (!cfg_.incremental) {
+    // Full reference solver: every sharing flow, every link, every time.
+    std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+    ++mark_epoch_;
+    for (auto& [id, flow] : flows_) {
+      if (!flow.sharing) continue;
+      scratch_members_.push_back(&flow);
+      for (LinkId l : flow.links) {
+        if (link_mark_[l] != mark_epoch_) {
+          link_mark_[l] = mark_epoch_;
+          scratch_links_.push_back(l);
+        }
       }
-      it->second.weight_unfixed += flow.weight;
+    }
+    std::sort(scratch_links_.begin(), scratch_links_.end());
+    return;
+  }
+  if (dirty_links_.empty()) return;
+  maybe_rebuild_components();
+  // Dirty component roots -> live member flows (compacting stale ids as we
+  // pass). flows_ is ordered but member lists are not; sort afterwards so
+  // the solve walks flows in ascending id order, exactly like the full
+  // solver restricted to these components.
+  ++mark_epoch_;
+  for (LinkId l : dirty_links_) {
+    const LinkId root = dsu_find(l);
+    if (link_mark_[root] == mark_epoch_) continue;
+    link_mark_[root] = mark_epoch_;
+    auto it = comp_members_.find(root);
+    if (it == comp_members_.end()) continue;
+    auto& list = it->second;
+    std::size_t kept = 0;
+    for (FlowId fid : list) {
+      auto fit = flows_.find(fid);
+      if (fit == flows_.end() || !fit->second.sharing) continue;  // stale entry
+      list[kept++] = fid;
+      scratch_members_.push_back(&fit->second);
+    }
+    stale_members_ -= list.size() - kept;
+    list.resize(kept);
+  }
+  std::sort(scratch_members_.begin(), scratch_members_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  // Links to re-solve: every member's links plus the explicitly dirtied
+  // ones (a departed flow's links must be zeroed even when no member
+  // remains on them).
+  ++mark_epoch_;
+  for (const Flow* f : scratch_members_) {
+    for (LinkId l : f->links) {
+      if (link_mark_[l] != mark_epoch_) {
+        link_mark_[l] = mark_epoch_;
+        scratch_links_.push_back(l);
+      }
     }
   }
+  for (LinkId l : dirty_links_) {
+    if (link_mark_[l] != mark_epoch_) {
+      link_mark_[l] = mark_epoch_;
+      scratch_links_.push_back(l);
+    }
+  }
+  std::sort(scratch_links_.begin(), scratch_links_.end());
+}
 
-  std::vector<char> fixed(unfixed.size(), 0);
-  std::size_t n_left = unfixed.size();
-  // Residual weight below this is floating-point dust from the weighted
-  // subtractions, not a real unfixed flow.
-  constexpr double kWeightEpsilon = 1e-9;
+void FlowNetwork::solve_members() {
+  ++solves_;
+  flows_rerated_ += scratch_members_.size();
+  const Topology& topo = routing_.topology();
+  for (LinkId l : scratch_links_) {
+    solve_cap_[l] = link_up_[l] ? topo.link(l).bandwidth : 0.0;
+    solve_wsum_[l] = 0.0;
+    link_rate_[l] = 0.0;
+  }
+  // Weighted max-min: the bottleneck metric is capacity per unit of unfixed
+  // *weight*, and a flow fixed at a bottleneck receives weight * that unit
+  // rate.
+  scratch_old_rate_.clear();
+  for (Flow* f : scratch_members_) {
+    scratch_old_rate_.push_back(f->rate);
+    f->rate = 0;
+    for (LinkId l : f->links) solve_wsum_[l] += f->weight;
+  }
+  scratch_fixed_.assign(scratch_members_.size(), 0);
+  std::size_t n_left = scratch_members_.size();
   while (n_left > 0) {
     // Most constrained link: min per-weight share among links with unfixed
-    // flows.
+    // flows. Ascending-LinkId scan with a strict '<' makes the tie-break
+    // (equal fair shares) the smallest link id, by construction.
     double best = std::numeric_limits<double>::infinity();
     LinkId best_link = kInvalidLink;
-    for (const auto& [l, st] : links) {
-      if (st.weight_unfixed <= kWeightEpsilon) continue;
-      const double fair = st.cap_remaining / st.weight_unfixed;
+    for (LinkId l : scratch_links_) {
+      if (solve_wsum_[l] <= kWeightEpsilon) continue;
+      const double fair = solve_cap_[l] / solve_wsum_[l];
       if (fair < best) {
         best = fair;
         best_link = l;
@@ -189,92 +375,82 @@ void FlowNetwork::solve_maxmin() {
     if (best_link == kInvalidLink) break;  // defensive: shouldn't happen
     // Fix every unfixed flow crossing the bottleneck at weight * unit rate.
     bool progressed = false;
-    for (std::size_t i = 0; i < unfixed.size(); ++i) {
-      if (fixed[i]) continue;
-      Flow* f = unfixed[i];
+    for (std::size_t i = 0; i < scratch_members_.size(); ++i) {
+      if (scratch_fixed_[i]) continue;
+      Flow* f = scratch_members_[i];
       const bool on_bottleneck =
           std::find(f->links.begin(), f->links.end(), best_link) != f->links.end();
       if (!on_bottleneck) continue;
       f->rate = best * f->weight;
-      fixed[i] = 1;
+      scratch_fixed_[i] = 1;
       progressed = true;
       --n_left;
       for (LinkId l : f->links) {
-        auto& st = links.at(l);
-        st.cap_remaining = std::max(0.0, st.cap_remaining - f->rate);
-        st.weight_unfixed = std::max(0.0, st.weight_unfixed - f->weight);
+        solve_cap_[l] = std::max(0.0, solve_cap_[l] - f->rate);
+        solve_wsum_[l] = std::max(0.0, solve_wsum_[l] - f->weight);
       }
     }
     if (!progressed) {
       // All remaining weight on the chosen link was epsilon dust; zero it
       // out so the link stops being selected. (Never happens with integer
       // weights, but fractional weights can leave residue.)
-      links.at(best_link).weight_unfixed = 0;
+      solve_wsum_[best_link] = 0;
     }
   }
 
-  for (Flow* f : unfixed) {
+  for (const Flow* f : scratch_members_) {
     for (LinkId l : f->links) link_rate_[l] += f->rate;
-  }
-
-  for (auto& [l, series] : tracked_) {
-    series.record(engine_.now(), link_rate_[l] / routing_.topology().link(l).bandwidth);
   }
 }
 
 void FlowNetwork::resolve_and_reschedule() {
-  solve_maxmin();
-  ++generation_;
-  // Earliest completion among sharing flows.
-  double soonest = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    if (!flow.sharing || flow.rate <= 0) continue;
-    soonest = std::min(soonest, flow.remaining / flow.rate);
+  collect_dirty();
+  solve_members();
+  dirty_links_.clear();
+
+  for (auto& [l, series] : tracked_) {
+    series.record(engine_.now(), link_rate_[l] / routing_.topology().link(l).bandwidth);
   }
-  if (soonest == std::numeric_limits<double>::infinity()) return;
-  const std::uint64_t gen = generation_;
-  engine_.schedule_in(soonest, [this, gen] { on_completion_event(gen); });
+
+  // Reschedule only the flows whose fair share moved: with a piecewise-
+  // linear remaining, an unchanged rate means an unchanged absolute
+  // completion instant, so the pending event stays valid. Members are in
+  // ascending flow id order -> deterministic event sequence numbers.
+  for (std::size_t i = 0; i < scratch_members_.size(); ++i) {
+    Flow* f = scratch_members_[i];
+    if (f->rate == scratch_old_rate_[i]) continue;
+    settle(*f, scratch_old_rate_[i]);
+    if (f->completion.valid()) {
+      engine_.cancel(f->completion);  // O(1) tombstone; skipped at pop
+      f->completion = {};
+    }
+    if (f->rate > 0) {
+      f->completion = engine_.schedule_in(f->remaining / f->rate,
+                                          [this, id = f->id] { on_completion_event(id); });
+    }
+  }
 }
 
-void FlowNetwork::on_completion_event(std::uint64_t generation) {
-  if (generation != generation_) return;  // superseded by a newer re-solve
-  progress_to_now();
-  // Collect every flow that just drained (simultaneous completions happen).
-  std::vector<FlowId> done;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.sharing && flow.remaining <= kByteEpsilon) done.push_back(id);
-  }
-  if (done.empty()) {
-    // Guard against float livelock: when the residual transfer time is
-    // below the clock's representable increment (ulp), progress_to_now sees
-    // dt == 0 and the epsilon test never fires. The membership generation
-    // is unchanged, so the flow this event was scheduled for is exactly the
-    // one with the minimal remaining/rate — finish it directly.
-    FlowId victim = kInvalidFlow;
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& [id, flow] : flows_) {
-      if (!flow.sharing || flow.rate <= 0) continue;
-      const double eta = flow.remaining / flow.rate;
-      if (eta < best) {
-        best = eta;
-        victim = id;
-      }
-    }
-    if (victim != kInvalidFlow) done.push_back(victim);
-  }
-  std::sort(done.begin(), done.end());  // deterministic callback order
-  for (FlowId id : done) {
-    // A callback may have cancelled a sibling completion re-entrantly.
-    if (flows_.count(id)) finish_flow(id);
-  }
+void FlowNetwork::on_completion_event(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // defensive: cancelled events never fire
+  it->second.completion = {};      // consumed by this firing
+  // The event was scheduled at this flow's completion instant under its
+  // current rate (any rate change would have rescheduled it), so the flow
+  // is done — settling leaves at most float dust in `remaining`, and when
+  // the residual transfer time is below the clock's ulp the residue could
+  // never drain at all. Finish directly either way.
+  finish_flow(id);
   resolve_and_reschedule();
 }
 
 void FlowNetwork::finish_flow(FlowId id) {
   auto it = flows_.find(id);
   assert(it != flows_.end());
+  settle(it->second, it->second.rate);
   publish_span(it->second, "done");
   CompletionFn cb = std::move(it->second.on_complete);
+  detach_sharing(it->second);
   flows_.erase(it);
   ++flows_completed_;
   if (cb) cb(id);

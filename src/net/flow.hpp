@@ -9,15 +9,36 @@
 //   flows), fix those flows at that fair share, remove them, until all
 //   flows are fixed.
 //
-// Whenever the set of active flows changes, all flows are progressed to the
-// current instant, shares are re-solved, and the earliest completion is
-// (re)scheduled. The model is validated against closed forms in
-// tests/net_flow_test.cpp (max-min invariants as TEST_P properties) and in
-// experiment E5.
+// Whenever the set of active flows changes, shares are re-solved and byte
+// progress is settled lazily from per-flow anchors (each flow's remaining is
+// a closed form of its last rate change — no global per-event progression
+// pass). Two further scalability mechanisms (SimGrid's lazy/partial-resolve
+// lesson) keep the hot path sub-global:
+//
+//   * The bandwidth-sharing constraint graph is partitioned into connected
+//     components by a union-find over shared links, maintained incrementally
+//     on flow add/remove and link-state change. A change re-solves only the
+//     dirty component(s); every other flow keeps its rate — and its pending
+//     completion event — untouched. Components only merge between periodic
+//     rebuilds, so a re-solve may cover a stale super-component; that is a
+//     pure performance matter, never a correctness one, because the weighted
+//     max-min allocation of disconnected flow sets decomposes exactly.
+//   * Completion events are per-flow: a re-solve reschedules only the flows
+//     whose rate actually changed (bitwise), tombstoning the superseded
+//     event in O(1) via core::Engine::cancel.
+//
+// Determinism: the bottleneck scan walks links in ascending LinkId order and
+// flows in ascending FlowId order, so tie-broken bottleneck selection is
+// deterministic by construction — and the incremental solver produces
+// byte-identical traces to the full solver (Config::incremental = false),
+// locked in by tests/flow_incremental_test.cpp across all queue kinds.
+// The model is validated against closed forms in tests/net_test.cpp
+// (max-min invariants as TEST_P properties) and in experiment E5.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +58,18 @@ class FlowNetwork {
   /// Fired when a flow is aborted by a fail-stop link outage.
   using ErrorFn = std::function<void(FlowId)>;
 
-  FlowNetwork(core::Engine& engine, Routing& routing);
+  struct Config {
+    /// Re-solve only the connected component(s) of the constraint graph
+    /// dirtied by a change (default). false = re-solve globally on every
+    /// change — the reference solver the differential suite compares
+    /// against; both produce byte-identical traces.
+    bool incremental = true;
+  };
+
+  FlowNetwork(core::Engine& engine, Routing& routing, Config cfg);
+  FlowNetwork(core::Engine& engine, Routing& routing) : FlowNetwork(engine, routing, Config{}) {}
+
+  const Config& config() const { return cfg_; }
 
   /// Begin a transfer of `bytes` from src to dst. The flow first experiences
   /// the route's propagation latency, then shares bandwidth. `on_complete`
@@ -81,6 +113,8 @@ class FlowNetwork {
 
   const Topology& topology() const { return routing_.topology(); }
   std::size_t active_flows() const { return flows_.size(); }
+  /// Flows past the latency phase, currently sharing bandwidth.
+  std::size_t sharing_flows() const { return sharing_count_; }
   /// Current fair-share rate of a flow (0 when latency-phase or unknown).
   double flow_rate(FlowId id) const;
   /// Sum of flow rates currently allocated on a link.
@@ -91,12 +125,17 @@ class FlowNetwork {
 
   // --- statistics ---------------------------------------------------------
 
-  double total_bytes_delivered() const { return bytes_delivered_; }
+  double total_bytes_delivered() const;
   std::uint64_t flows_completed() const { return flows_completed_; }
   /// Flows killed by fail-stop link outages.
   std::uint64_t flows_aborted() const { return flows_aborted_; }
-  /// Cumulative bytes carried per link.
-  double link_bytes(LinkId id) const { return link_bytes_[id]; }
+  /// Cumulative bytes carried per link (settled + in-flight anchors).
+  double link_bytes(LinkId id) const;
+  /// Max-min re-solves since construction, and flows re-rated by them —
+  /// the work counters bench_flow_scaling reports (full re-rates every
+  /// sharing flow per solve; incremental only the dirty component).
+  std::uint64_t solves() const { return solves_; }
+  std::uint64_t flows_rerated() const { return flows_rerated_; }
 
   /// Opt-in utilization time series (records at every re-solve).
   void track_link(LinkId id);
@@ -104,14 +143,23 @@ class FlowNetwork {
 
  private:
   struct Flow {
-    FlowId id;
+    FlowId id = kInvalidFlow;
     std::vector<LinkId> links;
-    double remaining;
+    /// Bytes left at `anchor_t`. The live value is the closed form
+    /// remaining - rate * (now - anchor_t): byte accounting is settled only
+    /// when the rate changes, never per event — so the arithmetic (and its
+    /// float rounding) depends only on the rate-change sequence, which the
+    /// incremental and full solvers produce identically.
+    double remaining = 0;
+    double anchor_t = 0;
     double rate = 0;
     double weight = 1.0;
     bool sharing = false;  // false during the latency phase
     CompletionFn on_complete;
     ErrorFn on_error;
+    /// Pending completion event while sharing with rate > 0; superseded
+    /// events are cancelled (O(1) tombstone) before a reschedule.
+    core::EventHandle completion{};
     // Span bookkeeping (obs/span.hpp): endpoints, demand and start time.
     NodeId src = 0;
     NodeId dst = 0;
@@ -123,28 +171,74 @@ class FlowNetwork {
   void publish_span(const Flow& flow, const char* status) const;
 
   void activate(FlowId id);
-  /// Progress all sharing flows to now, crediting per-link byte counters.
-  void progress_to_now();
-  /// Re-solve max-min shares and reschedule the next completion event.
+  /// Settle a flow's transferred bytes from its anchor up to now at
+  /// `old_rate`, crediting the global and per-link byte counters, and
+  /// re-anchor at now. Called exactly when a flow's rate changes or the
+  /// flow leaves — never on unrelated events.
+  void settle(Flow& flow, double old_rate);
+  /// Re-solve max-min shares for the dirty flow set (everything when
+  /// Config::incremental is off) and reschedule the completion event of
+  /// every flow whose rate changed.
   void resolve_and_reschedule();
-  void solve_maxmin();
-  void on_completion_event(std::uint64_t generation);
+  /// Fills scratch_members_ (ascending FlowId) and scratch_links_
+  /// (ascending LinkId) with the flow set to re-solve and the links whose
+  /// rates it determines.
+  void collect_dirty();
+  /// Weighted max-min over scratch_members_ / scratch_links_; updates
+  /// Flow::rate and link_rate_. Deterministic by construction: both scans
+  /// run in ascending id order.
+  void solve_members();
+  void on_completion_event(FlowId id);
   void finish_flow(FlowId id);
+  /// Bookkeeping when a sharing flow leaves (finish/cancel/abort): cancels
+  /// its pending completion event and dirties its links.
+  void detach_sharing(Flow& flow);
+
+  // --- constraint-graph components (incremental mode) ---------------------
+  LinkId dsu_find(LinkId l);
+  void dsu_unite(LinkId a, LinkId b);
+  /// Union-find only ever merges; removals leave it over-merged (a stale
+  /// super-component is re-solved — correct, just wider than needed). When
+  /// enough removals accumulate, rebuild the partition from live flows.
+  void maybe_rebuild_components();
 
   core::Engine& engine_;
   Routing& routing_;
+  Config cfg_;
   core::FailureSemantics semantics_ = core::FailureSemantics::kFailResume;
-  std::unordered_map<FlowId, Flow> flows_;
+  /// Ordered so every per-flow scan (progression, member collection,
+  /// fail-stop dooming) walks ascending FlowId — determinism by
+  /// construction instead of by accident of hash layout.
+  std::map<FlowId, Flow> flows_;
+  std::size_t sharing_count_ = 0;
   std::vector<double> link_rate_;
   std::vector<double> link_bytes_;
   std::vector<char> link_up_;
   std::unordered_map<LinkId, stats::TimeSeries> tracked_;
   FlowId next_id_ = 1;
-  double last_update_ = 0;
-  std::uint64_t generation_ = 0;  // invalidates stale completion events
-  double bytes_delivered_ = 0;
+  double bytes_delivered_ = 0;  // settled segments only; see settle()
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_aborted_ = 0;
+  std::uint64_t solves_ = 0;
+  std::uint64_t flows_rerated_ = 0;
+
+  // Component tracking: parent pointers over links, member flow ids per
+  // component root. Member lists may hold ids of flows that already left
+  // (filtered on use, compacted at rebuild).
+  std::vector<LinkId> dsu_parent_;
+  std::unordered_map<LinkId, std::vector<FlowId>> comp_members_;
+  std::size_t stale_members_ = 0;
+  std::vector<LinkId> dirty_links_;
+
+  // Per-solve scratch, reserved once and reused (no per-call allocation).
+  std::vector<Flow*> scratch_members_;
+  std::vector<double> scratch_old_rate_;
+  std::vector<char> scratch_fixed_;
+  std::vector<LinkId> scratch_links_;
+  std::vector<double> solve_cap_;       // indexed by LinkId
+  std::vector<double> solve_wsum_;      // indexed by LinkId
+  std::vector<std::uint32_t> link_mark_;  // epoch stamps, indexed by LinkId
+  std::uint32_t mark_epoch_ = 0;
 };
 
 }  // namespace lsds::net

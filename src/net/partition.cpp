@@ -70,10 +70,16 @@ Partition partition_sites(Routing& routing, const std::vector<NodeId>& sites, un
   // land across WAN boundaries, one per latency cluster.
   const auto lat = latency_matrix(routing, sites);
   std::vector<std::size_t> seeds{0};
+  std::vector<char> is_seed(n, 0);
+  is_seed[0] = 1;
   while (seeds.size() < p.parts) {
+    // Candidates are non-seed sites only: a seed is at distance 0 from
+    // itself, so an all-zero-latency cluster would otherwise re-pick seed 0
+    // forever and leave a block with no distinct seed to grow from.
     std::size_t best = 0;
     double best_d = -1;
     for (std::size_t i = 0; i < n; ++i) {
+      if (is_seed[i]) continue;
       double d = kInf;
       for (std::size_t s : seeds) d = std::min(d, lat[i][s]);
       if (d > best_d) {
@@ -82,6 +88,7 @@ Partition partition_sites(Routing& routing, const std::vector<NodeId>& sites, un
       }
     }
     seeds.push_back(best);
+    is_seed[best] = 1;
   }
 
   // Balanced greedy growth: every non-seed site, in order of how strongly it

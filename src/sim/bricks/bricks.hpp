@@ -17,6 +17,7 @@
 
 #include "core/engine.hpp"
 #include "middleware/failures.hpp"
+#include "net/flow.hpp"
 #include "stats/summary.hpp"
 
 namespace lsds::obs {
@@ -67,6 +68,9 @@ struct Config {
 
   /// Optional chaos: fail-resume outages on every site CPU and link.
   middleware::FailureSpec failures;
+
+  /// Flow-network solver selection (`[network] incremental` toggle).
+  net::FlowNetwork::Config network;
 };
 
 struct Result {

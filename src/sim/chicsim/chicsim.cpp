@@ -209,7 +209,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     topo.add_link(grid.site(static_cast<hosts::SiteId>(s)).node(), hub, cfg.site_bw,
                   cfg.site_latency);
   }
-  grid.finalize();
+  grid.finalize(cfg.network);
   auto chaos = inject_failures(grid, cfg.failures);
 
   middleware::ReplicaCatalog catalog(grid.routing());

@@ -24,6 +24,7 @@
 #include "apps/workload.hpp"
 #include "core/engine.hpp"
 #include "middleware/failures.hpp"
+#include "net/flow.hpp"
 #include "stats/summary.hpp"
 
 namespace lsds::obs {
@@ -70,6 +71,9 @@ struct Config {
 
   /// Optional chaos: fail-resume outages on every site CPU and link.
   middleware::FailureSpec failures;
+
+  /// Flow-network solver selection (`[network] incremental` toggle).
+  net::FlowNetwork::Config network;
 };
 
 struct Result {

@@ -39,9 +39,17 @@ middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini) {
 }
 
 hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini) {
-  return sim::parallel::parse_execution(
+  hosts::ExecutionSpec spec = sim::parallel::parse_execution(
       ini, static_cast<std::uint64_t>(ini.get_int("scenario", "seed", 42)),
       parse_queue(ini.get_string("scenario", "queue", "heap")));
+  spec.network = parse_network(ini);  // per-LP flow networks inherit it
+  return spec;
+}
+
+net::FlowNetwork::Config parse_network(const util::IniConfig& ini) {
+  net::FlowNetwork::Config cfg;
+  cfg.incremental = ini.get_bool("network", "incremental", cfg.incremental);
+  return cfg;
 }
 
 std::vector<std::string> failures_keys() {
@@ -51,5 +59,7 @@ std::vector<std::string> failures_keys() {
 std::vector<std::string> execution_keys() {
   return {"mode", "threads", "lps", "partition", "lookahead"};
 }
+
+std::vector<std::string> network_keys() { return {"incremental"}; }
 
 }  // namespace lsds::sim::facades

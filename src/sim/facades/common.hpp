@@ -30,9 +30,16 @@ middleware::FailureSpec parse_resume_failures(const util::IniConfig& ini);
 /// Parse the [execution] section against the [scenario] determinism knobs.
 hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini);
 
+/// `[network]` section: `incremental = true|false` selects the component-
+/// incremental max-min solver (default) vs the full reference solver. Both
+/// produce byte-identical traces; the toggle exists for A/B performance
+/// comparisons and as a big red switch.
+net::FlowNetwork::Config parse_network(const util::IniConfig& ini);
+
 /// Declared-key lists for strict validation (FacadeRegistry::Entry::keys).
 std::vector<std::string> failures_keys();
 std::vector<std::string> execution_keys();
+std::vector<std::string> network_keys();
 
 /// Match `value` against an enum's candidate list by its to_string name,
 /// assigning `out` on a hit; otherwise throw ConfigError naming the bad

@@ -27,6 +27,7 @@ int run_optorsim(core::Engine& eng, const util::IniConfig& ini, obs::RunReport& 
   cfg.workload.file_bytes = {apps::SizeDist::kConstant,
                              ini.get_size("optorsim", "file_size", 50e6), 0};
   cfg.failures = facades::parse_resume_failures(ini);
+  cfg.network = facades::parse_network(ini);
   const auto res = optorsim::run(eng, cfg);
   std::printf(
       "optorsim(%s): %llu jobs, mean job time %.2f s, hit ratio %.2f, network %s, "
@@ -47,6 +48,7 @@ void register_optorsim_facade(FacadeRegistry& reg) {
   e.keys["optorsim"] = {"sites", "cache_fraction", "policy",      "jobs",
                         "files", "zipf",           "interarrival", "file_size"};
   e.keys["failures"] = facades::failures_keys();
+  e.keys["network"] = facades::network_keys();
   reg.add(std::move(e));
 }
 

@@ -173,7 +173,7 @@ Result run(core::Engine& engine, const Config& cfg) {
                     grid.site(t2).node(), cfg.t1_t2_bandwidth, cfg.t1_t2_latency);
     }
   }
-  grid.finalize();
+  grid.finalize(cfg.network);
   auto chaos = inject_failures(grid, cfg.failures);
   grid.net().track_link(0);  // first T0-T1 link
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_flow.json emitted by bench_flow_scaling.
+
+Usage: check_bench.py BENCH_flow.json
+
+Checks:
+  * the file parses as JSON with benchmark == "flow_scaling" and a
+    non-empty points list;
+  * every point's full and incremental solver hashes are identical
+    (byte-identical final model state — the determinism contract);
+  * on the LARGEST point, incremental wall-clock <= full wall-clock
+    (guards against the incremental path silently regressing into
+    overhead);
+  * all wall-clock numbers are finite and positive.
+
+Exit code 0 on success, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"cannot read {argv[1]}: {e}")
+
+    if doc.get("benchmark") != "flow_scaling":
+        return fail(f"unexpected benchmark field: {doc.get('benchmark')!r}")
+    points = doc.get("points")
+    if not points:
+        return fail("no points in document")
+
+    for p in points:
+        n = p.get("flows")
+        full_ms = p.get("full_wall_ms")
+        inc_ms = p.get("incremental_wall_ms")
+        for label, v in (("full_wall_ms", full_ms), ("incremental_wall_ms", inc_ms)):
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+                return fail(f"flows={n}: bad {label}: {v!r}")
+        if not p.get("identical", False):
+            return fail(f"flows={n}: solver hashes differ "
+                        f"({p.get('full_hash')} vs {p.get('incremental_hash')})")
+
+    largest = max(points, key=lambda p: p["flows"])
+    n = largest["flows"]
+    full_ms = largest["full_wall_ms"]
+    inc_ms = largest["incremental_wall_ms"]
+    if inc_ms > full_ms:
+        return fail(f"flows={n}: incremental ({inc_ms:.1f} ms) slower than "
+                    f"full ({full_ms:.1f} ms)")
+
+    print(f"check_bench: OK: {len(points)} points, largest {n} flows: "
+          f"incremental {inc_ms:.1f} ms vs full {full_ms:.1f} ms "
+          f"({full_ms / inc_ms:.1f}x), all traces identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
