@@ -3,6 +3,7 @@
 //
 //   ./scenario_runner examples/scenarios/lhc_2.5gbps.ini
 //   ./scenario_runner --report=out.json examples/scenarios/chaos_bag.ini
+//   ./scenario_runner --workers=4 examples/scenarios/lhc_campaign.ini
 //
 // See examples/scenarios/*.ini for the format. The [scenario] section picks
 // the facade (resolved through sim::FacadeRegistry), seed and event-queue
@@ -11,10 +12,19 @@
 // unknown keys with a near-miss suggestion. The [observability] section (or
 // a --report= override) turns on the metrics/trace/profiler layer and
 // writes a structured RunReport JSON.
+//
+// A scenario with a [sweep] or [campaign] section (or a --campaign flag)
+// runs in *campaign mode* instead: the parameter grid is expanded, every
+// point is replicated with substream seeds on a worker pool (--workers=N
+// overrides [campaign] workers without changing the output), and a
+// deterministic campaign report (mean ± 95% CI per point and metric) is
+// written to --report= or CAMPAIGN_<facade>.json. See exp/campaign.hpp.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "core/engine.hpp"
+#include "exp/campaign.hpp"
 #include "obs/observability.hpp"
 #include "obs/report.hpp"
 #include "sim/facade_registry.hpp"
@@ -25,10 +35,45 @@
 
 using namespace lsds;
 
+namespace {
+
+int run_campaign(const util::IniConfig& ini, const util::Flags& flags) {
+  exp::Campaign campaign(ini);
+  if (flags.has("workers")) {
+    campaign.set_workers(static_cast<unsigned>(flags.get_int("workers", 1)));
+  }
+  const auto result = campaign.run();
+
+  for (const auto& point : result.points) {
+    std::string params;
+    for (const auto& [name, value] : point.params) {
+      if (!params.empty()) params += " ";
+      params += name + "=" + value;
+    }
+    std::printf("point %zu%s%s\n", point.index, params.empty() ? "" : ": ", params.c_str());
+    for (const auto& [name, ms] : point.metrics) {
+      std::printf("  %-32s %.6g ± %.3g  (n=%zu, min %.6g, max %.6g)\n", name.c_str(), ms.mean,
+                  ms.ci95, ms.n, ms.min, ms.max);
+    }
+  }
+  std::printf("campaign: %llu runs in %.2f s wall\n",
+              static_cast<unsigned long long>(result.runs), result.wall_seconds);
+
+  const std::string path = flags.has("report") ? flags.get_string("report")
+                                               : "CAMPAIGN_" + result.facade + ".json";
+  result.write(path);
+  std::printf("report: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.positional().empty()) {
-    std::fprintf(stderr, "usage: scenario_runner [--report=out.json] <scenario.ini>\n");
+    std::fprintf(stderr,
+                 "usage: scenario_runner [--report=out.json] [--campaign] [--workers=N] "
+                 "<scenario.ini>\n");
     return 2;
   }
   try {
@@ -46,6 +91,14 @@ int main(int argc, char** argv) {
     }
     if (ini.get_bool("scenario", "strict", false)) {
       sim::validate_scenario_keys(ini, *entry);
+    }
+
+    const auto sections = ini.sections();
+    const bool has_campaign_cfg =
+        std::find(sections.begin(), sections.end(), "campaign") != sections.end() ||
+        std::find(sections.begin(), sections.end(), "sweep") != sections.end();
+    if (has_campaign_cfg || flags.get_bool("campaign", false)) {
+      return run_campaign(ini, flags);
     }
 
     core::Engine::Config ecfg;

@@ -69,6 +69,11 @@ void Engine::push_record(EventRecord rec) {
 
 bool Engine::cancel(const EventHandle& h) {
   if (!h.valid() || h.id >= next_seq_) return false;
+  // A handle whose time is strictly in the past has already fired (or been
+  // skipped): the clock only reaches t by draining every event at t' < t.
+  // Accepting it would inflate stats_.cancelled and leave a tombstone that
+  // no pop ever consumes.
+  if (h.time < now_) return false;
   if (!tombstones_.insert(h.id).second) return false;  // already cancelled
   ++stats_.cancelled;
   return true;

@@ -118,6 +118,8 @@ class Engine {
   };
   const Stats& stats() const { return stats_; }
   std::size_t pending() const { return queue_->size(); }
+  /// Cancelled-but-not-yet-popped events (diagnostic; should drain to 0).
+  std::size_t tombstone_count() const { return tombstones_.size(); }
   const char* queue_name() const { return queue_->name(); }
 
   // --- randomness ---------------------------------------------------------

@@ -13,7 +13,10 @@
 // quantization error. Experiment E2 (bench_mechanics) quantifies both.
 #pragma once
 
+#include <cmath>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -22,8 +25,15 @@ namespace lsds::core {
 
 class TimeDrivenRunner {
  public:
-  /// `tick` is the fixed increment (> 0).
-  TimeDrivenRunner(Engine& engine, SimTime tick) : engine_(engine), tick_(tick) {}
+  /// `tick` is the fixed increment; must be finite and > 0 (a zero or
+  /// negative tick would never advance the clock and loop run() forever).
+  /// Throws std::invalid_argument otherwise.
+  TimeDrivenRunner(Engine& engine, SimTime tick) : engine_(engine), tick_(tick) {
+    if (!std::isfinite(tick) || tick <= 0) {
+      throw std::invalid_argument("TimeDrivenRunner: tick must be finite and > 0, got " +
+                                  std::to_string(tick));
+    }
+  }
 
   /// Handler invoked at every tick boundary, before that tick's events.
   void add_tick_handler(std::function<void(SimTime)> fn) {

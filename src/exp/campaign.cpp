@@ -1,0 +1,327 @@
+#include "exp/campaign.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "obs/report.hpp"
+#include "sim/facades/common.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/summary.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define LSDS_EXP_CAN_SILENCE_STDOUT 1
+#endif
+
+namespace lsds::exp {
+
+namespace {
+
+// Facades print a one-line summary to stdout; N workers' worth of those
+// interleave arbitrarily. Redirect fd 1 to /dev/null for the duration of
+// the parallel phase (RAII; restored even on throw).
+class StdoutSilencer {
+ public:
+  StdoutSilencer() {
+#ifdef LSDS_EXP_CAN_SILENCE_STDOUT
+    std::fflush(stdout);
+    saved_ = ::dup(1);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (saved_ >= 0 && devnull >= 0) ::dup2(devnull, 1);
+    if (devnull >= 0) ::close(devnull);
+#endif
+  }
+  ~StdoutSilencer() {
+#ifdef LSDS_EXP_CAN_SILENCE_STDOUT
+    std::fflush(stdout);
+    if (saved_ >= 0) {
+      ::dup2(saved_, 1);
+      ::close(saved_);
+    }
+#endif
+  }
+  StdoutSilencer(const StdoutSilencer&) = delete;
+  StdoutSilencer& operator=(const StdoutSilencer&) = delete;
+
+ private:
+  int saved_ = -1;
+};
+
+/// One replication's extracted scalar metrics, in report insertion order.
+struct RepOutcome {
+  std::vector<std::pair<std::string, double>> metrics;
+  int rc = 0;
+  std::string error;
+};
+
+void extract_metrics(const obs::Json& result, RepOutcome& out) {
+  for (const auto& [key, value] : result.members()) {
+    switch (value.kind()) {
+      case obs::Json::Kind::kInt:
+      case obs::Json::Kind::kDouble:
+        out.metrics.emplace_back(key, value.as_double());
+        break;
+      case obs::Json::Kind::kBool:  // aggregates to "fraction of replications"
+        out.metrics.emplace_back(key, value.as_bool() ? 1.0 : 0.0);
+        break;
+      default:
+        break;  // strings / nested structure are not aggregatable
+    }
+  }
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(const util::IniConfig& ini) {
+  CampaignSpec spec;
+  spec.replications = static_cast<std::size_t>(ini.get_int("campaign", "replications", 5));
+  spec.warmup = static_cast<std::size_t>(ini.get_int("campaign", "warmup", 0));
+  spec.confidence = ini.get_double("campaign", "confidence", 0.95);
+  spec.workers = static_cast<unsigned>(ini.get_int("campaign", "workers", 1));
+  spec.timing = ini.get_bool("campaign", "timing", false);
+  if (spec.replications == 0) {
+    throw util::ConfigError("[campaign] replications must be >= 1");
+  }
+  if (spec.warmup >= spec.replications) {
+    throw util::ConfigError("[campaign] warmup (" + std::to_string(spec.warmup) +
+                            ") must be < replications (" + std::to_string(spec.replications) +
+                            ")");
+  }
+  if (std::abs(spec.confidence - 0.95) > 1e-12) {
+    throw util::ConfigError(
+        "[campaign] confidence: only 0.95 is supported (Student-t table in stats/batch_means)");
+  }
+  return spec;
+}
+
+std::uint64_t substream_seed(std::uint64_t base_seed, std::size_t replication) {
+  // SplitMix64 chain keyed by (master seed, "exp.campaign", replication).
+  // Deliberately NOT keyed by the sweep point: every point replays the same
+  // seed sequence (common random numbers), so cross-point comparisons are
+  // paired and tighter than independent draws.
+  std::uint64_t s = base_seed ^ core::fnv1a("exp.campaign");
+  std::uint64_t out = core::splitmix64(s);
+  s ^= (static_cast<std::uint64_t>(replication) + 1) * 0x9e3779b97f4a7c15ULL;
+  out ^= core::splitmix64(s);
+  return out;
+}
+
+Campaign::Campaign(util::IniConfig base) : base_(std::move(base)) {
+  spec_ = CampaignSpec::parse(base_);
+  sweep_ = SweepSpec::parse(base_);
+  facade_ = base_.get_string("scenario", "facade", "");
+  queue_name_ = base_.get_string("scenario", "queue", "heap");
+  queue_ = sim::facades::parse_queue(queue_name_);
+  base_seed_ = static_cast<std::uint64_t>(base_.get_int("scenario", "seed", 42));
+
+  sim::register_builtin_facades();
+  entry_ = sim::FacadeRegistry::global().find(facade_);
+  if (!entry_) {
+    throw util::ConfigError("campaign: unknown facade '" + facade_ + "' in [scenario]");
+  }
+}
+
+CampaignResult Campaign::run() {
+  const std::size_t n_points = sweep_.point_count();
+  const std::size_t n_reps = spec_.replications;
+  const std::size_t n_runs = n_points * n_reps;
+
+  // One INI per point, built up front; replications share it read-only.
+  std::vector<util::IniConfig> point_inis;
+  point_inis.reserve(n_points);
+  for (std::size_t p = 0; p < n_points; ++p) {
+    util::IniConfig ini = base_;
+    sweep_.apply(p, ini);
+    point_inis.push_back(std::move(ini));
+  }
+
+  std::vector<std::uint64_t> seeds(n_reps);
+  for (std::size_t r = 0; r < n_reps; ++r) seeds[r] = substream_seed(base_seed_, r);
+
+  // Pre-sized (point, replication) grid: each task writes its own slot, so
+  // scheduling order cannot leak into the aggregate.
+  std::vector<RepOutcome> outcomes(n_runs);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    unsigned workers = spec_.workers;
+    if (workers == 0) workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    std::fprintf(stderr, "campaign: %s — %zu point%s x %zu replication%s on %u worker%s\n",
+                 facade_.c_str(), n_points, n_points == 1 ? "" : "s", n_reps,
+                 n_reps == 1 ? "" : "s", workers, workers == 1 ? "" : "s");
+    StdoutSilencer quiet;
+    util::ThreadPool pool(workers);
+    for (std::size_t p = 0; p < n_points; ++p) {
+      for (std::size_t r = 0; r < n_reps; ++r) {
+        const std::size_t slot = p * n_reps + r;
+        pool.submit([this, &point_inis, &outcomes, &seeds, p, r, slot] {
+          RepOutcome& out = outcomes[slot];
+          try {
+            core::Engine::Config ecfg;
+            ecfg.queue = queue_;
+            ecfg.seed = seeds[r];
+            core::Engine engine(ecfg);
+            obs::RunReport report;
+            out.rc = entry_->run(engine, point_inis[p], report);
+            extract_metrics(report.result(), out);
+          } catch (const std::exception& e) {
+            out.rc = -1;
+            out.error = e.what();
+          }
+        });
+      }
+    }
+    pool.wait_idle();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Fail loudly and deterministically: first bad slot in grid order wins.
+  for (std::size_t p = 0; p < n_points; ++p) {
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      const RepOutcome& out = outcomes[p * n_reps + r];
+      if (out.rc != 0) {
+        throw std::runtime_error("campaign: point " + std::to_string(p) + " replication " +
+                                 std::to_string(r) + " failed (rc=" + std::to_string(out.rc) +
+                                 (out.error.empty() ? ")" : "): " + out.error));
+      }
+    }
+  }
+
+  CampaignResult result;
+  result.facade = facade_;
+  result.queue = queue_name_;
+  result.base_seed = base_seed_;
+  result.spec = spec_;
+  result.sweep = sweep_;
+  result.seeds = std::move(seeds);
+  result.runs = n_runs;
+  result.wall_seconds = wall;
+  result.points.reserve(n_points);
+
+  for (std::size_t p = 0; p < n_points; ++p) {
+    PointResult point;
+    point.index = p;
+    point.params = sweep_.params(p);
+
+    // Metric name order: replication 0's insertion order, then any names
+    // that only appear later (shouldn't happen; kept deterministic anyway).
+    std::vector<std::string> names;
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      for (const auto& [name, value] : outcomes[p * n_reps + r].metrics) {
+        bool known = false;
+        for (const std::string& n : names) {
+          if (n == name) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) names.push_back(name);
+      }
+    }
+
+    for (const std::string& name : names) {
+      stats::Accumulator acc;
+      for (std::size_t r = spec_.warmup; r < n_reps; ++r) {
+        for (const auto& [n, value] : outcomes[p * n_reps + r].metrics) {
+          if (n == name) {
+            acc.add(value);
+            break;
+          }
+        }
+      }
+      MetricStats ms;
+      ms.n = acc.count();
+      ms.mean = acc.mean();
+      ms.stddev = std::sqrt(acc.sample_variance());
+      ms.min = acc.min();
+      ms.max = acc.max();
+      if (acc.count() >= 2) {
+        ms.ci95 = stats::t_critical_95(acc.count() - 1) *
+                  std::sqrt(acc.sample_variance() / static_cast<double>(acc.count()));
+      }
+      point.metrics.emplace_back(name, ms);
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+obs::Json CampaignResult::to_json() const {
+  obs::Json root = obs::Json::object();
+  root.set("schema", kCampaignReportSchema);
+
+  obs::Json c = obs::Json::object();
+  c.set("facade", facade);
+  c.set("queue", queue);
+  c.set("base_seed", base_seed);
+  c.set("replications", static_cast<std::uint64_t>(spec.replications));
+  c.set("warmup", static_cast<std::uint64_t>(spec.warmup));
+  c.set("confidence", spec.confidence);
+  c.set("points", static_cast<std::uint64_t>(points.size()));
+  c.set("runs", runs);
+  // Worker count is intentionally absent: the report must be byte-identical
+  // for workers=1 and workers=N.
+  obs::Json seed_arr = obs::Json::array();
+  for (std::uint64_t s : seeds) seed_arr.push(s);
+  c.set("seeds", std::move(seed_arr));
+  root.set("campaign", std::move(c));
+
+  obs::Json sw = obs::Json::object();
+  for (const SweepAxis& axis : sweep.axes()) {
+    obs::Json vals = obs::Json::array();
+    for (const std::string& v : axis.values) vals.push(v);
+    sw.set(axis.name(), std::move(vals));
+  }
+  root.set("sweep", std::move(sw));
+
+  obs::Json pts = obs::Json::array();
+  for (const PointResult& p : points) {
+    obs::Json jp = obs::Json::object();
+    jp.set("index", static_cast<std::uint64_t>(p.index));
+    obs::Json params = obs::Json::object();
+    for (const auto& [name, value] : p.params) params.set(name, value);
+    jp.set("params", std::move(params));
+    obs::Json metrics = obs::Json::object();
+    for (const auto& [name, ms] : p.metrics) {
+      obs::Json jm = obs::Json::object();
+      jm.set("n", static_cast<std::uint64_t>(ms.n));
+      jm.set("mean", ms.mean);
+      jm.set("stddev", ms.stddev);
+      jm.set("ci95_halfwidth", ms.ci95);
+      jm.set("min", ms.min);
+      jm.set("max", ms.max);
+      metrics.set(name, std::move(jm));
+    }
+    jp.set("metrics", std::move(metrics));
+    pts.push(std::move(jp));
+  }
+  root.set("points", std::move(pts));
+
+  if (spec.timing) {
+    obs::Json t = obs::Json::object();
+    t.set("wall_seconds", wall_seconds);
+    root.set("timing", std::move(t));
+  }
+  return root;
+}
+
+std::string CampaignResult::to_json_string(int indent) const { return to_json().dump(indent); }
+
+void CampaignResult::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("campaign: cannot open " + path + " for writing");
+  const std::string text = to_json_string();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace lsds::exp

@@ -1,0 +1,139 @@
+// Experiment campaigns: replicated sweeps with confidence-interval output
+// analysis — the paper's third taxonomy axis made executable.
+//
+// A campaign takes a base scenario INI plus
+//
+//   [sweep]                      ; parameter grid, see exp/sweep.hpp
+//   network.incremental = true|false
+//
+//   [campaign]
+//   replications = 8             ; independent replications per point
+//   warmup       = 2             ; leading replications discarded from stats
+//   confidence   = 0.95          ; CI level (0.95 is the one supported)
+//   workers      = 4             ; thread-pool width (0 = hardware)
+//   timing       = false         ; include wall-clock section in the report
+//
+// expands the cross product into run points, executes every (point,
+// replication) pair on a util::ThreadPool, and aggregates each point's
+// facade metrics (everything Result::to_report wrote into the RunReport's
+// "result" section) into mean ± CI half-width via stats::Accumulator and
+// the Student-t quantile from stats/batch_means.
+//
+// Determinism contract (the PR-2 discipline applied to output analysis):
+// the campaign report is byte-identical for workers=1 and workers=N and
+// across repeated runs with the same seed. Consequences:
+//   * results are stored into a pre-sized (point, replication) grid, so
+//     work-stealing order cannot leak into the report;
+//   * replication seeds are SplitMix64 substreams of the [scenario] master
+//     seed keyed by replication index only — the same seeds across points
+//     (common random numbers), so point-to-point deltas are paired;
+//   * the worker count and wall-clock timings are NOT part of the report
+//     unless `timing = true` opts into a nondeterministic "timing" section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/event_queue.hpp"
+#include "exp/sweep.hpp"
+#include "obs/json.hpp"
+#include "sim/facade_registry.hpp"
+#include "util/ini.hpp"
+
+namespace lsds::exp {
+
+/// Schema identifier stamped into every campaign report.
+inline constexpr const char* kCampaignReportSchema = "lsds.campaign_report/1";
+
+struct CampaignSpec {
+  std::size_t replications = 5;
+  /// Leading replications per point that are executed but excluded from the
+  /// statistics (replication-level warmup deletion).
+  std::size_t warmup = 0;
+  double confidence = 0.95;  // only 0.95 is supported
+  unsigned workers = 1;      // 0 = std::thread::hardware_concurrency()
+  bool timing = false;       // opt into the nondeterministic wall-clock section
+
+  /// Parse the `[campaign]` section (defaults when absent). Throws
+  /// util::ConfigError on replications = 0, warmup >= replications, or an
+  /// unsupported confidence level.
+  static CampaignSpec parse(const util::IniConfig& ini);
+};
+
+/// Seed of replication `replication` derived from the master seed via a
+/// SplitMix64 chain. Independent of the sweep point (common random numbers)
+/// and of worker count / execution order.
+std::uint64_t substream_seed(std::uint64_t base_seed, std::size_t replication);
+
+/// Across-replication statistics of one scalar metric at one point.
+struct MetricStats {
+  std::size_t n = 0;  // replications aggregated (replications - warmup)
+  double mean = 0;
+  double stddev = 0;  // sample (n-1) standard deviation
+  double ci95 = 0;    // Student-t 95% CI half-width of the mean
+  double min = 0;
+  double max = 0;
+};
+
+struct PointResult {
+  std::size_t index = 0;
+  /// (axis name, value) assignments of this point, axis order.
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Insertion-ordered per-metric statistics (order of the facade's
+  /// Result::to_report writes).
+  std::vector<std::pair<std::string, MetricStats>> metrics;
+};
+
+struct CampaignResult {
+  std::string facade;
+  std::string queue;
+  std::uint64_t base_seed = 0;
+  CampaignSpec spec;
+  SweepSpec sweep;
+  std::vector<std::uint64_t> seeds;  // per replication, shared across points
+  std::vector<PointResult> points;
+  std::uint64_t runs = 0;    // points x replications actually executed
+  double wall_seconds = 0;   // total campaign wall clock (report: only when
+                             // spec.timing)
+
+  obs::Json to_json() const;
+  std::string to_json_string(int indent = 2) const;
+  /// Write the report JSON to `path`. Throws std::runtime_error.
+  void write(const std::string& path) const;
+};
+
+class Campaign {
+ public:
+  /// Parse [scenario]/[sweep]/[campaign] out of `base` and resolve the
+  /// facade in the global registry (register_builtin_facades() is called).
+  /// Throws util::ConfigError on an unknown facade or a bad spec.
+  explicit Campaign(util::IniConfig base);
+
+  const CampaignSpec& spec() const { return spec_; }
+  const SweepSpec& sweep() const { return sweep_; }
+  const std::string& facade() const { return facade_; }
+
+  /// Command-line override of [campaign] workers (does not affect output).
+  void set_workers(unsigned w) { spec_.workers = w; }
+
+  /// Execute every (point, replication) pair and aggregate. Facade stdout
+  /// is suppressed for the duration (parallel one-line summaries would
+  /// interleave); campaign progress goes to stderr. Throws
+  /// std::runtime_error when any replication fails.
+  CampaignResult run();
+
+ private:
+  util::IniConfig base_;
+  CampaignSpec spec_;
+  SweepSpec sweep_;
+  std::string facade_;
+  std::string queue_name_;
+  core::QueueKind queue_;
+  std::uint64_t base_seed_ = 0;
+  const sim::FacadeRegistry::Entry* entry_ = nullptr;
+};
+
+}  // namespace lsds::exp

@@ -54,9 +54,40 @@ void validate_scenario_keys(const util::IniConfig& ini, const FacadeRegistry::En
   static const std::map<std::string, std::vector<std::string>> kRunnerKeys = {
       {"scenario", {"facade", "seed", "queue", "strict"}},
       {"observability", {"enabled", "report", "trace", "sample_interval", "trace_events"}},
+      {"campaign", {"replications", "warmup", "confidence", "workers", "timing"}},
   };
 
   for (const std::string& section : ini.sections()) {
+    if (section == "sweep") {
+      // Sweep keys are `section.key` references; each must resolve to a key
+      // the facade (or the runner) declares — a sweep over a typo'd key
+      // would silently run the base scenario N times.
+      for (const std::string& name : ini.keys("sweep")) {
+        const auto dot = name.find('.');
+        if (dot == std::string::npos || dot == 0 || dot + 1 == name.size()) {
+          throw util::ConfigError("[sweep] " + name +
+                                  ": sweep keys must be of the form section.key");
+        }
+        const std::string tsec = name.substr(0, dot);
+        const std::string tkey = name.substr(dot + 1);
+        if (tsec == "scenario" || tsec == "campaign" || tsec == "sweep" ||
+            tsec == "observability") {
+          throw util::ConfigError("[sweep] " + name + ": cannot sweep the runner-owned [" +
+                                  tsec + "] section (seeds and queue are campaign-controlled)");
+        }
+        auto it = entry.keys.find(tsec);
+        if (it == entry.keys.end()) {
+          throw util::ConfigError("[sweep] " + name + ": facade '" + entry.name +
+                                  "' declares no [" + tsec + "] section (strict mode)");
+        }
+        const auto& tknown = it->second;
+        if (std::find(tknown.begin(), tknown.end(), tkey) == tknown.end()) {
+          throw util::ConfigError("[sweep] " + name + ": unknown key '" + tkey + "' in [" +
+                                  tsec + "] (strict mode)");
+        }
+      }
+      continue;
+    }
     const std::vector<std::string>* known = nullptr;
     if (auto it = kRunnerKeys.find(section); it != kRunnerKeys.end()) known = &it->second;
     if (auto it = entry.keys.find(section); it != entry.keys.end()) known = &it->second;

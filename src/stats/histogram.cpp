@@ -1,6 +1,7 @@
 #include "stats/histogram.hpp"
 
 #include <cassert>
+#include <cmath>
 
 #include "util/strings.hpp"
 
@@ -13,6 +14,12 @@ Histogram::Histogram(double lo, double hi, std::size_t nbins)
 
 void Histogram::add(double x) {
   ++total_;
+  // NaN compares false against both range guards and an infinite (x - lo_) /
+  // width_ is UB to cast to size_t — neither belongs in any bin.
+  if (!std::isfinite(x)) {
+    ++invalid_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -29,7 +36,7 @@ void Histogram::add(double x) {
 double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
 double Histogram::cdf_at_bin(std::size_t i) const {
-  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  const std::uint64_t in_range = total_ - underflow_ - overflow_ - invalid_;
   if (in_range == 0) return 0.0;
   std::uint64_t cum = 0;
   for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) cum += counts_[k];

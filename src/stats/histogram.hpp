@@ -22,6 +22,9 @@ class Histogram {
   double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
+  /// Non-finite samples (NaN, ±inf); counted in total(), excluded from bins,
+  /// the under/overflow counters and cdf_at_bin.
+  std::uint64_t invalid() const { return invalid_; }
   std::uint64_t total() const { return total_; }
 
   /// Fraction of in-range samples at or below bin i's upper edge.
@@ -33,7 +36,7 @@ class Histogram {
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
-  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+  std::uint64_t underflow_ = 0, overflow_ = 0, invalid_ = 0, total_ = 0;
 };
 
 }  // namespace lsds::stats

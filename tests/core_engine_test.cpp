@@ -72,6 +72,34 @@ TEST(Engine, CancelPreventsExecution) {
   EXPECT_EQ(eng.stats().executed, 0u);
 }
 
+TEST(Engine, CancelAfterFireReturnsFalseAndLeavesNoTombstone) {
+  // Regression: cancelling an already-executed event returned true, inflated
+  // stats().cancelled, and left a tombstone in the engine forever.
+  core::Engine eng;
+  bool ran = false;
+  auto h = eng.schedule_at(1.0, [&] { ran = true; });
+  eng.schedule_at(2.0, [] {});  // keep the clock moving past h
+  eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(eng.cancel(h));
+  EXPECT_EQ(eng.stats().cancelled, 0u);
+  EXPECT_EQ(eng.tombstone_count(), 0u);
+}
+
+TEST(Engine, CancelAtCurrentTimeStillWorks) {
+  // Only *strictly past* handles are rejected: an event scheduled at the
+  // current instant but not yet popped must remain cancellable.
+  core::Engine eng;
+  bool ran = false;
+  eng.schedule_at(1.0, [&] {
+    auto h = eng.schedule_at(1.0, [&] { ran = true; });
+    EXPECT_TRUE(eng.cancel(h));
+  });
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.tombstone_count(), 0u);  // tombstone consumed at pop
+}
+
 TEST(Engine, DoubleCancelReturnsFalse) {
   core::Engine eng;
   auto h = eng.schedule_at(1.0, [] {});

@@ -1,7 +1,9 @@
 // Time-driven and trace-driven DES modes, and the parallel engine.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -24,6 +26,18 @@ TEST(TimeDriven, CountsEmptyTicks) {
   EXPECT_EQ(res.ticks, 10u);
   EXPECT_EQ(res.events, 2u);
   EXPECT_EQ(res.empty_ticks, 8u);  // only ticks 3 and 8 contain events
+}
+
+TEST(TimeDriven, RejectsNonPositiveTick) {
+  // Regression: tick <= 0 never advanced `t += tick_` and run() spun forever.
+  core::Engine eng;
+  EXPECT_THROW(core::TimeDrivenRunner(eng, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::TimeDrivenRunner(eng, -1.0), std::invalid_argument);
+  EXPECT_THROW(core::TimeDrivenRunner(eng, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(core::TimeDrivenRunner(eng, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(core::TimeDrivenRunner(eng, 1e-9));
 }
 
 TEST(TimeDriven, TickHandlersRunEveryTick) {

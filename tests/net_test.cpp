@@ -455,6 +455,53 @@ TEST(TransferService, UnlimitedSharesBandwidth) {
   for (double t : done) EXPECT_NEAR(t, 3.0, 1e-6);  // all share: 3x slower
 }
 
+TEST(TransferService, RetryBackoffSequenceRespectsCapAndFailsOnce) {
+  // Dial-delay sequence is retry_backoff × backoff_factor^k clamped at
+  // backoff_cap, and exhausting max_attempts marks the record failed exactly
+  // once. With backoff 0.5, factor 2 and cap 1.5 the dead-link dials land at
+  // t = 0, 0.5, 1.5 (0.5 + 1.0), 3.0 (+1.5 capped, not +2.0).
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 1e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+  fn.set_failure_semantics(lsds::core::FailureSemantics::kFailStop);
+  fn.set_link_up(0, false);  // dead for the whole run
+
+  net::TransferService::Config cfg;
+  cfg.max_attempts = 4;
+  cfg.retry_backoff = 0.5;
+  cfg.backoff_factor = 2.0;
+  cfg.backoff_cap = 1.5;
+  net::TransferService svc(eng, fn, cfg);
+
+  int done_calls = 0;
+  net::TransferRecord rec;
+  svc.submit(a, b, 1e6, [&](const net::TransferRecord& r) {
+    ++done_calls;
+    rec = r;
+  });
+  // Each dead dial aborts one flow; probe the abort counter between the
+  // expected dial times to pin the whole delay sequence.
+  eng.schedule_at(0.25, [&] { EXPECT_EQ(fn.flows_aborted(), 1u); });
+  eng.schedule_at(1.0, [&] { EXPECT_EQ(fn.flows_aborted(), 2u); });   // redial at 0.5
+  eng.schedule_at(2.0, [&] { EXPECT_EQ(fn.flows_aborted(), 3u); });   // redial at 1.5
+  eng.schedule_at(2.9, [&] { EXPECT_EQ(fn.flows_aborted(), 3u); });   // cap: not before 3.0
+  eng.run();
+
+  EXPECT_EQ(fn.flows_aborted(), 4u);  // final dial at 3.0
+  EXPECT_EQ(done_calls, 1);           // failure reported exactly once
+  EXPECT_TRUE(rec.failed);
+  EXPECT_EQ(rec.attempts, 4u);
+  EXPECT_DOUBLE_EQ(rec.finish_time, 3.0);
+  EXPECT_EQ(svc.retries(), 3u);
+  EXPECT_EQ(svc.failed(), 1u);
+  EXPECT_EQ(svc.completed(), 0u);
+  EXPECT_EQ(eng.tombstone_count(), 0u);
+}
+
 // --- packet-level model ------------------------------------------------
 
 TEST(PacketNetwork, SingleTransferCompletes) {

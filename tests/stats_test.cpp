@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "stats/analytical.hpp"
@@ -108,6 +109,34 @@ TEST(Histogram, BinningAndOverflow) {
   EXPECT_EQ(h.bin_count(5), 1u);
   EXPECT_EQ(h.bin_count(9), 1u);
   EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, NonFiniteSamplesAreCountedInvalid) {
+  // Regression: NaN slipped past both range guards into an undefined
+  // float -> size_t cast; ±inf landed in under/overflow.
+  stats::Histogram h(0, 10, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.invalid(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 4u);
+  for (std::size_t b = 0; b < h.nbins(); ++b) {
+    EXPECT_EQ(h.bin_count(b), b == 5 ? 1u : 0u);
+  }
+  // cdf excludes the invalid samples: the single finite sample is the whole
+  // distribution.
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(h.nbins() - 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(4), 0.0);
+}
+
+TEST(Histogram, AllInvalidCdfIsZero) {
+  stats::Histogram h(0, 1, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.invalid(), 1u);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(3), 0.0);  // no finite mass, no div-by-zero
 }
 
 TEST(Histogram, CdfMonotone) {

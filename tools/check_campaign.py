@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a campaign report JSON file (schema lsds.campaign_report/1).
+
+Usage: check_campaign.py CAMPAIGN_*.json ...
+
+Checks, per file:
+  * the file parses as JSON and contains no NaN/Infinity literals;
+  * schema == "lsds.campaign_report/1";
+  * campaign{facade,queue,base_seed,replications,warmup,confidence,points,
+    runs,seeds} is present and self-consistent: len(seeds) == replications,
+    seeds are distinct, runs == points x replications, warmup < replications;
+  * the points array matches campaign.points and the sweep grid: point count
+    equals the cross product of the sweep value lists, indices are 0..P-1 in
+    order, and each point's params assign one declared value per axis in
+    odometer order (first axis slowest);
+  * every point carries makespan stats, every metric block has
+    n == replications - warmup (n >= 1), mean within [min, max],
+    stddev >= 0 and ci95_halfwidth >= 0 (0 when n < 2);
+  * every number anywhere in the document is finite.
+
+Exit code 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+import itertools
+import json
+import math
+import sys
+
+
+class NonFinite(Exception):
+    pass
+
+
+def reject_constant(name):
+    raise NonFinite(f"non-finite literal {name!r} in document")
+
+
+def walk_finite(node, path):
+    if isinstance(node, float) and not math.isfinite(node):
+        raise NonFinite(f"non-finite number at {path}")
+    if isinstance(node, dict):
+        for k, v in node.items():
+            walk_finite(v, f"{path}.{k}")
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk_finite(v, f"{path}[{i}]")
+
+
+def require(doc, path, types=None):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"missing required field '{path}'")
+        node = node[part]
+    if types is not None and not isinstance(node, types):
+        raise TypeError(f"field '{path}' has type {type(node).__name__}")
+    return node
+
+
+def check_metric(name, m, expect_n):
+    n = require(m, "n", int)
+    mean = require(m, "mean", (int, float))
+    stddev = require(m, "stddev", (int, float))
+    ci = require(m, "ci95_halfwidth", (int, float))
+    lo = require(m, "min", (int, float))
+    hi = require(m, "max", (int, float))
+    if n != expect_n:
+        raise ValueError(f"metric {name!r}: n={n}, expected {expect_n}")
+    if n < 1:
+        raise ValueError(f"metric {name!r}: empty sample")
+    if stddev < 0 or ci < 0:
+        raise ValueError(f"metric {name!r}: negative spread (stddev={stddev}, ci={ci})")
+    if n < 2 and ci != 0:
+        raise ValueError(f"metric {name!r}: ci95 without 2 samples")
+    eps = 1e-9 * max(1.0, abs(lo), abs(hi))
+    if not (lo - eps <= mean <= hi + eps):
+        raise ValueError(f"metric {name!r}: mean {mean} outside [{lo}, {hi}]")
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f, parse_constant=reject_constant)
+    if require(doc, "schema", str) != "lsds.campaign_report/1":
+        raise ValueError(f"unexpected schema {doc['schema']!r}")
+
+    require(doc, "campaign.facade", str)
+    require(doc, "campaign.queue", str)
+    require(doc, "campaign.base_seed", int)
+    reps = require(doc, "campaign.replications", int)
+    warmup = require(doc, "campaign.warmup", int)
+    confidence = require(doc, "campaign.confidence", (int, float))
+    n_points = require(doc, "campaign.points", int)
+    runs = require(doc, "campaign.runs", int)
+    seeds = require(doc, "campaign.seeds", list)
+    if reps < 1 or not 0 <= warmup < reps:
+        raise ValueError(f"bad replications/warmup: {reps}/{warmup}")
+    if confidence != 0.95:
+        raise ValueError(f"unsupported confidence {confidence}")
+    if len(seeds) != reps:
+        raise ValueError(f"{len(seeds)} seeds for {reps} replications")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("replication seeds are not distinct")
+    if runs != n_points * reps:
+        raise ValueError(f"runs={runs}, expected points x replications = {n_points * reps}")
+
+    sweep = require(doc, "sweep", dict)
+    expected_grid = list(itertools.product(*sweep.values())) if sweep else [()]
+    if n_points != len(expected_grid):
+        raise ValueError(f"campaign.points={n_points}, sweep grid has {len(expected_grid)}")
+
+    points = require(doc, "points", list)
+    if len(points) != n_points:
+        raise ValueError(f"{len(points)} point entries for campaign.points={n_points}")
+
+    axis_names = list(sweep.keys())
+    for i, point in enumerate(points):
+        if require(point, "index", int) != i:
+            raise ValueError(f"points[{i}] has index {point['index']}")
+        params = require(point, "params", dict)
+        expected = dict(zip(axis_names, expected_grid[i]))
+        if params != expected:
+            raise ValueError(f"points[{i}] params {params} != odometer-order {expected}")
+        metrics = require(point, "metrics", dict)
+        if "makespan" not in metrics:
+            raise ValueError(f"points[{i}] is missing the makespan metric")
+        for name, m in metrics.items():
+            check_metric(f"points[{i}].{name}", m, reps - warmup)
+
+    walk_finite(doc, "$")
+    return doc
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv:
+        try:
+            doc = check(path)
+        except Exception as e:  # report every file, then fail
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed += 1
+            continue
+        c = doc["campaign"]
+        print(f"ok   {path}: facade={c['facade']} points={c['points']} "
+              f"replications={c['replications']} runs={c['runs']}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
