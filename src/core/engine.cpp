@@ -44,9 +44,15 @@ EventHandle Engine::schedule_at(SimTime t, EventFn fn) {
   }
   t = quantize(t);
   const EventId id = next_seq_++;
+  if (tags_enabled_ && exec_tag_ != 0) tags_[id] = exec_tag_;
   push_record(EventRecord{t, id, std::move(fn)});
   ++stats_.scheduled;
   return EventHandle{id, t};
+}
+
+std::uint32_t Engine::event_tag(EventId id) const {
+  auto it = tags_.find(id);
+  return it == tags_.end() ? 0 : it->second;
 }
 
 EventRecord Engine::pop_record() {
@@ -79,7 +85,26 @@ bool Engine::cancel(const EventHandle& h) {
   return true;
 }
 
+void Engine::execute(EventRecord& ev) {
+  assert(ev.time + kTimeEpsilon >= now_ && "event queue returned an event out of order");
+  now_ = ev.time;
+  if (trace_hook_) trace_hook_(ev.time, ev.seq);
+  if (probe_) probe_->on_event(ev.time, ev.seq);
+  ++stats_.executed;
+  if (tags_enabled_) {
+    // Events scheduled by ev.fn() inherit ev's tag unless a TagScope
+    // overrides it; the tag entry retires with the event.
+    exec_tag_ = event_tag(ev.seq);
+    ev.fn();
+    exec_tag_ = 0;
+    tags_.erase(ev.seq);
+    return;
+  }
+  ev.fn();
+}
+
 bool Engine::step() {
+  if (choice_hook_) return step_with_choice();
   while (!queue_->empty()) {
     EventRecord ev = pop_record();
     auto it = tombstones_.find(ev.seq);
@@ -87,15 +112,51 @@ bool Engine::step() {
       tombstones_.erase(it);
       continue;  // cancelled; skip silently
     }
-    assert(ev.time + kTimeEpsilon >= now_ && "event queue returned an event out of order");
-    now_ = ev.time;
-    if (trace_hook_) trace_hook_(ev.time, ev.seq);
-    if (probe_) probe_->on_event(ev.time, ev.seq);
-    ++stats_.executed;
-    ev.fn();
+    execute(ev);
     return true;
   }
   return false;
+}
+
+bool Engine::step_with_choice() {
+  // Pop the minimum event, consuming tombstones.
+  EventRecord first;
+  for (;;) {
+    if (queue_->empty()) return false;
+    first = pop_record();
+    auto it = tombstones_.find(first.seq);
+    if (it == tombstones_.end()) break;
+    tombstones_.erase(it);
+  }
+  // Collect every further live event tied at the same timestamp. The pop
+  // order is ascending (time, seq) for every queue kind, so the tie set is
+  // presented in seq order — the engine's default execution order.
+  std::vector<EventRecord> tied;
+  tied.push_back(std::move(first));
+  while (!queue_->empty() && queue_->min_time() == tied.front().time) {
+    EventRecord next = pop_record();
+    auto it = tombstones_.find(next.seq);
+    if (it != tombstones_.end()) {
+      tombstones_.erase(it);
+      continue;
+    }
+    tied.push_back(std::move(next));
+  }
+  std::size_t pick = 0;
+  if (tied.size() > 1) {
+    tied_scratch_.clear();
+    for (const EventRecord& ev : tied) tied_scratch_.push_back(ev.seq);
+    pick = choice_hook_(tied.front().time, tied_scratch_);
+    assert(pick < tied.size() && "choice hook returned an out-of-range index");
+    if (pick >= tied.size()) pick = 0;
+  }
+  // Requeue the not-chosen ties with their original seq, so the remaining
+  // order (and cancellability) is exactly as if they had never been popped.
+  for (std::size_t i = 0; i < tied.size(); ++i) {
+    if (i != pick) push_record(std::move(tied[i]));
+  }
+  execute(tied[pick]);
+  return true;
 }
 
 void Engine::run() {
@@ -119,13 +180,8 @@ std::uint64_t Engine::run_until(SimTime t_end) {
       push_record(std::move(ev));
       break;
     }
-    assert(ev.time + kTimeEpsilon >= now_);
-    now_ = ev.time;
-    if (trace_hook_) trace_hook_(ev.time, ev.seq);
-    if (probe_) probe_->on_event(ev.time, ev.seq);
-    ++stats_.executed;
+    execute(ev);
     ++n;
-    ev.fn();
     if (max_events_ && stats_.executed >= max_events_) throw EventBudgetExceeded(max_events_);
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;
@@ -145,13 +201,8 @@ std::uint64_t Engine::run_window(SimTime t_end, bool inclusive) {
       push_record(std::move(ev));
       break;
     }
-    assert(ev.time + kTimeEpsilon >= now_);
-    now_ = ev.time;
-    if (trace_hook_) trace_hook_(ev.time, ev.seq);
-    if (probe_) probe_->on_event(ev.time, ev.seq);
-    ++stats_.executed;
+    execute(ev);
     ++n;
-    ev.fn();
     if (max_events_ && stats_.executed >= max_events_) throw EventBudgetExceeded(max_events_);
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;

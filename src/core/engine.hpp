@@ -18,6 +18,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -135,6 +136,38 @@ class Engine {
   using TraceHook = std::function<void(SimTime, EventId)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // --- choice points (exhaustive exploration, src/mc/) ---------------------
+
+  /// Strategy for ordering simultaneous events. When two or more pending
+  /// events are tied at the minimum timestamp, step() surfaces their ids
+  /// (ascending seq — today's FIFO execution order) and executes the one at
+  /// the returned index; the rest are requeued unchanged. With no hook set
+  /// the engine runs its normal pop-min path and is byte-identical to
+  /// before this hook existed; a hook returning 0 reproduces that order
+  /// exactly. The hook only drives step() (and run(), which steps) — the
+  /// windowed primitives of the parallel engine never branch.
+  using ChoiceFn = std::function<std::size_t(SimTime, const std::vector<EventId>&)>;
+  void set_choice_hook(ChoiceFn fn) { choice_hook_ = std::move(fn); }
+  bool has_choice_hook() const { return static_cast<bool>(choice_hook_); }
+
+  // --- event entity tags (exhaustive exploration, src/mc/) -----------------
+
+  /// When enabled, every scheduled event carries a 32-bit entity tag:
+  /// whatever current_tag() was at schedule time. During event execution
+  /// current_tag() defaults to the executing event's own tag, so causal
+  /// chains inherit their origin's tag; model code marks per-entity roots
+  /// with TagScope. Tag 0 means "untagged" and is treated as dependent on
+  /// everything — tags are an *assumption* the sleep-set pruning of
+  /// mc::Explorer relies on, so only tag chains that genuinely touch
+  /// disjoint state. Off by default: the hot path stays untouched.
+  void enable_event_tags() { tags_enabled_ = true; }
+  bool event_tags_enabled() const { return tags_enabled_; }
+  /// Tag recorded for a pending (or currently executing) event; 0 when
+  /// untagged or already retired.
+  std::uint32_t event_tag(EventId id) const;
+  std::uint32_t current_tag() const { return exec_tag_; }
+  void set_current_tag(std::uint32_t tag) { exec_tag_ = tag; }
+
   // --- observation probe ---------------------------------------------------
 
   /// Attach (or detach with nullptr) the observation probe (core/probe.hpp).
@@ -163,6 +196,11 @@ class Engine {
   /// queue_->pop() / push() with wall-clock timing when a probe is attached.
   EventRecord pop_record();
   void push_record(EventRecord rec);
+  /// step() with the choice hook installed: collect the timestamp tie,
+  /// let the strategy pick, requeue the rest.
+  bool step_with_choice();
+  /// Run `ev` with trace/probe/tag bookkeeping (shared by both step paths).
+  void execute(EventRecord& ev);
 
   std::unique_ptr<EventQueue> queue_;
   SimTime now_ = 0;
@@ -175,9 +213,33 @@ class Engine {
   std::unordered_set<EventId> tombstones_;
   std::map<std::string, RngStream> streams_;
   TraceHook trace_hook_;
+  ChoiceFn choice_hook_;
+  bool tags_enabled_ = false;
+  std::uint32_t exec_tag_ = 0;
+  std::unordered_map<EventId, std::uint32_t> tags_;
+  std::vector<EventId> tied_scratch_;  // choice-point id list, reused
   EngineProbe* probe_ = nullptr;
   std::vector<Entity*> entities_;  // slot = id; nullptr after unregister
   std::unordered_set<void*> coroutines_;
+};
+
+/// RAII entity-tag context: events scheduled within the scope carry `tag`
+/// (see Engine::enable_event_tags). Model-build code wraps per-entity setup:
+///
+///   core::TagScope scope(eng, kCpu0Tag);
+///   cpu0.submit(...);   // the completion chain inherits kCpu0Tag
+class TagScope {
+ public:
+  TagScope(Engine& engine, std::uint32_t tag) : engine_(engine), prev_(engine.current_tag()) {
+    engine_.set_current_tag(tag);
+  }
+  ~TagScope() { engine_.set_current_tag(prev_); }
+  TagScope(const TagScope&) = delete;
+  TagScope& operator=(const TagScope&) = delete;
+
+ private:
+  Engine& engine_;
+  std::uint32_t prev_;
 };
 
 }  // namespace lsds::core

@@ -1,0 +1,61 @@
+// FNV-1a state hashing.
+//
+// The exhaustive-exploration mode (src/mc/) prunes revisited states by
+// digesting engine + model state into a 64-bit fingerprint. Every layer
+// that wants to be explorable exposes a `state_digest()` built from this
+// accumulator, so the digests compose: a model hash is the fold of its
+// parts' hashes. FNV-1a is the classic choice for this job — fast, decent
+// avalanche, and trivially deterministic across platforms (the exploration
+// reports must not depend on the host).
+//
+// As in every hash-compaction model checker, a 64-bit fingerprint admits a
+// (vanishingly small) collision probability; a collision can only cause a
+// state to be wrongly pruned, never a spurious violation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace lsds::core {
+
+class StateHash {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  std::uint64_t value() const { return h_; }
+
+  StateHash& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  StateHash& mix(std::uint64_t v) { return mix_bytes(&v, sizeof(v)); }
+  StateHash& mix(std::int64_t v) { return mix_bytes(&v, sizeof(v)); }
+  StateHash& mix(std::uint32_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  StateHash& mix(bool v) { return mix(static_cast<std::uint64_t>(v)); }
+
+  /// Doubles hash by bit pattern; -0.0 is canonicalized to +0.0 so two
+  /// states that compare equal never hash apart.
+  StateHash& mix(double v) {
+    std::uint64_t bits;
+    if (v == 0.0) v = 0.0;  // collapse -0.0
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+  }
+
+  StateHash& mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace lsds::core

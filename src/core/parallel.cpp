@@ -24,11 +24,12 @@ ParallelEngine::~ParallelEngine() = default;
 
 ParallelEngine::Lp::Lp(ParallelEngine& parent, unsigned index, const Config& cfg,
                        std::uint64_t seed)
-    : parent_(parent), index_(index), rng_(seed) {
+    : parent_(parent), index_(index), max_events_(cfg.max_events), rng_(seed) {
   if (cfg.hosted_engines) {
     Engine::Config ecfg;
     ecfg.queue = cfg.queue;
     ecfg.seed = seed;
+    ecfg.max_events = cfg.max_events;  // per-LP budget, enforced by run_window
     engine_ = std::make_unique<Engine>(ecfg);
   } else {
     queue_ = make_event_queue(cfg.queue);
@@ -88,6 +89,7 @@ void ParallelEngine::Lp::run_window(SimTime window_end, bool final_window) {
     now_ = ev.time;
     ++executed_;
     ev.fn();
+    if (max_events_ && executed_ >= max_events_) throw EventBudgetExceeded(max_events_);
   }
   now_ = window_end;
 }
@@ -126,6 +128,11 @@ ParallelEngine::Stats ParallelEngine::snapshot_stats() {
 }
 
 ParallelEngine::Stats ParallelEngine::run_until(SimTime t_end) {
+  // Per-LP exception slots: an LP thread that trips its event budget (or any
+  // model exception) parks it here; the barrier makes the writes visible and
+  // the caller thread rethrows the lowest-index one — deterministic no
+  // matter which worker ran the LP.
+  std::vector<std::exception_ptr> lp_errors(lps_.size());
   for (;;) {
     // Conservative time advance: the next window starts at the earliest
     // pending event anywhere — empty stretches of virtual time cost no
@@ -150,9 +157,19 @@ ParallelEngine::Stats ParallelEngine::run_until(SimTime t_end) {
       }
       Lp* p = lp.get();
       const SimTime we = window_end_;
-      pool_.submit([p, we, final_window] { p->run_window(we, final_window); });
+      pool_.submit([p, we, final_window, &lp_errors] {
+        try {
+          p->run_window(we, final_window);
+        } catch (...) {
+          lp_errors[p->index()] = std::current_exception();
+        }
+      });
     }
     pool_.wait_idle();  // barrier
+
+    for (const std::exception_ptr& ep : lp_errors) {
+      if (ep) std::rethrow_exception(ep);
+    }
 
     deliver_inboxes();  // single-threaded phase
 

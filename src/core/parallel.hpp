@@ -62,6 +62,13 @@ class ParallelEngine {
     /// RNG streams, entity registry) instead of a bare event queue, so the
     /// model layer runs unmodified inside each partition.
     bool hosted_engines = false;
+    /// Per-LP event budget, the parallel twin of Engine::Config::max_events:
+    /// when > 0, an LP that executes this many events throws
+    /// EventBudgetExceeded, which run_until() rethrows on the caller thread
+    /// after the window barrier (lowest LP index wins when several trip in
+    /// one window). The engine is not resumable afterwards — this is a
+    /// watchdog against zero-delay loops, not a pause mechanism.
+    std::uint64_t max_events = 0;
   };
 
   explicit ParallelEngine(Config cfg);
@@ -114,6 +121,7 @@ class ParallelEngine {
     std::unique_ptr<Engine> engine_;      // hosted mode
     EventId next_seq_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t max_events_ = 0;  // raw-mode budget (hosted: engine enforces)
     RngStream rng_;
   };
 

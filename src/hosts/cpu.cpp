@@ -231,4 +231,29 @@ double CpuResource::utilization(double t_end) const {
   return delivered_ops_ / (total_capacity() * t_end);
 }
 
+void CpuResource::state_digest(core::StateHash& h) const {
+  h.mix(std::string_view(name_));
+  h.mix(online_);
+  h.mix(static_cast<std::uint64_t>(running_.size()));
+  std::vector<JobId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, r] : running_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (JobId id : ids) {
+    const Running& r = running_.at(id);
+    h.mix(static_cast<std::uint64_t>(id));
+    h.mix(r.ops);
+    h.mix(r.remaining);
+    h.mix(r.rate);
+  }
+  h.mix(static_cast<std::uint64_t>(queue_.size()));
+  for (const auto& [id, r] : queue_) {
+    h.mix(static_cast<std::uint64_t>(id));
+    h.mix(r.ops);
+  }
+  h.mix(static_cast<std::uint64_t>(jobs_completed_));
+  h.mix(static_cast<std::uint64_t>(jobs_killed_));
+  h.mix(static_cast<std::uint64_t>(outages_));
+}
+
 }  // namespace lsds::hosts

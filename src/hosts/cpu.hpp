@@ -19,6 +19,7 @@
 
 #include "core/engine.hpp"
 #include "core/failure.hpp"
+#include "core/hash.hpp"
 #include "hosts/job.hpp"
 #include "stats/timeseries.hpp"
 
@@ -97,6 +98,11 @@ class CpuResource {
   double availability(double t_end) const;
   /// Load (jobs in service + queued) over time.
   const stats::TimeSeries& load_series() const { return load_; }
+
+  /// Fold the resource's mutable state into `h` (mc state pruning; see
+  /// core/hash.hpp). Running jobs are visited in sorted id order so equal
+  /// states digest equal regardless of hash-map iteration order.
+  void state_digest(core::StateHash& h) const;
 
  private:
   struct Running {

@@ -1,0 +1,114 @@
+#include "mc/invariants.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "middleware/recovery.hpp"
+
+namespace lsds::mc {
+
+namespace {
+
+std::string check_no_job_lost(const CheckContext& ctx) {
+  const auto* s = ctx.scheduler;
+  if (!s) return "";
+  if (s->lost() > 0) {
+    return "scheduler reports " + std::to_string(s->lost()) + " lost job(s)";
+  }
+  if (s->dependability().jobs_lost() > 0) {
+    return "dependability ledger reports " + std::to_string(s->dependability().jobs_lost()) +
+           " lost job(s)";
+  }
+  for (std::size_t slot = 0; slot < s->task_count(); ++slot) {
+    const auto v = s->task_view(slot);
+    if (!v.finished && !v.queued && v.live_copies == 0) {
+      return "job " + std::to_string(v.job_id) +
+             " is in limbo: not queued, no copy in flight, not finished";
+    }
+  }
+  return "";
+}
+
+std::string check_no_double_start(const CheckContext& ctx) {
+  const auto* s = ctx.scheduler;
+  if (!s) return "";
+  const auto& cfg = s->config();
+  const std::size_t allowed = cfg.policy == middleware::RecoveryPolicyKind::kReplicate
+                                  ? std::max<std::size_t>(1, cfg.replicas)
+                                  : 1;
+  for (std::size_t slot = 0; slot < s->task_count(); ++slot) {
+    const auto v = s->task_view(slot);
+    if (v.live_copies > allowed) {
+      return "job " + std::to_string(v.job_id) + " has " + std::to_string(v.live_copies) +
+             " simultaneous copies (policy allows " + std::to_string(allowed) + ")";
+    }
+    if (v.queued && v.live_copies > 0) {
+      return "job " + std::to_string(v.job_id) +
+             " is queued for dispatch while a copy is already running";
+    }
+  }
+  return "";
+}
+
+std::string check_converges(const CheckContext& ctx) {
+  if (!ctx.terminal) return "";
+  const auto* s = ctx.scheduler;
+  if (!s) return "";
+  for (std::size_t slot = 0; slot < s->task_count(); ++slot) {
+    const auto v = s->task_view(slot);
+    if (!v.finished) {
+      return "engine drained but job " + std::to_string(v.job_id) +
+             " never reached a terminal state";
+    }
+  }
+  if (s->completed() + s->lost() != s->task_count()) {
+    return "engine drained with " + std::to_string(s->completed()) + " completed + " +
+           std::to_string(s->lost()) + " lost out of " + std::to_string(s->task_count()) +
+           " tasks";
+  }
+  // The dependability ledger (stats/dependability.hpp) must agree with the
+  // scheduler's own books along every interleaving.
+  const auto& dep = s->dependability();
+  if (dep.jobs_completed() != s->completed() || dep.jobs_lost() != s->lost()) {
+    return "dependability ledger disagrees with the scheduler: ledger " +
+           std::to_string(dep.jobs_completed()) + "/" + std::to_string(dep.jobs_lost()) +
+           " completed/lost vs scheduler " + std::to_string(s->completed()) + "/" +
+           std::to_string(s->lost());
+  }
+  return "";
+}
+
+}  // namespace
+
+void Invariants::add(std::string name, CheckFn fn) {
+  checks_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+const std::vector<std::string>& Invariants::builtin_names() {
+  static const std::vector<std::string> names = {"no-job-lost", "no-double-start",
+                                                 "recovery-converges"};
+  return names;
+}
+
+void Invariants::add_builtin(const std::string& name) {
+  if (name == "no-job-lost") {
+    add(name, check_no_job_lost);
+  } else if (name == "no-double-start") {
+    add(name, check_no_double_start);
+  } else if (name == "recovery-converges") {
+    add(name, check_converges);
+  } else {
+    throw std::invalid_argument("unknown built-in invariant '" + name +
+                                "' (known: no-job-lost, no-double-start, recovery-converges)");
+  }
+}
+
+Invariants::Result Invariants::check(const CheckContext& ctx) const {
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    std::string msg = checks_[i].fn(ctx);
+    if (!msg.empty()) return Result{i, std::move(msg)};
+  }
+  return Result{checks_.size(), ""};
+}
+
+}  // namespace lsds::mc

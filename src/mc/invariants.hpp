@@ -1,0 +1,82 @@
+// Invariant registry for exhaustive exploration.
+//
+// An invariant is a predicate over the *current* simulation state, checked
+// after every executed event along every explored interleaving. The three
+// built-ins encode the recovery layer's correctness claims (ROADMAP):
+//
+//   no-job-lost        — no task is ever in limbo (neither queued, nor
+//                        running a copy, nor finished), and the scheduler
+//                        never reports a lost job. Presumes an
+//                        unlimited-attempts config: with max_attempts > 0,
+//                        abandoning a job is policy, not a bug.
+//   no-double-start    — a task never has more simultaneous copies than its
+//                        policy allows (1, or `replicas` under kReplicate),
+//                        and is never simultaneously queued and running.
+//   recovery-converges — when the engine drains, every task is terminal
+//                        (completed or abandoned): the recovery machinery
+//                        never wedges with work it forgot to re-dispatch.
+//
+// Custom properties register a CheckFn returning "" when the state is fine
+// and a human-readable complaint otherwise.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lsds::core {
+class Engine;
+}
+namespace lsds::hosts {
+class CpuResource;
+}
+namespace lsds::middleware {
+class FaultTolerantScheduler;
+class FailureInjector;
+}
+
+namespace lsds::mc {
+
+/// What an invariant may look at. The recovery built-ins need the scheduler
+/// (null for models without one — they then pass vacuously); custom
+/// invariants usually capture their own state and only read `terminal`.
+struct CheckContext {
+  core::Engine* engine = nullptr;
+  const middleware::FaultTolerantScheduler* scheduler = nullptr;
+  const middleware::FailureInjector* injector = nullptr;
+  std::vector<const hosts::CpuResource*> cpus;
+  std::size_t num_jobs = 0;
+  bool terminal = false;
+};
+
+class Invariants {
+ public:
+  /// Return "" when the invariant holds, else the violation message.
+  using CheckFn = std::function<std::string(const CheckContext&)>;
+
+  void add(std::string name, CheckFn fn);
+  /// Register a built-in by name (see file comment). Throws
+  /// std::invalid_argument on an unknown name.
+  void add_builtin(const std::string& name);
+  static const std::vector<std::string>& builtin_names();
+
+  std::size_t size() const { return checks_.size(); }
+  const std::string& name(std::size_t i) const { return checks_[i].name; }
+
+  struct Result {
+    std::size_t index;    // == size() when every invariant holds
+    std::string message;  // empty when every invariant holds
+  };
+  /// First violated invariant, in registration order.
+  Result check(const CheckContext& ctx) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    CheckFn fn;
+  };
+  std::vector<Entry> checks_;
+};
+
+}  // namespace lsds::mc

@@ -1,0 +1,46 @@
+// Explorable-model interface for the exhaustive-exploration mode.
+//
+// The explorer (mc/explorer.hpp) re-runs a scenario from t = 0 once per
+// interleaving, so a model must be *reconstructible*: a ModelFactory builds
+// the whole scenario into a fresh engine — entities, scheduler, injected
+// faults, initial events — and returns a handle the explorer uses to
+// (a) fingerprint model state for revisit pruning and (b) expose the
+// invariant-checking view of the current state.
+//
+// Determinism contract: two factory calls over engines with equal configs
+// must produce byte-identical executions under the default event order.
+// Everything in this repo already satisfies that (named RNG streams, seq
+// tie-breaks); a model that reads wall clock or global mutable state would
+// break exploration in confusing ways.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/hash.hpp"
+#include "mc/invariants.hpp"
+
+namespace lsds::mc {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Fold all mutable model state into `h` — the model half of the
+  /// explorer's state fingerprint (the engine half is clock + pending-set
+  /// shape). Must be a pure function of simulation state: unordered
+  /// containers visited in sorted order, no addresses, no wall clock.
+  virtual void hash_state(core::StateHash& h) const = 0;
+
+  /// Invariant-checking view of the current state; `terminal` is true when
+  /// the engine has drained (used by convergence properties).
+  virtual CheckContext context(bool terminal) = 0;
+};
+
+/// Builds the scenario into a fresh engine and returns the model handle.
+/// Called once per explored interleaving; the returned model must stay
+/// valid for the engine's lifetime (it typically owns the entities).
+using ModelFactory = std::function<std::unique_ptr<Model>(core::Engine&)>;
+
+}  // namespace lsds::mc

@@ -1,0 +1,57 @@
+#include "mc/recovery_model.hpp"
+
+#include <string>
+#include <utility>
+
+namespace lsds::mc {
+
+RecoveryModel::RecoveryModel(core::Engine& engine, RecoveryScenario s)
+    : engine_(engine), s_(std::move(s)) {
+  std::vector<hosts::CpuResource*> raw;
+  for (std::size_t i = 0; i < s_.hosts; ++i) {
+    cpus_.push_back(std::make_unique<hosts::CpuResource>(engine_, "host" + std::to_string(i),
+                                                         /*cores=*/1, s_.speed,
+                                                         hosts::SharingPolicy::kSpaceShared));
+    raw.push_back(cpus_.back().get());
+  }
+  sched_ = std::make_unique<middleware::FaultTolerantScheduler>(engine_, raw, s_.heuristic,
+                                                                s_.recovery);
+  for (std::size_t j = 0; j < s_.job_ops.size(); ++j) {
+    hosts::Job job;
+    job.id = j + 1;
+    job.ops = s_.job_ops[j];
+    sched_->submit(std::move(job));
+  }
+  injector_ = std::make_unique<middleware::FailureInjector>(engine_);
+  for (hosts::CpuResource* cpu : raw) injector_->add_cpu(*cpu);
+  if (!s_.fault_choices.empty()) {
+    injector_->schedule_outage_choice(0, s_.fault_choices, s_.repair_after);
+  } else if (s_.fault_time >= 0) {
+    injector_->schedule_outage(0, s_.fault_time, s_.repair_after);
+  }
+  sched_->run();
+}
+
+void RecoveryModel::hash_state(core::StateHash& h) const {
+  sched_->state_digest(h);
+  for (const auto& cpu : cpus_) cpu->state_digest(h);
+  h.mix(injector_->outages_started());
+  h.mix(injector_->repairs_completed());
+}
+
+CheckContext RecoveryModel::context(bool terminal) {
+  CheckContext ctx;
+  ctx.engine = &engine_;
+  ctx.scheduler = sched_.get();
+  ctx.injector = injector_.get();
+  for (const auto& cpu : cpus_) ctx.cpus.push_back(cpu.get());
+  ctx.num_jobs = s_.job_ops.size();
+  ctx.terminal = terminal;
+  return ctx;
+}
+
+ModelFactory RecoveryModel::factory(RecoveryScenario s) {
+  return [s](core::Engine& engine) { return std::make_unique<RecoveryModel>(engine, s); };
+}
+
+}  // namespace lsds::mc

@@ -1,0 +1,62 @@
+// The recovery-layer scenario the exploration mode ships with.
+//
+// A deliberately small, deliberately *contended* configuration: a handful
+// of single-core hosts, a bag of equal-length jobs (equal ops at equal
+// speed makes their completions collide at one timestamp — the tie the
+// explorer branches on), and one deterministic fault. The explorer then
+// proves, over every ordering of those ties, that the configured recovery
+// policy loses no job, never double-starts one, and always converges.
+//
+// Fault timing is itself explorable: with several `fault_choices`, the
+// injector's choice-point selector (FailureInjector::schedule_outage_choice)
+// turns *when the crash lands* into one more branching dimension.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hosts/cpu.hpp"
+#include "mc/model.hpp"
+#include "middleware/failures.hpp"
+#include "middleware/recovery.hpp"
+
+namespace lsds::mc {
+
+struct RecoveryScenario {
+  middleware::RecoveryConfig recovery;
+  middleware::Heuristic heuristic = middleware::Heuristic::kFifo;
+
+  std::size_t hosts = 2;  // single-core, speed 1 each
+  double speed = 1.0;
+  /// Compute demand per job; equal values collide completions in time.
+  std::vector<double> job_ops = {4, 4, 4};
+
+  /// Crash injected on host 0 (< 0 = no fault).
+  double fault_time = 4.0;
+  double repair_after = 1.0;  // 0 ties crash and repair at one timestamp
+  /// When non-empty, the crash lands at exactly one of these times, chosen
+  /// per explored branch (overrides fault_time).
+  std::vector<double> fault_choices;
+};
+
+class RecoveryModel : public Model {
+ public:
+  RecoveryModel(core::Engine& engine, RecoveryScenario s);
+
+  void hash_state(core::StateHash& h) const override;
+  CheckContext context(bool terminal) override;
+
+  const middleware::FaultTolerantScheduler& scheduler() const { return *sched_; }
+
+  /// ModelFactory building this scenario (mc::Explorer, mc tests).
+  static ModelFactory factory(RecoveryScenario s);
+
+ private:
+  core::Engine& engine_;
+  RecoveryScenario s_;
+  std::vector<std::unique_ptr<hosts::CpuResource>> cpus_;
+  std::unique_ptr<middleware::FaultTolerantScheduler> sched_;
+  std::unique_ptr<middleware::FailureInjector> injector_;
+};
+
+}  // namespace lsds::mc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace lsds::middleware {
@@ -51,6 +52,43 @@ void FailureInjector::apply(std::size_t target, bool up) {
   Target& t = targets_[target];
   for (hosts::CpuResource* cpu : t.cpus) cpu->set_online(up);
   for (net::LinkId l : t.links) t.net->set_link_up(l, up);
+}
+
+void FailureInjector::schedule_outage(std::size_t target, double at, double repair_after) {
+  if (target >= targets_.size()) {
+    throw std::out_of_range("FailureInjector::schedule_outage: no such target");
+  }
+  engine_.schedule_at(at, [this, target, repair_after] {
+    ++outages_;
+    apply(target, false);
+    if (repair_after < 0) return;  // permanent outage
+    downtime_ += repair_after;
+    engine_.schedule_in(repair_after, [this, target] {
+      ++repairs_;
+      apply(target, true);
+    });
+  });
+}
+
+void FailureInjector::schedule_outage_choice(std::size_t target,
+                                             std::vector<double> candidate_times,
+                                             double repair_after) {
+  if (target >= targets_.size()) {
+    throw std::out_of_range("FailureInjector::schedule_outage_choice: no such target");
+  }
+  if (candidate_times.empty()) return;
+  // k selector events tied at the current instant share one decided flag:
+  // whichever runs first commits its candidate; the rest are no-ops whose
+  // orderings hash-prune to a single explored state.
+  auto decided = std::make_shared<bool>(false);
+  const double decision_time = engine_.now();
+  for (double at : candidate_times) {
+    engine_.schedule_at(decision_time, [this, target, at, repair_after, decided] {
+      if (*decided) return;
+      *decided = true;
+      schedule_outage(target, at, repair_after);
+    });
+  }
 }
 
 void FailureInjector::schedule_failure(std::size_t target, double t_end) {

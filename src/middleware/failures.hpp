@@ -67,6 +67,27 @@ class FailureInjector {
 
   bool started() const { return started_; }
 
+  // --- deterministic outages (tests, exhaustive exploration) ----------------
+
+  /// Registered targets, in add_*() order (index = the `target` argument of
+  /// the deterministic APIs below).
+  std::size_t target_count() const { return targets_.size(); }
+
+  /// Inject exactly one outage on `target` at absolute time `at`, repaired
+  /// `repair_after` later (repair_after < 0 = permanent; == 0 ties the
+  /// repair with the crash at one timestamp — the double-start stress case).
+  /// Independent of the stochastic cycles and of started(); usable any
+  /// number of times per target.
+  void schedule_outage(std::size_t target, double at, double repair_after);
+
+  /// Fault-timing choice point for mc::Explorer: the outage fires at exactly
+  /// one of `candidate_times`, decided by which of the tied selector events
+  /// (all scheduled at the current time) executes first. Under the default
+  /// engine order the first candidate wins, so normal runs stay
+  /// deterministic; under exploration each candidate becomes a branch.
+  void schedule_outage_choice(std::size_t target, std::vector<double> candidate_times,
+                              double repair_after);
+
   // --- statistics -----------------------------------------------------------
 
   std::uint64_t outages_started() const { return outages_; }

@@ -300,6 +300,52 @@ void FaultTolerantScheduler::publish_span(const TaskState& t, const char* status
   bus.publish(s);
 }
 
+FaultTolerantScheduler::TaskView FaultTolerantScheduler::task_view(std::size_t slot) const {
+  const TaskState& t = tasks_.at(slot);
+  TaskView v;
+  v.job_id = t.job.id;
+  v.attempts = t.attempts;
+  v.live_copies = t.live_copies.size();
+  v.queued = std::find(pending_.begin(), pending_.end(), slot) != pending_.end();
+  v.finished = t.finished;
+  return v;
+}
+
+void FaultTolerantScheduler::state_digest(core::StateHash& h) const {
+  h.mix(static_cast<std::uint64_t>(tasks_.size()));
+  for (const TaskState& t : tasks_) {
+    h.mix(static_cast<std::uint64_t>(t.job.id));
+    h.mix(t.attempts);
+    h.mix(t.committed);
+    h.mix(t.not_before);
+    h.mix(static_cast<std::uint64_t>(t.preferred));
+    h.mix(static_cast<std::uint64_t>(t.live_copies.size()));
+    for (hosts::JobId id : t.live_copies) h.mix(static_cast<std::uint64_t>(id));
+    h.mix(t.finished);
+  }
+  h.mix(static_cast<std::uint64_t>(pending_.size()));
+  for (std::size_t slot : pending_) h.mix(static_cast<std::uint64_t>(slot));
+  std::vector<hosts::JobId> ids;
+  ids.reserve(active_.size());
+  for (const auto& [id, a] : active_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (hosts::JobId id : ids) {
+    const Attempt& a = active_.at(id);
+    h.mix(static_cast<std::uint64_t>(id));
+    h.mix(static_cast<std::uint64_t>(a.slot));
+    h.mix(static_cast<std::uint64_t>(a.resource));
+    h.mix(a.segment_ops);
+    h.mix(a.overhead_ops);
+  }
+  for (double b : blacklist_until_) h.mix(b);
+  h.mix(static_cast<std::uint64_t>(next_attempt_id_));
+  h.mix(static_cast<std::uint64_t>(rr_next_));
+  h.mix(wakeup_at_);
+  h.mix(static_cast<std::uint64_t>(completed_));
+  h.mix(static_cast<std::uint64_t>(lost_));
+  h.mix(static_cast<std::uint64_t>(kills_));
+}
+
 void FaultTolerantScheduler::finalize_availability(double t_end) {
   for (const hosts::CpuResource* cpu : resources_) {
     tracker_.resource_availability(cpu->name(), cpu->availability(t_end));

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/hash.hpp"
 #include "hosts/cpu.hpp"
 #include "hosts/job.hpp"
 #include "middleware/scheduler.hpp"
@@ -105,6 +106,27 @@ class FaultTolerantScheduler {
   /// Record per-resource availability over [0, t_end] into the tracker
   /// (call after the run, with the experiment horizon).
   void finalize_availability(double t_end);
+
+  // --- exploration hooks (src/mc/) ------------------------------------------
+
+  /// Read-only snapshot of one task's recovery state, the granularity the
+  /// mc invariants reason at: a live task is queued xor has copies in
+  /// flight xor is gated on a backoff; a finished one is done or lost.
+  struct TaskView {
+    hosts::JobId job_id = 0;
+    std::uint32_t attempts = 0;
+    std::size_t live_copies = 0;  // attempt ids currently in flight
+    bool queued = false;          // waiting in the pending bag
+    bool finished = false;        // completed or abandoned
+  };
+  std::size_t task_count() const { return tasks_.size(); }
+  TaskView task_view(std::size_t slot) const;
+  const RecoveryConfig& config() const { return cfg_; }
+
+  /// Fold every piece of mutable scheduler state into `h` — the model half
+  /// of the explorer's state fingerprint. Unordered containers are visited
+  /// in sorted key order so equal states always digest equal.
+  void state_digest(core::StateHash& h) const;
 
  private:
   static constexpr std::size_t kNoPreference = std::numeric_limits<std::size_t>::max();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace lsds::net {
 
@@ -9,7 +10,20 @@ TransferService::TransferService(core::Engine& engine, FlowNetwork& net)
     : TransferService(engine, net, Config{}) {}
 
 TransferService::TransferService(core::Engine& engine, FlowNetwork& net, Config cfg)
-    : engine_(engine), net_(net), cfg_(cfg) {}
+    : engine_(engine), net_(net), cfg_(cfg) {
+  // Negated comparisons so NaN fails every check: a NaN backoff would
+  // silently schedule re-dials at a NaN timestamp, which the engine clamps
+  // to now — an accidental zero-delay retry storm.
+  if (!(cfg_.retry_backoff > 0)) {
+    throw std::invalid_argument("TransferService: retry_backoff must be > 0");
+  }
+  if (!(cfg_.backoff_factor >= 1)) {
+    throw std::invalid_argument("TransferService: backoff_factor must be >= 1");
+  }
+  if (!(cfg_.backoff_cap >= 0) || !std::isfinite(cfg_.backoff_cap)) {
+    throw std::invalid_argument("TransferService: backoff_cap must be finite and >= 0");
+  }
+}
 
 std::uint64_t TransferService::submit(NodeId src, NodeId dst, double bytes, DoneFn on_done) {
   Pending p;

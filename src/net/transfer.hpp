@@ -43,6 +43,9 @@ class TransferService {
     /// unlimited. Aborted attempts are re-dialed after an exponential
     /// backoff instead of hanging on the dead link.
     std::size_t max_attempts = 1;
+    /// Backoff schedule, validated at construction: retry_backoff must be
+    /// > 0, backoff_factor >= 1, backoff_cap finite and >= 0 (NaN fails all
+    /// three). Invalid values throw std::invalid_argument.
     double retry_backoff = 1.0;   // delay before the first re-dial
     double backoff_factor = 2.0;  // growth per further re-dial
     double backoff_cap = 60.0;    // ceiling on the re-dial delay

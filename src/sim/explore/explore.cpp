@@ -1,0 +1,91 @@
+#include "sim/explore/explore.hpp"
+
+#include <cstdio>
+
+namespace lsds::sim::explore {
+
+Result run(const Config& cfg) {
+  Result out;
+  for (middleware::RecoveryPolicyKind policy : cfg.policies) {
+    mc::RecoveryScenario scn = cfg.scenario;
+    scn.recovery.policy = policy;
+
+    mc::Invariants inv;
+    for (const std::string& name : cfg.invariants) inv.add_builtin(name);
+
+    mc::Explorer explorer(mc::RecoveryModel::factory(scn), cfg.engine, std::move(inv),
+                          cfg.explore);
+    PolicyOutcome po;
+    po.policy = policy;
+    po.result = explorer.run();
+
+    const auto& r = po.result;
+    std::printf("explore(%s): %llu executions, %llu choice points, %llu states "
+                "(%llu hash-pruned, %llu sleep-pruned), depth %llu — %s%s\n",
+                middleware::to_string(policy), static_cast<unsigned long long>(r.executions),
+                static_cast<unsigned long long>(r.choice_points),
+                static_cast<unsigned long long>(r.states_hashed),
+                static_cast<unsigned long long>(r.hash_pruned),
+                static_cast<unsigned long long>(r.sleep_pruned),
+                static_cast<unsigned long long>(r.max_depth_seen),
+                r.ok() ? "verified" : "VIOLATED",
+                r.complete ? " (complete)" : r.ok() ? " (capped)" : "");
+    for (const auto& v : r.violations) {
+      std::string sched;
+      for (core::EventId id : v.schedule) {
+        if (!sched.empty()) sched += ",";
+        sched += std::to_string(id);
+      }
+      std::printf("  counterexample [%s] at t=%.6g (execution %llu): %s\n"
+                  "    schedule: [%s] (%zu decisions, %zu events)\n",
+                  v.invariant.c_str(), v.time, static_cast<unsigned long long>(v.execution),
+                  v.message.c_str(), sched.c_str(), v.schedule.size(), v.trace.size());
+    }
+    out.policies.push_back(std::move(po));
+  }
+  return out;
+}
+
+void Result::to_report(obs::RunReport& report, const Config& cfg) const {
+  report.set_result_core(static_cast<std::uint64_t>(cfg.scenario.job_ops.size()), 0, 0);
+  auto& r = report.result();
+  r.set("verified", ok());
+  auto policies_json = obs::Json::array();
+  for (const auto& p : policies) {
+    auto pj = obs::Json::object();
+    pj.set("policy", middleware::to_string(p.policy));
+    pj.set("executions", p.result.executions);
+    pj.set("choice_points", p.result.choice_points);
+    pj.set("states_hashed", p.result.states_hashed);
+    pj.set("hash_pruned", p.result.hash_pruned);
+    pj.set("sleep_pruned", p.result.sleep_pruned);
+    pj.set("max_depth_seen", p.result.max_depth_seen);
+    pj.set("complete", p.result.complete);
+    pj.set("ok", p.result.ok());
+    auto violations = obs::Json::array();
+    for (const auto& v : p.result.violations) {
+      auto vj = obs::Json::object();
+      vj.set("invariant", v.invariant);
+      vj.set("message", v.message);
+      vj.set("time", v.time);
+      vj.set("execution", v.execution);
+      auto sched = obs::Json::array();
+      for (core::EventId id : v.schedule) sched.push(static_cast<std::uint64_t>(id));
+      vj.set("schedule", std::move(sched));
+      auto trace = obs::Json::array();
+      for (const auto& [t, id] : v.trace) {
+        auto ev = obs::Json::array();
+        ev.push(t);
+        ev.push(static_cast<std::uint64_t>(id));
+        trace.push(std::move(ev));
+      }
+      vj.set("trace", std::move(trace));
+      violations.push(std::move(vj));
+    }
+    pj.set("violations", std::move(violations));
+    policies_json.push(std::move(pj));
+  }
+  r.set("policies", std::move(policies_json));
+}
+
+}  // namespace lsds::sim::explore

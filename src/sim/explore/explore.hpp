@@ -1,0 +1,65 @@
+// The `explore` study: exhaustive event-ordering verification of the
+// recovery layer.
+//
+// Where every other facade *samples* one trajectory per seed, this one
+// *enumerates*: for each requested recovery policy it runs mc::Explorer
+// over the shipped RecoveryScenario, visiting every ordering of
+// simultaneous events (and, optionally, every candidate fault timing), and
+// checks the registered invariants after every event of every
+// interleaving. The outcome per policy is either "verified" — with the
+// exploration's size and pruning statistics — or a minimized, replayable
+// counterexample schedule.
+//
+// Unlike the other studies this one ignores the runner-provided engine:
+// replay-based backtracking needs a fresh engine per interleaving, so the
+// explorer constructs its own from the same [scenario] queue + seed.
+#pragma once
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "mc/explorer.hpp"
+#include "mc/recovery_model.hpp"
+#include "obs/report.hpp"
+
+namespace lsds::sim::explore {
+
+struct Config {
+  /// Scenario template; `scenario.recovery.policy` is overridden per entry
+  /// of `policies`.
+  mc::RecoveryScenario scenario;
+  /// Policies to verify, in order (default: all four).
+  std::vector<middleware::RecoveryPolicyKind> policies{
+      std::begin(middleware::kAllRecoveryPolicies), std::end(middleware::kAllRecoveryPolicies)};
+  /// Built-in invariant names to check (mc::Invariants::builtin_names()).
+  std::vector<std::string> invariants = mc::Invariants::builtin_names();
+  mc::ExploreConfig explore;
+  /// Queue kind + seed for every constructed engine.
+  core::Engine::Config engine;
+};
+
+struct PolicyOutcome {
+  middleware::RecoveryPolicyKind policy;
+  mc::ExploreResult result;
+};
+
+struct Result {
+  std::vector<PolicyOutcome> policies;
+
+  bool ok() const {
+    for (const auto& p : policies) {
+      if (!p.result.ok()) return false;
+    }
+    return true;
+  }
+
+  /// Fill the report's "result" section (tools/check_exploration.py
+  /// validates the emitted schema).
+  void to_report(obs::RunReport& report, const Config& cfg) const;
+};
+
+Result run(const Config& cfg);
+
+}  // namespace lsds::sim::explore

@@ -44,6 +44,7 @@ void register_builtin_facades() {
     register_chicsim_facade(reg);
     register_simg_facade(reg);
     register_chaos_facade(reg);
+    register_explore_facade(reg);
     return true;
   }();
   (void)once;

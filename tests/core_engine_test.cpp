@@ -367,3 +367,97 @@ TEST(Entity, RegistryCountsLiveEntities) {
   b.reset();
   EXPECT_EQ(eng.entity_count(), 1u);
 }
+
+// --- choice points (exhaustive exploration hook) ---------------------------
+
+namespace {
+
+// Schedule three events tied at t=1 plus a lone one at t=2; record the
+// execution order of the tied batch by label.
+std::string run_tied_batch(core::Engine& eng, std::string& order) {
+  for (char c : {'a', 'b', 'c'}) {
+    eng.schedule_at(1.0, [&order, c] { order.push_back(c); });
+  }
+  eng.schedule_at(2.0, [&order] { order.push_back('z'); });
+  eng.run();
+  return order;
+}
+
+}  // namespace
+
+TEST(ChoiceHook, IndexZeroReproducesDefaultOrder) {
+  core::Engine plain, hooked;
+  std::string plain_order, hooked_order;
+  std::vector<std::pair<double, core::EventId>> plain_trace, hooked_trace;
+  plain.set_trace_hook([&](double t, core::EventId id) { plain_trace.emplace_back(t, id); });
+  hooked.set_trace_hook([&](double t, core::EventId id) { hooked_trace.emplace_back(t, id); });
+  hooked.set_choice_hook([](double, const std::vector<core::EventId>&) { return 0u; });
+  run_tied_batch(plain, plain_order);
+  run_tied_batch(hooked, hooked_order);
+  EXPECT_EQ(plain_order, "abcz");
+  EXPECT_EQ(hooked_order, "abcz");
+  EXPECT_EQ(plain_trace, hooked_trace);  // byte-identical (time, seq) schedule
+}
+
+TEST(ChoiceHook, SurfacesTiesAscendingAndReorders) {
+  core::Engine eng;
+  std::vector<std::vector<core::EventId>> calls;
+  eng.set_choice_hook([&](double, const std::vector<core::EventId>& ids) {
+    calls.push_back(ids);
+    return ids.size() - 1;  // always run the newest tied event first
+  });
+  std::string order;
+  run_tied_batch(eng, order);
+  EXPECT_EQ(order, "cbaz");
+  // Called once per multi-way tie: {a,b,c} then {a,b}; never for singletons.
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].size(), 3u);
+  EXPECT_TRUE(std::is_sorted(calls[0].begin(), calls[0].end()));
+  EXPECT_EQ(calls[1].size(), 2u);
+}
+
+TEST(ChoiceHook, RequeuedTiesKeepSeqAndStayCancellable) {
+  core::Engine eng;
+  std::string order;
+  eng.set_choice_hook(
+      [](double, const std::vector<core::EventId>& ids) { return ids.size() - 1; });
+  core::EventHandle a, b;
+  a = eng.schedule_at(1.0, [&] { order.push_back('a'); });
+  b = eng.schedule_at(1.0, [&] {
+    order.push_back('b');
+    eng.cancel(a);  // cancel a not-chosen, requeued tie
+  });
+  eng.run();
+  EXPECT_EQ(order, "b");
+}
+
+TEST(EventTags, InheritanceAndScopes) {
+  core::Engine eng;
+  eng.enable_event_tags();
+  core::EventId child = 0;
+  core::EventId scoped = 0;
+  {
+    core::TagScope scope(eng, 7);
+    eng.schedule_at(1.0, [&] {
+      // Events scheduled during execution inherit the executing tag.
+      child = eng.schedule_at(2.0, [] {}).id;
+      {
+        core::TagScope inner(eng, 9);
+        scoped = eng.schedule_at(2.0, [] {}).id;
+      }
+    }).id;
+  }
+  EXPECT_EQ(eng.current_tag(), 0u);  // scope restored
+  eng.step();
+  EXPECT_EQ(eng.event_tag(child), 7u);
+  EXPECT_EQ(eng.event_tag(scoped), 9u);
+  eng.run();
+  EXPECT_EQ(eng.event_tag(child), 0u);  // tags retire with their event
+}
+
+TEST(EventTags, OffByDefault) {
+  core::Engine eng;
+  core::TagScope scope(eng, 5);
+  const auto h = eng.schedule_at(1.0, [] {});
+  EXPECT_EQ(eng.event_tag(h.id), 0u);  // not recorded while disabled
+}

@@ -430,3 +430,59 @@ TEST(ParallelEngine, FuzzedCrossSendsClampedSortedAndThreadInvariant) {
     EXPECT_EQ(one, four) << "seed " << seed;
   }
 }
+
+TEST(ParallelEngine, EventBudgetThrowsInRawMode) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  cfg.max_events = 50;
+  core::ParallelEngine eng(cfg);
+  // LP 1 spins on zero-delay self-rescheduling (the model bug the watchdog
+  // exists for); LP 0 stays honest.
+  std::function<void()> spin = [&] { eng.lp(1).schedule_in(0, spin); };
+  eng.lp(1).schedule_at(0, spin);
+  eng.lp(0).schedule_at(0.5, [] {});
+  EXPECT_THROW(eng.run_until(10.0), core::EventBudgetExceeded);
+}
+
+TEST(ParallelEngine, EventBudgetThrowsInHostedMode) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  cfg.hosted_engines = true;
+  cfg.max_events = 50;
+  core::ParallelEngine eng(cfg);
+  core::Engine* lp1 = eng.lp(1).engine();
+  std::function<void()> spin = [&, lp1] { lp1->schedule_in(0, spin); };
+  lp1->schedule_at(0, spin);
+  eng.lp(0).engine()->schedule_at(0.5, [] {});
+  EXPECT_THROW(eng.run_until(10.0), core::EventBudgetExceeded);
+}
+
+TEST(ParallelEngine, EventBudgetZeroMeansUnlimited) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  core::ParallelEngine eng(cfg);
+  int n = 0;
+  for (int i = 0; i < 200; ++i) eng.lp(i % 2).schedule_at(0.1 * i, [&n] { ++n; });
+  EXPECT_NO_THROW(eng.run_until(100.0));
+  EXPECT_EQ(n, 200);
+}
+
+TEST(ParallelEngine, HonestModelsUnderBudgetUnaffected) {
+  core::ParallelEngine::Config cfg;
+  cfg.num_lps = 2;
+  cfg.num_threads = 2;
+  cfg.lookahead = 1.0;
+  cfg.max_events = 1000;
+  core::ParallelEngine eng(cfg);
+  int n = 0;
+  for (int i = 0; i < 100; ++i) eng.lp(i % 2).schedule_at(0.1 * i, [&n] { ++n; });
+  const auto stats = eng.run_until(100.0);
+  EXPECT_EQ(n, 100);
+  EXPECT_EQ(stats.events, 100u);
+}

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -620,4 +622,40 @@ TEST(PacketNetwork, PerPacketCostExceedsFlowCost) {
     ev_packet = eng.stats().executed;
   }
   EXPECT_GT(ev_packet, 100 * ev_flow);
+}
+
+TEST(TransferService, RejectsInvalidRetryConfig) {
+  core::Engine eng;
+  net::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  topo.add_link(a, b, 1e6, 0);
+  net::Routing routing(topo);
+  net::FlowNetwork fn(eng, routing);
+
+  auto make = [&](double backoff, double factor, double cap) {
+    net::TransferService::Config cfg;
+    cfg.retry_backoff = backoff;
+    cfg.backoff_factor = factor;
+    cfg.backoff_cap = cap;
+    net::TransferService svc(eng, fn, cfg);
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_NO_THROW(make(1.0, 2.0, 60.0));
+  EXPECT_NO_THROW(make(1e-9, 1.0, 0.0));  // boundary values are legal
+
+  // A zero or negative backoff would re-dial a dead link in a tight loop at
+  // the same timestamp — reject at construction, not mid-simulation.
+  EXPECT_THROW(make(0.0, 2.0, 60.0), std::invalid_argument);
+  EXPECT_THROW(make(-1.0, 2.0, 60.0), std::invalid_argument);
+  EXPECT_THROW(make(nan, 2.0, 60.0), std::invalid_argument);
+
+  EXPECT_THROW(make(1.0, 0.5, 60.0), std::invalid_argument);  // shrinking backoff
+  EXPECT_THROW(make(1.0, nan, 60.0), std::invalid_argument);
+
+  EXPECT_THROW(make(1.0, 2.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(make(1.0, 2.0, inf), std::invalid_argument);
+  EXPECT_THROW(make(1.0, 2.0, nan), std::invalid_argument);
 }

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate an exploration RunReport (facade = explore).
+
+Usage: check_exploration.py [--expect-verified | --expect-violation] RUN.json ...
+
+On top of the generic RunReport shape (see check_run_report.py), checks the
+explore-specific `result` section:
+
+  * result.verified is a bool and equals the AND of per-policy `ok`;
+  * result.policies is a non-empty list; each entry carries the exploration
+    counters (non-negative ints), `complete`, `ok`, and a `violations` list;
+  * counters are mutually consistent: hash_pruned <= states_hashed,
+    executions >= 1, ok == (violations is empty);
+  * every violation is a well-formed replayable counterexample: a non-empty
+    minimized `schedule` (ints, trailing defaults trimmed so the last entry
+    is non-zero), a non-empty `trace` of [time, event-id] pairs with
+    non-decreasing finite times, and a finite violation `time` that appears
+    within the trace's span.
+
+Exit code 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL — {msg}")
+    return False
+
+
+def is_uint(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+
+def check_violation(v, where):
+    if not isinstance(v.get("invariant"), str) or not v["invariant"]:
+        raise ValueError(f"{where}: missing invariant name")
+    if not isinstance(v.get("message"), str) or not v["message"]:
+        raise ValueError(f"{where}: missing violation message")
+    t = v.get("time")
+    if not isinstance(t, (int, float)) or not math.isfinite(t) or t < 0:
+        raise ValueError(f"{where}: bad violation time {t!r}")
+    if not is_uint(v.get("execution")) or v["execution"] < 1:
+        raise ValueError(f"{where}: execution index must be >= 1")
+    sched = v.get("schedule")
+    if not isinstance(sched, list) or not sched:
+        raise ValueError(f"{where}: empty counterexample schedule")
+    if not all(is_uint(s) for s in sched):
+        raise ValueError(f"{where}: schedule entries must be event ids")
+    if sched[-1] == 0:
+        raise ValueError(f"{where}: schedule not minimized (trailing default)")
+    trace = v.get("trace")
+    if not isinstance(trace, list) or not trace:
+        raise ValueError(f"{where}: empty counterexample trace")
+    prev = -math.inf
+    for i, step in enumerate(trace):
+        if (not isinstance(step, list) or len(step) != 2
+                or not isinstance(step[0], (int, float)) or not math.isfinite(step[0])
+                or not is_uint(step[1]) or step[1] == 0):
+            raise ValueError(f"{where}: trace[{i}] is not a [time, event-id] pair")
+        if step[0] < prev:
+            raise ValueError(f"{where}: trace times decrease at [{i}]")
+        prev = step[0]
+    if not (trace[0][0] <= v["time"] <= trace[-1][0]):
+        raise ValueError(f"{where}: violation time outside the trace span")
+
+
+def check_policy(p, where):
+    if not isinstance(p.get("policy"), str) or not p["policy"]:
+        raise ValueError(f"{where}: missing policy name")
+    for key in ("executions", "choice_points", "states_hashed", "hash_pruned",
+                "sleep_pruned", "max_depth_seen"):
+        if not is_uint(p.get(key)):
+            raise ValueError(f"{where}: {key} must be a non-negative int")
+    for key in ("complete", "ok"):
+        if not isinstance(p.get(key), bool):
+            raise ValueError(f"{where}: {key} must be a bool")
+    if p["executions"] < 1:
+        raise ValueError(f"{where}: explored zero executions")
+    if p["hash_pruned"] > p["states_hashed"]:
+        raise ValueError(f"{where}: hash_pruned exceeds states_hashed")
+    violations = p.get("violations")
+    if not isinstance(violations, list):
+        raise ValueError(f"{where}: violations must be a list")
+    if p["ok"] != (len(violations) == 0):
+        raise ValueError(f"{where}: ok flag disagrees with the violations list")
+    for i, v in enumerate(violations):
+        check_violation(v, f"{where}.violations[{i}]")
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    facade = doc.get("scenario", {}).get("facade")
+    if facade != "explore":
+        raise ValueError(f"scenario.facade is {facade!r}, expected 'explore'")
+    result = doc.get("result")
+    if not isinstance(result, dict):
+        raise ValueError("missing result section")
+    verified = result.get("verified")
+    if not isinstance(verified, bool):
+        raise ValueError("result.verified must be a bool")
+    policies = result.get("policies")
+    if not isinstance(policies, list) or not policies:
+        raise ValueError("result.policies must be a non-empty list")
+    for i, p in enumerate(policies):
+        check_policy(p, f"result.policies[{i}]")
+    if verified != all(p["ok"] for p in policies):
+        raise ValueError("result.verified disagrees with per-policy ok flags")
+    return verified
+
+
+def main(argv):
+    expect = None
+    files = []
+    for arg in argv:
+        if arg == "--expect-verified":
+            expect = True
+        elif arg == "--expect-violation":
+            expect = False
+        else:
+            files.append(arg)
+    if not files:
+        print(__doc__.strip().splitlines()[2])
+        return 1
+    ok = True
+    for path in files:
+        try:
+            verified = check(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+            ok = fail(path, str(e))
+            continue
+        if expect is not None and verified != expect:
+            ok = fail(path, f"verified={verified}, expected {expect}")
+            continue
+        print(f"{path}: OK (verified={str(verified).lower()})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
