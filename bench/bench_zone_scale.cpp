@@ -1,0 +1,212 @@
+// Experiment E14 — million-host platforms from hierarchical routing zones.
+//
+// The paper's scalability axis: flat Topology + Routing stores O(N) nodes,
+// O(N * w) links and per-source Dijkstra caches that make million-host
+// platforms unbuildable (the 1M-host flat graph alone would hold ~3M nodes
+// and 12M links, and ONE warm source costs an O(N^2)-ish cache row). A
+// FatTreeZone stores O(levels) integers and computes every route from the
+// endpoint coordinates, so build cost is microseconds and memory is flat.
+//
+// Sweep: fat trees from 1k to 1M hosts. Per point we measure zone build
+// time, then "warm" = kRoutesSampled deterministic route computations whose
+// link ids and latencies are FNV-1a hashed. Self-checks:
+//   * the smallest point's sampled routes are verified byte-identical
+//     against flat Dijkstra over the materialized topology;
+//   * every point's hash is recomputed in a second pass and must match
+//     (route computation is deterministic and side-effect free);
+// The bench exits non-zero on any mismatch. Results go to BENCH_zone.json
+// for tools/check_zone_bench.py; --small caps the sweep at 100k hosts for
+// CI, --large adds nothing (1M is already the top point).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/zone.hpp"
+
+namespace net = lsds::net;
+
+namespace {
+
+constexpr std::size_t kRoutesSampled = 20000;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss is KiB on Linux
+}
+
+struct Shape {
+  const char* name;
+  std::vector<std::uint32_t> children, parents;
+};
+
+net::FatTreeSpec spec_of(const Shape& s) {
+  net::FatTreeSpec spec;
+  spec.children = s.children;
+  spec.parents = s.parents;
+  const std::size_t h = s.children.size();
+  spec.bandwidth.assign(h, 0);
+  spec.latency.assign(h, 0);
+  for (std::size_t l = 0; l < h; ++l) {
+    spec.bandwidth[l] = 1e9 * static_cast<double>(l + 1);
+    spec.latency[l] = 1e-4 * static_cast<double>(l + 1);
+  }
+  return spec;
+}
+
+// Deterministic host-pair stream (splitmix-style) — no global RNG state, so
+// the hash re-pass sees the exact same pairs.
+struct PairStream {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+// Hash kRoutesSampled routes: link ids in path order + total_latency bits.
+std::uint64_t warm_hash(net::ZoneRouting& zr, std::size_t hosts) {
+  PairStream ps{12345};
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < kRoutesSampled; ++i) {
+    const auto src = static_cast<net::NodeId>(ps.next() % hosts);
+    const auto dst = static_cast<net::NodeId>(ps.next() % hosts);
+    const net::Route& r = zr.route(src, dst);
+    h = fnv1a(h, r.links.size());
+    for (net::LinkId l : r.links) h = fnv1a(h, l);
+    h = fnv1a(h, bits(r.total_latency));
+    h = fnv1a(h, bits(zr.bottleneck_bandwidth(src, dst)));
+  }
+  return h;
+}
+
+// Byte-identity spot check against flat Dijkstra (small shapes only).
+bool flat_check(const net::FatTreeZone& zone, net::ZoneRouting& zr) {
+  const net::Topology topo = zone.to_topology();
+  net::Routing flat(topo);
+  PairStream ps{777};
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto src = static_cast<net::NodeId>(ps.next() % zone.host_count());
+    const auto dst = static_cast<net::NodeId>(ps.next() % zone.host_count());
+    const net::Route zroute = zr.route(src, dst);  // copy out of scratch
+    const net::Route& froute = flat.route(src, dst);
+    if (zroute.links != froute.links) return false;
+    if (bits(zroute.total_latency) != bits(froute.total_latency)) return false;
+  }
+  return true;
+}
+
+struct Point {
+  std::string name;
+  std::size_t hosts = 0, nodes = 0, links = 0;
+  double build_ms = 0, warm_ms = 0, rss_mb = 0;
+  std::uint64_t hash = 0;
+  bool flat_checked = false;
+  bool ok = false;
+};
+
+void emit_json(const std::vector<Point>& points, const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"benchmark\": \"zone_scale\",\n");
+  std::fprintf(f, "  \"routes_sampled\": %zu,\n  \"points\": [\n", kRoutesSampled);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"hosts\": %zu, \"nodes\": %zu, \"links\": %zu, "
+                 "\"build_ms\": %.3f, \"warm_ms\": %.3f, \"rss_mb\": %.1f, "
+                 "\"route_hash\": \"%016" PRIx64 "\", \"flat_checked\": %s, \"ok\": %s}%s\n",
+                 p.name.c_str(), p.hosts, p.nodes, p.links, p.build_ms, p.warm_ms, p.rss_mb,
+                 p.hash, p.flat_checked ? "true" : "false", p.ok ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Shape> sweep = {
+      {"xgft(2;32,32;1,4)", {32, 32}, {1, 4}},            // 1k hosts
+      {"xgft(2;100,100;1,10)", {100, 100}, {1, 10}},      // 10k
+      {"xgft(3;50,50,40;1,10,10)", {50, 50, 40}, {1, 10, 10}},   // 100k
+      {"xgft(3;100,100,100;1,10,10)", {100, 100, 100}, {1, 10, 10}},  // 1M
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--small") sweep.pop_back();  // cap at 100k for CI
+  }
+
+  std::printf("== Experiment E14: hierarchical zones at platform scale ==\n");
+  std::printf("%zu routes sampled + hashed per point\n\n", kRoutesSampled);
+  std::printf("%28s  %9s  %10s  %10s  %8s  %s\n", "shape", "hosts", "build [ms]", "warm [ms]",
+              "rss [MB]", "self-check");
+
+  std::vector<Point> points;
+  bool ok = true;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    Point p;
+    p.name = sweep[i].name;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto zone = std::make_unique<net::FatTreeZone>(spec_of(sweep[i]));
+    net::ZoneRouting zr(*zone);
+    const auto t1 = std::chrono::steady_clock::now();
+    p.hash = warm_hash(zr, zone->host_count());
+    const auto t2 = std::chrono::steady_clock::now();
+
+    p.hosts = zone->host_count();
+    p.nodes = zone->node_count();
+    p.links = zone->link_count();
+    p.build_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    p.warm_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    p.rss_mb = rss_mb();
+    // Determinism re-pass: same pair stream, same hash — always. Flat
+    // Dijkstra byte-identity: first (smallest) point only; the flat graph
+    // at 100k+ is exactly what this subsystem exists to avoid building.
+    p.ok = warm_hash(zr, zone->host_count()) == p.hash;
+    if (i == 0) {
+      p.flat_checked = true;
+      p.ok = p.ok && flat_check(*zone, zr);
+    }
+    ok = ok && p.ok;
+
+    std::printf("%28s  %9zu  %10.2f  %10.1f  %8.1f  %s\n", p.name.c_str(), p.hosts, p.build_ms,
+                p.warm_ms, p.rss_mb, p.ok ? (p.flat_checked ? "flat+hash" : "hash") : "FAILED");
+    std::fflush(stdout);
+    points.push_back(p);
+  }
+  emit_json(points, "BENCH_zone.json");
+  std::printf("\nwrote BENCH_zone.json\n");
+  if (!ok) {
+    std::printf("FAIL: zone routing self-check failed\n");
+    return 1;
+  }
+  return 0;
+}

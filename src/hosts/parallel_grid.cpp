@@ -9,15 +9,36 @@ namespace lsds::hosts {
 
 SiteId ParallelGrid::add_site(const SiteSpec& spec) {
   assert(!finalized() && "cannot add sites after finalize()");
+  assert(zone_ == nullptr && "zone-backed grids attach sites with add_site_at");
   const auto id = static_cast<SiteId>(specs_.size());
   nodes_.push_back(topo_.add_node(spec.name, net::NodeKind::kHost));
   specs_.push_back(spec);
   return id;
 }
 
+void ParallelGrid::use_zone(const net::Zone& zone) {
+  assert(!finalized() && specs_.empty() && "use_zone before adding sites");
+  zone_ = &zone;
+}
+
+SiteId ParallelGrid::add_site_at(const SiteSpec& spec, net::NodeId node) {
+  assert(!finalized() && "cannot add sites after finalize()");
+  assert((zone_ ? node < zone_->node_count() : node < topo_.node_count()));
+  const auto id = static_cast<SiteId>(specs_.size());
+  nodes_.push_back(node);
+  specs_.push_back(spec);
+  return id;
+}
+
 void ParallelGrid::finalize() {
   assert(!finalized());
-  routing_ = std::make_unique<net::Routing>(topo_);
+  if (zone_) {
+    zone_routing_ = std::make_unique<net::ZoneRouting>(*zone_);
+    provider_ = zone_routing_.get();
+  } else {
+    routing_ = std::make_unique<net::Routing>(topo_);
+    provider_ = routing_.get();
+  }
 
   unsigned lps = 1;
   unsigned threads = 1;
@@ -26,7 +47,11 @@ void ParallelGrid::finalize() {
   if (spec_.parallel) {
     threads = std::max(1u, spec_.threads);
     lps = spec_.lps > 0 ? spec_.lps : threads;
-    part = net::partition_sites(*routing_, nodes_, lps, spec_.partition);
+    // A ZoneTree platform carries its partition structure and lookahead in
+    // closed form — no all-pairs latency matrix.
+    const auto* tree = dynamic_cast<const net::ZoneTree*>(zone_);
+    part = tree ? net::partition_zone_tree(*tree, *provider_, nodes_, lps)
+                : net::partition_sites(*provider_, nodes_, lps, spec_.partition);
     lps = part.parts;
     lookahead_ = part.lookahead;
     if (spec_.lookahead_override > 0) {
@@ -69,19 +94,23 @@ void ParallelGrid::finalize() {
   chan_busy_.assign(specs_.size(), {});
   chan_bytes_.assign(specs_.size(), {});
 
-  // Per-LP flow networks for partition-local flow-level transfers. Warm the
-  // routing cache for every site pair first: Routing::route caches lazily
-  // and is not thread-safe, so all lookups LP threads might trigger must be
-  // materialized here, single-threaded.
-  for (std::size_t a = 0; a < nodes_.size(); ++a) {
-    for (std::size_t b = 0; b < nodes_.size(); ++b) {
-      if (a != b) routing_->route(nodes_[a], nodes_[b]);
+  // Per-LP flow networks for partition-local flow-level transfers. When
+  // flat, warm the routing cache for every site pair first: Routing::route
+  // caches lazily and is not thread-safe, so all lookups LP threads might
+  // trigger must be materialized here, single-threaded. Zone providers
+  // compute routes into per-thread scratch and need no warming — which is
+  // also what keeps million-host platforms affordable.
+  if (!zone_) {
+    for (std::size_t a = 0; a < nodes_.size(); ++a) {
+      for (std::size_t b = 0; b < nodes_.size(); ++b) {
+        if (a != b) routing_->route(nodes_[a], nodes_[b]);
+      }
     }
   }
   flow_nets_.reserve(lps);
   for (unsigned lp = 0; lp < lps; ++lp) {
     flow_nets_.push_back(
-        std::make_unique<net::FlowNetwork>(*pe_->lp(lp).engine(), *routing_, spec_.network));
+        std::make_unique<net::FlowNetwork>(*pe_->lp(lp).engine(), *provider_, spec_.network));
   }
 }
 
@@ -96,11 +125,11 @@ void ParallelGrid::post(SiteId from, SiteId to, core::SimTime t, core::EventFn f
 }
 
 double ParallelGrid::path_latency(SiteId from, SiteId to) {
-  return routing_->path_latency(nodes_[from], nodes_[to]);
+  return provider_->path_latency(nodes_[from], nodes_[to]);
 }
 
 double ParallelGrid::transfer_duration(SiteId from, SiteId to, double bytes) {
-  const double bw = routing_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
+  const double bw = provider_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
   assert(bw > 0 && "transfer over an unreachable or zero-bandwidth path");
   return bytes / bw + path_latency(from, to);
 }
@@ -108,7 +137,7 @@ double ParallelGrid::transfer_duration(SiteId from, SiteId to, double bytes) {
 core::SimTime ParallelGrid::transfer(SiteId from, SiteId to, double bytes,
                                      core::EventFn on_arrival) {
   assert(finalized());
-  const double bw = routing_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
+  const double bw = provider_->bottleneck_bandwidth(nodes_[from], nodes_[to]);
   assert(bw > 0 && "transfer over an unreachable or zero-bandwidth path");
   const core::SimTime now = pe_->lp(owner_[from]).now();
   double& busy = chan_busy_[from].try_emplace(to, 0).first->second;

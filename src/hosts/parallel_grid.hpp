@@ -41,6 +41,7 @@
 #include "net/partition.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "net/zone.hpp"
 #include "stats/summary.hpp"
 
 namespace lsds::hosts {
@@ -92,6 +93,15 @@ class ParallelGrid {
   /// instantiated (bound to their partition's engine) by finalize().
   SiteId add_site(const SiteSpec& spec);
 
+  /// Zone-backed platform: routes come from `zone`'s algorithmic provider
+  /// instead of a flat graph. Call before any add_site_at; sites then
+  /// attach to zone node ids (typically zone.host(i)) and the local
+  /// topology stays unused. The zone must outlive the grid.
+  void use_zone(const net::Zone& zone);
+  /// Record a site attached to an existing platform node (zone mode, or a
+  /// hand-built topology node).
+  SiteId add_site_at(const SiteSpec& spec, net::NodeId node);
+
   /// Partition sites, derive the lookahead, build per-LP engines and
   /// instantiate every Site on its owner LP. Topology must not change
   /// afterwards.
@@ -105,12 +115,14 @@ class ParallelGrid {
   unsigned lp_of(SiteId id) const { return owner_[id]; }
   unsigned num_lps() const { return pe_->num_lps(); }
   core::Engine& engine_of(SiteId id) { return *pe_->lp(owner_[id]).engine(); }
-  net::Routing& routing() { return *routing_; }
+  net::RouteProvider& routing() { return *provider_; }
   /// Flow network of the LP owning `id` — flow-level (max-min shared)
   /// transfers between sites of the SAME partition, driven from events on
   /// that LP. Sharing is partition-local by design; cross-partition data
   /// movement goes through transfer()'s analytic channels. Routes are
-  /// pre-warmed at finalize() (Routing's lazy cache is not thread-safe).
+  /// pre-warmed at finalize() when flat (Routing's lazy cache is not
+  /// thread-safe); zone providers answer from per-thread scratch and need
+  /// no warming.
   net::FlowNetwork& flows_of(SiteId id) { return *flow_nets_[owner_[id]]; }
   /// Effective window length; +inf when serial (single LP).
   double lookahead() const { return lookahead_; }
@@ -166,6 +178,9 @@ class ParallelGrid {
   std::vector<unsigned> owner_;           // per site: LP index
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<net::Routing> routing_;
+  const net::Zone* zone_ = nullptr;
+  std::unique_ptr<net::ZoneRouting> zone_routing_;
+  net::RouteProvider* provider_ = nullptr;
   std::unique_ptr<core::ParallelEngine> pe_;
   std::vector<std::unique_ptr<net::FlowNetwork>> flow_nets_;  // one per LP
   double lookahead_ = 0;

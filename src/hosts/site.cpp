@@ -34,7 +34,14 @@ Site& Grid::add_site_at(const SiteSpec& spec, net::NodeId node) {
 void Grid::finalize(net::FlowNetwork::Config net_cfg) {
   assert(!finalized());
   routing_ = std::make_unique<net::Routing>(topo_);
-  net_ = std::make_unique<net::FlowNetwork>(engine_, *routing_, net_cfg);
+  provider_ = routing_.get();
+  net_ = std::make_unique<net::FlowNetwork>(engine_, *provider_, net_cfg);
+}
+
+void Grid::finalize_with(net::RouteProvider& provider, net::FlowNetwork::Config net_cfg) {
+  assert(!finalized());
+  provider_ = &provider;
+  net_ = std::make_unique<net::FlowNetwork>(engine_, provider, net_cfg);
 }
 
 SiteId Grid::find_site(const std::string& name) const {

@@ -84,10 +84,19 @@ class Grid {
   /// Attach a site to an existing node.
   Site& add_site_at(const SiteSpec& spec, net::NodeId node);
 
-  /// Build routing + flow network. Topology must not change afterwards.
+  /// Build routing + flow network over the flat topology. The topology
+  /// must not change afterwards.
   void finalize(net::FlowNetwork::Config net_cfg = {});
-  bool finalized() const { return routing_ != nullptr; }
+  /// Zone/external-provider variant: routes come from `provider` instead of
+  /// a flat graph (sites attach to provider node ids via add_site_at; the
+  /// local topology stays unused). `provider` must outlive the grid.
+  void finalize_with(net::RouteProvider& provider, net::FlowNetwork::Config net_cfg = {});
+  bool finalized() const { return provider_ != nullptr; }
 
+  /// The route provider every consumer should program against (works for
+  /// both flat and zone-backed grids).
+  net::RouteProvider& route_provider() { return *provider_; }
+  /// The flat Routing; only valid after finalize() (not finalize_with).
   net::Routing& routing() { return *routing_; }
   net::FlowNetwork& net() { return *net_; }
 
@@ -102,6 +111,7 @@ class Grid {
   net::Topology topo_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<net::Routing> routing_;
+  net::RouteProvider* provider_ = nullptr;
   std::unique_ptr<net::FlowNetwork> net_;
 };
 

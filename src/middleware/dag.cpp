@@ -140,12 +140,11 @@ namespace {
 double mean_pair_bandwidth(const std::vector<DagScheduler::Resource>& res,
                            net::FlowNetwork* net) {
   if (!net || res.size() < 2) return std::numeric_limits<double>::infinity();
-  // Approximation: the bandwidth of the narrowest link in the topology is a
+  // Approximation: the bandwidth of the narrowest link in the platform is a
   // reasonable a-priori comm estimate without solving flows.
-  const auto& topo = net->topology();
   double narrowest = std::numeric_limits<double>::infinity();
-  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
-    narrowest = std::min(narrowest, topo.link(l).bandwidth);
+  for (net::LinkId l = 0; l < net->link_count(); ++l) {
+    narrowest = std::min(narrowest, net->link_bandwidth(l));
   }
   return narrowest;
 }

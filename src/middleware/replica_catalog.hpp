@@ -20,7 +20,7 @@ namespace lsds::middleware {
 
 class ReplicaCatalog {
  public:
-  explicit ReplicaCatalog(net::Routing& routing) : routing_(routing) {}
+  explicit ReplicaCatalog(net::RouteProvider& routing) : routing_(routing) {}
 
   /// Register/unregister a replica at a site (metadata only; callers manage
   /// the actual StorageDevice contents).
@@ -45,7 +45,7 @@ class ReplicaCatalog {
     net::NodeId node;
     bool operator<(const Location& o) const { return site < o.site; }
   };
-  net::Routing& routing_;
+  net::RouteProvider& routing_;
   std::map<std::string, std::set<Location>> entries_;
 };
 

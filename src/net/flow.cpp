@@ -19,17 +19,17 @@ constexpr double kByteEpsilon = 1e-6;
 constexpr double kWeightEpsilon = 1e-9;
 }  // namespace
 
-FlowNetwork::FlowNetwork(core::Engine& engine, Routing& routing, Config cfg)
+FlowNetwork::FlowNetwork(core::Engine& engine, RouteProvider& routing, Config cfg)
     : engine_(engine),
       routing_(routing),
       cfg_(cfg),
-      link_rate_(routing.topology().link_count(), 0.0),
-      link_bytes_(routing.topology().link_count(), 0.0),
-      link_up_(routing.topology().link_count(), 1),
-      dsu_parent_(routing.topology().link_count()),
-      solve_cap_(routing.topology().link_count(), 0.0),
-      solve_wsum_(routing.topology().link_count(), 0.0),
-      link_mark_(routing.topology().link_count(), 0) {
+      link_rate_(routing.link_count(), 0.0),
+      link_bytes_(routing.link_count(), 0.0),
+      link_up_(routing.link_count(), 1),
+      dsu_parent_(routing.link_count()),
+      solve_cap_(routing.link_count(), 0.0),
+      solve_wsum_(routing.link_count(), 0.0),
+      link_mark_(routing.link_count(), 0) {
   std::iota(dsu_parent_.begin(), dsu_parent_.end(), LinkId{0});
   scratch_members_.reserve(64);
   scratch_old_rate_.reserve(64);
@@ -341,9 +341,8 @@ void FlowNetwork::collect_dirty() {
 void FlowNetwork::solve_members() {
   ++solves_;
   flows_rerated_ += scratch_members_.size();
-  const Topology& topo = routing_.topology();
   for (LinkId l : scratch_links_) {
-    solve_cap_[l] = link_up_[l] ? topo.link(l).bandwidth : 0.0;
+    solve_cap_[l] = link_up_[l] ? routing_.link_bandwidth(l) : 0.0;
     solve_wsum_[l] = 0.0;
     link_rate_[l] = 0.0;
   }
@@ -409,7 +408,7 @@ void FlowNetwork::resolve_and_reschedule() {
   dirty_links_.clear();
 
   for (auto& [l, series] : tracked_) {
-    series.record(engine_.now(), link_rate_[l] / routing_.topology().link(l).bandwidth);
+    series.record(engine_.now(), link_rate_[l] / routing_.link_bandwidth(l));
   }
 
   // Reschedule only the flows whose fair share moved: with a piecewise-

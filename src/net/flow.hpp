@@ -66,8 +66,9 @@ class FlowNetwork {
     bool incremental = true;
   };
 
-  FlowNetwork(core::Engine& engine, Routing& routing, Config cfg);
-  FlowNetwork(core::Engine& engine, Routing& routing) : FlowNetwork(engine, routing, Config{}) {}
+  FlowNetwork(core::Engine& engine, RouteProvider& routing, Config cfg);
+  FlowNetwork(core::Engine& engine, RouteProvider& routing)
+      : FlowNetwork(engine, routing, Config{}) {}
 
   const Config& config() const { return cfg_; }
 
@@ -111,7 +112,11 @@ class FlowNetwork {
 
   // --- inspection --------------------------------------------------------
 
-  const Topology& topology() const { return routing_.topology(); }
+  /// The route provider (flat Routing or zone-backed ZoneRouting) this
+  /// network models traffic over. Link ids below index its link space.
+  const RouteProvider& routing() const { return routing_; }
+  std::size_t link_count() const { return routing_.link_count(); }
+  double link_bandwidth(LinkId id) const { return routing_.link_bandwidth(id); }
   std::size_t active_flows() const { return flows_.size(); }
   /// Flows past the latency phase, currently sharing bandwidth.
   std::size_t sharing_flows() const { return sharing_count_; }
@@ -120,7 +125,7 @@ class FlowNetwork {
   /// Sum of flow rates currently allocated on a link.
   double link_load(LinkId id) const { return link_rate_[id]; }
   double link_utilization(LinkId id) const {
-    return link_rate_[id] / routing_.topology().link(id).bandwidth;
+    return link_rate_[id] / routing_.link_bandwidth(id);
   }
 
   // --- statistics ---------------------------------------------------------
@@ -203,7 +208,7 @@ class FlowNetwork {
   void maybe_rebuild_components();
 
   core::Engine& engine_;
-  Routing& routing_;
+  RouteProvider& routing_;
   Config cfg_;
   core::FailureSemantics semantics_ = core::FailureSemantics::kFailResume;
   /// Ordered so every per-flow scan (progression, member collection,

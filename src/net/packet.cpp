@@ -7,11 +7,11 @@
 
 namespace lsds::net {
 
-PacketNetwork::PacketNetwork(core::Engine& engine, Routing& routing)
+PacketNetwork::PacketNetwork(core::Engine& engine, RouteProvider& routing)
     : PacketNetwork(engine, routing, Config{}) {}
 
-PacketNetwork::PacketNetwork(core::Engine& engine, Routing& routing, Config cfg)
-    : engine_(engine), routing_(routing), cfg_(cfg), links_(routing.topology().link_count()) {}
+PacketNetwork::PacketNetwork(core::Engine& engine, RouteProvider& routing, Config cfg)
+    : engine_(engine), routing_(routing), cfg_(cfg), links_(routing.link_count()) {}
 
 TransferId PacketNetwork::start_transfer(NodeId src, NodeId dst, double bytes,
                                          CompletionFn on_complete) {
@@ -85,9 +85,8 @@ void PacketNetwork::forward(TransferId tid, std::uint64_t seq, std::size_t hop,
   }
   const LinkId lid = tr.links[hop];
   LinkState& link = links_[lid];
-  const LinkInfo& info = routing_.topology().link(lid);
   const double now = engine_.now();
-  const double tx = pkt_bytes / info.bandwidth;
+  const double tx = pkt_bytes / routing_.link_bandwidth(lid);
 
   // Drop-tail: backlog expressed in packets of this size.
   const double backlog = std::max(0.0, link.busy_until - now);
@@ -100,7 +99,7 @@ void PacketNetwork::forward(TransferId tid, std::uint64_t seq, std::size_t hop,
 
   const double start = std::max(now, link.busy_until);
   link.busy_until = start + tx;
-  const double arrival = start + tx + info.latency;
+  const double arrival = start + tx + routing_.link_latency(lid);
   engine_.schedule_at(arrival, [this, tid, seq, hop, pkt_bytes] {
     forward(tid, seq, hop + 1, pkt_bytes);
   });

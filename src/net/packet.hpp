@@ -44,8 +44,8 @@ class PacketNetwork {
 
   using CompletionFn = std::function<void(TransferId)>;
 
-  PacketNetwork(core::Engine& engine, Routing& routing);  // default Config
-  PacketNetwork(core::Engine& engine, Routing& routing, Config cfg);
+  PacketNetwork(core::Engine& engine, RouteProvider& routing);  // default Config
+  PacketNetwork(core::Engine& engine, RouteProvider& routing, Config cfg);
 
   /// Transfer `bytes` from src to dst; `on_complete` fires when the last
   /// packet is acknowledged. Throws std::invalid_argument when unreachable.
@@ -94,7 +94,7 @@ class PacketNetwork {
   void on_drop(TransferId tid, std::uint64_t seq);
 
   core::Engine& engine_;
-  Routing& routing_;
+  RouteProvider& routing_;
   Config cfg_;
   std::vector<LinkState> links_;
   std::unordered_map<TransferId, Transfer> transfers_;

@@ -45,12 +45,24 @@ struct Partition {
 /// Partition `sites` (topology nodes hosting model state) into `parts`
 /// blocks. `routing` supplies path latencies; it is also used to derive the
 /// resulting lookahead. parts is clamped to [1, sites.size()].
-Partition partition_sites(Routing& routing, const std::vector<NodeId>& sites, unsigned parts,
+Partition partition_sites(RouteProvider& routing, const std::vector<NodeId>& sites, unsigned parts,
                           PartitionScheme scheme);
 
 /// The lookahead of an externally supplied assignment (e.g. a hand-written
 /// placement): min cross-partition path latency, +inf when nothing is cut.
-double derive_lookahead(Routing& routing, const std::vector<NodeId>& sites,
+double derive_lookahead(RouteProvider& routing, const std::vector<NodeId>& sites,
                         const std::vector<unsigned>& owner);
+
+class ZoneTree;
+
+/// Zone-structure partitioner for a ZoneTree platform: children map to
+/// partitions whole (a child zone is a latency cluster by construction, so
+/// the cut always runs along backbone links), and the lookahead comes from
+/// the star shape in O(sites) route evaluations instead of an O(sites^2)
+/// latency matrix — every cross-child path goes through the root, so the
+/// min cross-partition latency is the smallest pair sum of per-site
+/// root latencies over two different partitions.
+Partition partition_zone_tree(const ZoneTree& tree, RouteProvider& routing,
+                              const std::vector<NodeId>& sites, unsigned parts);
 
 }  // namespace lsds::net

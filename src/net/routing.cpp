@@ -9,6 +9,11 @@ namespace lsds::net {
 
 const Route& Routing::route(NodeId src, NodeId dst) {
   assert(src < topo_.node_count() && dst < topo_.node_count());
+  assert(topo_.node_count() == cache_.size() &&
+         "Topology gained nodes after Routing was constructed");
+  if (cached_epoch_ == kNoEpoch) cached_epoch_ = topo_.epoch();
+  assert(topo_.epoch() == cached_epoch_ &&
+         "Topology mutated after Routing cached routes — cached paths dangle");
   if (cache_[src].empty()) run_dijkstra(src);
   return cache_[src][dst];
 }

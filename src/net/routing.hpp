@@ -4,8 +4,16 @@
 // latency by default, hop count as an option) and cached per source. All
 // models (flow- and packet-level) share one Routing so both granularities
 // simulate identical paths.
+//
+// RouteProvider is the abstraction every network consumer programs against:
+// the flat, graph-backed Routing below and the algorithmic ZoneRouting
+// (net/zone.hpp) both implement it. A provider answers route queries and
+// exposes the per-link static data (count, bandwidth, latency) the flow- and
+// packet-level models need — so a consumer never has to hold a Topology,
+// which zone-backed platforms deliberately do not materialize.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -20,21 +28,50 @@ struct Route {
   bool valid = false;
 };
 
-class Routing {
+/// Common interface over flat (Routing) and zone-based (ZoneRouting) route
+/// computation. Link ids are dense [0, link_count()) in every
+/// implementation, so per-link arrays (FlowNetwork's rates, PacketNetwork's
+/// queues) index directly.
+class RouteProvider {
+ public:
+  virtual ~RouteProvider() = default;
+
+  /// Route from src to dst. Returns an invalid Route when unreachable.
+  /// The reference may be invalidated by the next route() call on the same
+  /// provider (ZoneRouting answers from per-thread scratch); callers copy
+  /// what they keep.
+  virtual const Route& route(NodeId src, NodeId dst) = 0;
+
+  /// Total propagation latency of the route; +inf when unreachable.
+  virtual double path_latency(NodeId src, NodeId dst) = 0;
+
+  /// Minimum bandwidth over the route's links — the store-and-forward
+  /// serialization rate of the path; 0 when unreachable or src == dst.
+  virtual double bottleneck_bandwidth(NodeId src, NodeId dst) = 0;
+
+  virtual std::size_t node_count() const = 0;
+  virtual std::size_t link_count() const = 0;
+  virtual double link_bandwidth(LinkId id) const = 0;
+  virtual double link_latency(LinkId id) const = 0;
+};
+
+class Routing : public RouteProvider {
  public:
   explicit Routing(const Topology& topo, RouteMetric metric = RouteMetric::kLatency)
       : topo_(topo), metric_(metric), cache_(topo.node_count()) {}
 
   /// Route from src to dst. Returns an invalid Route when unreachable.
-  /// Cached; the topology must not change after the first query.
-  const Route& route(NodeId src, NodeId dst);
+  /// Cached; the topology must not change after the first query (asserted
+  /// via Topology::epoch in Debug builds).
+  const Route& route(NodeId src, NodeId dst) override;
 
-  /// Total propagation latency of the route; +inf when unreachable.
-  double path_latency(NodeId src, NodeId dst);
+  double path_latency(NodeId src, NodeId dst) override;
+  double bottleneck_bandwidth(NodeId src, NodeId dst) override;
 
-  /// Minimum bandwidth over the route's links — the store-and-forward
-  /// serialization rate of the path; 0 when unreachable or src == dst.
-  double bottleneck_bandwidth(NodeId src, NodeId dst);
+  std::size_t node_count() const override { return topo_.node_count(); }
+  std::size_t link_count() const override { return topo_.link_count(); }
+  double link_bandwidth(LinkId id) const override { return topo_.link(id).bandwidth; }
+  double link_latency(LinkId id) const override { return topo_.link(id).latency; }
 
   const Topology& topology() const { return topo_; }
 
@@ -45,6 +82,11 @@ class Routing {
   RouteMetric metric_;
   // cache_[src] is empty until Dijkstra ran for src, then has node_count entries.
   std::vector<std::vector<Route>> cache_;
+  // Topology::epoch at the first cached query; kNoEpoch until then. Every
+  // later query asserts the topology has not mutated since — the cached
+  // Routes hold link ids into the old graph and would silently dangle.
+  static constexpr std::uint64_t kNoEpoch = static_cast<std::uint64_t>(-1);
+  std::uint64_t cached_epoch_ = kNoEpoch;
 };
 
 }  // namespace lsds::net

@@ -14,6 +14,7 @@ namespace lsds::net {
 NodeId Topology::add_node(std::string name, NodeKind kind) {
   nodes_.push_back({std::move(name), kind});
   adjacency_.emplace_back();
+  ++epoch_;
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -26,6 +27,7 @@ LinkId Topology::add_link(NodeId a, NodeId b, double bandwidth, double latency,
   const auto id = static_cast<LinkId>(links_.size() - 1);
   adjacency_[a].push_back(id);
   adjacency_[b].push_back(id);
+  ++epoch_;
   return id;
 }
 

@@ -47,6 +47,11 @@ class Topology {
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
+  /// Mutation counter: bumped by every add_node/add_link. Consumers that
+  /// cache derived data (net::Routing's per-source path caches) capture the
+  /// epoch at first query and assert it never moves afterwards — mutating a
+  /// topology under a live Routing would silently dangle cached routes.
+  std::uint64_t epoch() const { return epoch_; }
   const NodeInfo& node(NodeId id) const { return nodes_[id]; }
   const LinkInfo& link(LinkId id) const { return links_[id]; }
 
@@ -101,6 +106,7 @@ class Topology {
   std::vector<NodeInfo> nodes_;
   std::vector<LinkInfo> links_;
   std::vector<std::vector<LinkId>> adjacency_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace lsds::net

@@ -7,7 +7,7 @@
 
 namespace lsds::p2p {
 
-ChordNetwork::ChordNetwork(core::Engine& engine, net::Routing& routing, std::uint32_t m)
+ChordNetwork::ChordNetwork(core::Engine& engine, net::RouteProvider& routing, std::uint32_t m)
     : engine_(engine), routing_(routing), m_(m) {
   assert(m_ >= 1 && m_ <= 63);
   mask_ = (ChordId{1} << m_) - 1;

@@ -33,7 +33,7 @@ using PeerIndex = std::size_t;
 class ChordNetwork {
  public:
   /// `m` is the identifier-space width in bits (ids live in [0, 2^m)).
-  ChordNetwork(core::Engine& engine, net::Routing& routing, std::uint32_t m = 32);
+  ChordNetwork(core::Engine& engine, net::RouteProvider& routing, std::uint32_t m = 32);
 
   /// Add a peer attached to a topology node. Returns the peer's index.
   /// Call build() after the initial population (or after churn).
@@ -115,7 +115,7 @@ class ChordNetwork {
   double link_latency(PeerIndex a, PeerIndex b);
 
   core::Engine& engine_;
-  net::Routing& routing_;
+  net::RouteProvider& routing_;
   std::uint32_t m_;
   ChordId mask_;
   std::vector<Peer> peers_;

@@ -5,7 +5,7 @@
 
 namespace lsds::p2p {
 
-GnutellaNetwork::GnutellaNetwork(core::Engine& engine, net::Routing& routing)
+GnutellaNetwork::GnutellaNetwork(core::Engine& engine, net::RouteProvider& routing)
     : engine_(engine), routing_(routing) {}
 
 GnutellaNetwork::PeerIndex GnutellaNetwork::add_peer(net::NodeId node) {

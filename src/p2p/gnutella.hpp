@@ -23,7 +23,7 @@ class GnutellaNetwork {
  public:
   using PeerIndex = std::size_t;
 
-  GnutellaNetwork(core::Engine& engine, net::Routing& routing);
+  GnutellaNetwork(core::Engine& engine, net::RouteProvider& routing);
 
   PeerIndex add_peer(net::NodeId node);
   /// Wire each peer to `degree` distinct random neighbors (symmetric).
@@ -71,7 +71,7 @@ class GnutellaNetwork {
   double link_latency(PeerIndex a, PeerIndex b);
 
   core::Engine& engine_;
-  net::Routing& routing_;
+  net::RouteProvider& routing_;
   std::vector<Peer> peers_;
   std::map<std::uint64_t, Query> queries_;
   std::uint64_t next_query_ = 1;

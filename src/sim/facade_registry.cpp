@@ -45,6 +45,7 @@ void register_builtin_facades() {
     register_simg_facade(reg);
     register_chaos_facade(reg);
     register_explore_facade(reg);
+    register_platform_facade(reg);
     return true;
   }();
   (void)once;

@@ -18,6 +18,7 @@
 #include "net/flow.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
+#include "net/zone.hpp"
 
 namespace core = lsds::core;
 namespace net = lsds::net;
@@ -83,10 +84,9 @@ std::vector<Op> make_script(const net::Topology& topo, std::uint64_t seed, std::
   return ops;
 }
 
-Trace run_script(const net::Topology& topo, const std::vector<Op>& ops, core::QueueKind kind,
-                 bool incremental, core::FailureSemantics sem) {
+Trace run_script_on(net::RouteProvider& routing, const std::vector<Op>& ops, core::QueueKind kind,
+                    bool incremental, core::FailureSemantics sem) {
   core::Engine eng(core::Engine::Config{kind, 7, 0, 0});
-  net::Routing routing(topo);
   net::FlowNetwork fnet(eng, routing, net::FlowNetwork::Config{incremental});
   fnet.set_failure_semantics(sem);
 
@@ -119,6 +119,12 @@ Trace run_script(const net::Topology& topo, const std::vector<Op>& ops, core::Qu
   eng.run();
   trace.emplace_back('B', 0, bits(fnet.total_bytes_delivered()));
   return trace;
+}
+
+Trace run_script(const net::Topology& topo, const std::vector<Op>& ops, core::QueueKind kind,
+                 bool incremental, core::FailureSemantics sem) {
+  net::Routing routing(topo);
+  return run_script_on(routing, ops, kind, incremental, sem);
 }
 
 }  // namespace
@@ -272,6 +278,31 @@ TEST(FlowDeterminism, EqualFairShareLinksTieBreakByLinkId) {
   EXPECT_EQ(r1[1], bits(5e7));
   EXPECT_EQ(r1[2], bits(5e7));
   EXPECT_EQ(r1, r2);
+}
+
+// A FlowNetwork over a zone provider must behave byte-identically to one
+// over the materialized flat topology: the whole churn script — starts,
+// cancels, link failures, rate checkpoints — replayed on both, traces
+// compared bit for bit. Locks the flow layer's independence from where
+// routes come from.
+TEST(FlowZoneDifferential, ClusterZoneTraceMatchesFlat) {
+  const net::ClusterZone zone(net::ClusterSpec{24, 1e8, 0.002, 1e9, 0.01});
+  const net::Topology topo = zone.to_topology();
+  for (std::uint64_t seed : {11u, 12u}) {
+    const auto ops = make_script(topo, seed, 70);
+    const auto sem = seed % 2 == 0 ? core::FailureSemantics::kFailStop
+                                   : core::FailureSemantics::kFailResume;
+    for (bool incremental : {false, true}) {
+      net::Routing flat(topo);
+      net::ZoneRouting zoned(zone);
+      const Trace reference =
+          run_script_on(flat, ops, core::QueueKind::kBinaryHeap, incremental, sem);
+      const Trace zone_trace =
+          run_script_on(zoned, ops, core::QueueKind::kBinaryHeap, incremental, sem);
+      ASSERT_EQ(reference, zone_trace) << "seed " << seed << " incremental " << incremental;
+      ASSERT_FALSE(reference.empty());
+    }
+  }
 }
 
 // The over-merged-component rebuild path: heavy churn on one island forces

@@ -181,6 +181,38 @@ TEST(Routing, UnreachableIsInvalid) {
   EXPECT_FALSE(r.route(0, 1).valid);
 }
 
+TEST(Topology, EpochAdvancesOnMutation) {
+  net::Topology t;
+  const auto e0 = t.epoch();
+  t.add_node("a");
+  EXPECT_GT(t.epoch(), e0);
+  t.add_node("b");
+  const auto e1 = t.epoch();
+  t.add_link(0, 1, 1e8, 0.001);
+  EXPECT_GT(t.epoch(), e1);
+}
+
+// Regression: Routing::route() used to return references into a cache built
+// from a topology that could keep growing — mutating the topology after the
+// first query silently dangled every previously returned Route. The epoch
+// check turns that into an immediate assert.
+TEST(RoutingDeathTest, TopologyMutationAfterQueryAsserts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "epoch check is assert-based (debug only)";
+#else
+  net::Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_node("c");
+  t.add_link(0, 1, 1e8, 0.001);
+  t.add_link(1, 2, 1e8, 0.001);
+  net::Routing r(t);
+  ASSERT_TRUE(r.route(0, 1).valid);  // caches + captures the epoch
+  t.add_link(0, 2, 1e8, 0.005);     // mutation invalidates cached paths
+  EXPECT_DEATH(r.route(0, 2), "Topology mutated after Routing cached routes");
+#endif
+}
+
 // --- flow-level model --------------------------------------------------
 
 namespace {

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_zone.json emitted by bench_zone_scale.
+
+Usage: check_zone_bench.py BENCH_zone.json
+
+Checks:
+  * the file parses as JSON with benchmark == "zone_scale" and a
+    non-empty points list;
+  * every point passed its self-check (determinism re-hash, plus flat
+    Dijkstra byte-identity on at least one point);
+  * host counts are strictly ascending and route hashes are non-zero
+    and pairwise distinct (a constant hash would mean routes were not
+    actually computed);
+  * build + warm stays bounded on EVERY point — the acceptance gate is
+    < 30 s and < 2048 MB RSS for the largest platform, and zone build
+    cost must not grow with host count the way a flat graph would
+    (every build_ms < 1000 regardless of size).
+
+Exit code 0 on success, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+MAX_TOTAL_MS = 30_000.0
+MAX_RSS_MB = 2048.0
+MAX_BUILD_MS = 1000.0
+
+
+def fail(msg):
+    print(f"check_zone_bench: FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"cannot read {argv[1]}: {e}")
+
+    if doc.get("benchmark") != "zone_scale":
+        return fail(f"unexpected benchmark field: {doc.get('benchmark')!r}")
+    points = doc.get("points")
+    if not points:
+        return fail("no points in document")
+
+    prev_hosts = 0
+    hashes = set()
+    flat_checked_any = False
+    for p in points:
+        shape = p.get("shape", "?")
+        hosts = p.get("hosts")
+        if not isinstance(hosts, int) or hosts <= prev_hosts:
+            return fail(f"{shape}: hosts not strictly ascending ({prev_hosts} -> {hosts!r})")
+        prev_hosts = hosts
+
+        for key in ("build_ms", "warm_ms", "rss_mb"):
+            v = p.get(key)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                return fail(f"{shape}: bad {key}: {v!r}")
+
+        if not p.get("ok", False):
+            return fail(f"{shape}: self-check failed")
+        flat_checked_any = flat_checked_any or p.get("flat_checked", False)
+
+        h = p.get("route_hash", "0")
+        if int(h, 16) == 0:
+            return fail(f"{shape}: zero route hash — routes were not computed")
+        if h in hashes:
+            return fail(f"{shape}: duplicate route hash {h} across different shapes")
+        hashes.add(h)
+
+        if p["build_ms"] > MAX_BUILD_MS:
+            return fail(f"{shape}: build_ms {p['build_ms']:.1f} > {MAX_BUILD_MS:.0f} "
+                        "(zone build must not scale with host count)")
+
+    if not flat_checked_any:
+        return fail("no point was verified against flat Dijkstra")
+
+    largest = points[-1]
+    total_ms = largest["build_ms"] + largest["warm_ms"]
+    if total_ms > MAX_TOTAL_MS:
+        return fail(f"{largest['shape']}: build+warm {total_ms:.0f} ms > {MAX_TOTAL_MS:.0f} ms")
+    if largest["rss_mb"] > MAX_RSS_MB:
+        return fail(f"{largest['shape']}: rss {largest['rss_mb']:.0f} MB > {MAX_RSS_MB:.0f} MB")
+
+    print(f"check_zone_bench: OK ({len(points)} points, up to {largest['hosts']} hosts, "
+          f"largest build+warm {total_ms:.1f} ms, rss {largest['rss_mb']:.1f} MB)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
