@@ -1,0 +1,231 @@
+// Experiment E15 — storage as a shared resource: tape -> disk -> WAN staging.
+//
+// The sweep drives an LHC-style staging pipeline: N streams arrive at a
+// fixed cadence at a source site; each mounts + reads its file off tape,
+// then ships it over a WAN link to one of four destination sites. Three
+// arms per point:
+//   * fifo                — the busy-until head model: tape accesses
+//     serialize, network transfers see links only;
+//   * maxmin-full         — heads are solver capacity resources (mounts
+//     overlap, heads max-min share; each WAN transfer is jointly
+//     constrained by source disk read + link + destination disk write),
+//     solved by the full reference solver;
+//   * maxmin-incremental  — same model on the dirty-component incremental
+//     solver.
+//
+// Self-checks (the bench exits non-zero on any failure):
+//   * every arm re-runs and must reproduce its FNV-1a state hash bit for
+//     bit (completion times + delivered bytes are deterministic);
+//   * per stream count, maxmin-full and maxmin-incremental hashes must be
+//     EQUAL — the incremental solver is byte-identical under disk+link
+//     joint constraints;
+//   * per arm, makespan must grow with the stream count (staging contention
+//     scales, it does not saturate away).
+// Results go to BENCH_storage.json for tools/check_storage_bench.py;
+// --small caps the sweep for CI, --large adds a 4096-stream point.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hosts/site.hpp"
+#include "hosts/storage.hpp"
+#include "net/flow.hpp"
+
+namespace core = lsds::core;
+namespace net = lsds::net;
+namespace hosts = lsds::hosts;
+
+namespace {
+
+constexpr double kFileBytes = 1e8;    // 100 MB per staged file
+constexpr double kCadence = 0.5;      // stream arrivals, seconds apart
+constexpr std::size_t kDestinations = 4;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+struct ArmResult {
+  std::uint64_t hash = 0;
+  double makespan = 0;
+  double wall_ms = 0;
+  std::uint64_t flows_rerated = 0;
+  std::uint64_t delivered = 0;
+};
+
+ArmResult run_arm(std::size_t streams, hosts::StorageSharing sharing, bool incremental) {
+  core::Engine eng;
+  hosts::Grid grid(eng);
+
+  hosts::SiteSpec src_spec;
+  src_spec.name = "T0";
+  src_spec.has_mass_storage = true;
+  src_spec.tape_bandwidth = 3e7;     // 30 MB/s robot
+  src_spec.tape_mount_latency = 5.0;
+  src_spec.disk_read_bw = 2e8;
+  src_spec.disk_write_bw = 2e8;
+  src_spec.disk_latency = 0.001;
+  src_spec.storage_sharing = sharing;
+  auto& src = grid.add_site(src_spec);
+
+  std::vector<hosts::Site*> dsts;
+  for (std::size_t k = 0; k < kDestinations; ++k) {
+    hosts::SiteSpec d;
+    d.name = "T1_" + std::to_string(k);
+    d.disk_read_bw = 2e8;
+    d.disk_write_bw = 1e8;
+    d.disk_latency = 0.001;
+    d.storage_sharing = sharing;
+    auto& site = grid.add_site(d);
+    grid.topology().add_link(src.node(), site.node(), 1e8, 0.02);
+    dsts.push_back(&site);
+  }
+  grid.finalize(net::FlowNetwork::Config{incremental});
+
+  for (std::size_t j = 0; j < streams; ++j)
+    src.tape().store("f" + std::to_string(j), kFileBytes);
+
+  ArmResult res;
+  res.hash = 1469598103934665603ULL;
+  std::uint64_t done = 0;
+  for (std::size_t j = 0; j < streams; ++j) {
+    eng.schedule_at(kCadence * static_cast<double>(j), [&, j] {
+      src.tape().read("f" + std::to_string(j), [&, j] {
+        grid.net().start_flow(src.node(), dsts[j % kDestinations]->node(), kFileBytes,
+                              [&, j](net::FlowId) {
+                                res.hash = fnv1a(res.hash, j);
+                                res.hash = fnv1a(res.hash, bits(eng.now()));
+                                res.makespan = eng.now();
+                                ++done;
+                              });
+      });
+    });
+  }
+
+  const auto w0 = std::chrono::steady_clock::now();
+  eng.run();
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - w0).count();
+  res.hash = fnv1a(res.hash, bits(grid.net().total_bytes_delivered()));
+  res.hash = fnv1a(res.hash, done);
+  res.flows_rerated = grid.net().flows_rerated();
+  res.delivered = done;
+  return res;
+}
+
+struct Point {
+  std::size_t streams = 0;
+  std::string arm;
+  ArmResult r;
+  bool ok = false;
+};
+
+void emit_json(const std::vector<Point>& points, const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"benchmark\": \"storage_staging\",\n");
+  std::fprintf(f, "  \"file_bytes\": %.0f,\n  \"destinations\": %zu,\n  \"points\": [\n",
+               kFileBytes, kDestinations);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"streams\": %zu, \"arm\": \"%s\", \"wall_ms\": %.1f, "
+                 "\"makespan_s\": %.3f, \"delivered\": %" PRIu64 ", \"flows_rerated\": %" PRIu64
+                 ", \"state_hash\": \"%016" PRIx64 "\", \"ok\": %s}%s\n",
+                 p.streams, p.arm.c_str(), p.r.wall_ms, p.r.makespan, p.r.delivered,
+                 p.r.flows_rerated, p.r.hash, p.ok ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sweep = {64, 256, 1024};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--small") sweep = {32, 128};
+    if (std::string(argv[i]) == "--large") sweep.push_back(4096);
+  }
+
+  struct Arm {
+    const char* name;
+    hosts::StorageSharing sharing;
+    bool incremental;
+  };
+  const Arm arms[] = {
+      {"fifo", hosts::StorageSharing::kFifo, true},
+      {"maxmin-full", hosts::StorageSharing::kMaxMin, false},
+      {"maxmin-incremental", hosts::StorageSharing::kMaxMin, true},
+  };
+
+  std::printf("== Experiment E15: tape -> disk -> WAN staging under contention ==\n");
+  std::printf("%.0f MB files, %zu destination sites, one arrival per %.1fs\n\n", kFileBytes / 1e6,
+              kDestinations, kCadence);
+  std::printf("%8s  %20s  %12s  %10s  %12s  %s\n", "streams", "arm", "makespan [s]", "wall [ms]",
+              "rerated", "self-check");
+
+  std::vector<Point> points;
+  bool ok = true;
+  for (std::size_t streams : sweep) {
+    std::uint64_t maxmin_hash = 0;
+    bool have_maxmin = false;
+    for (const Arm& arm : arms) {
+      Point p;
+      p.streams = streams;
+      p.arm = arm.name;
+      p.r = run_arm(streams, arm.sharing, arm.incremental);
+      // Determinism re-pass: an identical run must reproduce the hash.
+      const ArmResult again = run_arm(streams, arm.sharing, arm.incremental);
+      p.ok = again.hash == p.r.hash && p.r.delivered == streams;
+      // Differential: both maxmin solvers must agree bit for bit.
+      if (arm.sharing == hosts::StorageSharing::kMaxMin) {
+        if (have_maxmin) p.ok = p.ok && p.r.hash == maxmin_hash;
+        maxmin_hash = p.r.hash;
+        have_maxmin = true;
+      }
+      ok = ok && p.ok;
+      std::printf("%8zu  %20s  %12.1f  %10.1f  %12" PRIu64 "  %s\n", streams, arm.name,
+                  p.r.makespan, p.r.wall_ms, p.r.flows_rerated, p.ok ? "hash" : "FAILED");
+      std::fflush(stdout);
+      points.push_back(p);
+    }
+  }
+
+  // Scaling check: within each arm, makespan grows with the stream count.
+  for (const Arm& arm : arms) {
+    double prev = 0;
+    for (const Point& p : points) {
+      if (p.arm != arm.name) continue;
+      if (p.r.makespan <= prev) {
+        std::printf("FAIL: %s makespan did not grow at %zu streams\n", arm.name, p.streams);
+        ok = false;
+      }
+      prev = p.r.makespan;
+    }
+  }
+
+  emit_json(points, "BENCH_storage.json");
+  std::printf("\nwrote BENCH_storage.json\n");
+  if (!ok) {
+    std::printf("FAIL: storage staging self-check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "hosts/site.hpp"
 
 #include <cassert>
+#include <unordered_map>
 
 namespace lsds::hosts {
 
@@ -11,12 +12,39 @@ Site::Site(core::Engine& engine, SiteId id, net::NodeId node, const SiteSpec& sp
       cpu_(engine, spec.name + ".cpu", spec.cores, spec.cpu_speed, spec.policy),
       disk_(engine, spec.name + ".disk",
             StorageDevice::Spec{spec.disk_capacity, spec.disk_read_bw, spec.disk_write_bw,
-                                spec.disk_latency}) {
+                                spec.disk_latency, spec.storage_sharing}) {
   if (spec.has_mass_storage) {
     tape_ = std::make_unique<StorageDevice>(
         engine, spec.name + ".tape",
-        mass_storage_spec(spec.tape_capacity, spec.tape_bandwidth, spec.tape_mount_latency));
+        mass_storage_spec(spec.tape_capacity, spec.tape_bandwidth, spec.tape_mount_latency,
+                          spec.storage_sharing));
   }
+  if (spec.has_ssd) {
+    ssd_ = std::make_unique<StorageDevice>(
+        engine, spec.name + ".ssd",
+        StorageDevice::Spec{spec.ssd_capacity, spec.ssd_read_bw, spec.ssd_write_bw,
+                            spec.ssd_latency, spec.storage_sharing});
+  }
+}
+
+StorageDevice* Site::storage(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kTape:
+      return tape_.get();
+    case StorageTier::kDisk:
+      return &disk_;
+    case StorageTier::kSsd:
+      return ssd_.get();
+  }
+  return nullptr;
+}
+
+void Site::attach_solver(net::FlowNetwork& net) {
+  // Ascending tier order (tape, disk, ssd) so resource ids are a pure
+  // function of site order — determinism by construction.
+  if (tape_) tape_->attach_solver(net);
+  disk_.attach_solver(net);
+  if (ssd_) ssd_->attach_solver(net);
 }
 
 Site& Grid::add_site(const SiteSpec& spec) {
@@ -36,17 +64,63 @@ void Grid::finalize(net::FlowNetwork::Config net_cfg) {
   routing_ = std::make_unique<net::Routing>(topo_);
   provider_ = routing_.get();
   net_ = std::make_unique<net::FlowNetwork>(engine_, *provider_, net_cfg);
+  wire_storage();
 }
 
 void Grid::finalize_with(net::RouteProvider& provider, net::FlowNetwork::Config net_cfg) {
   assert(!finalized());
   provider_ = &provider;
   net_ = std::make_unique<net::FlowNetwork>(engine_, provider, net_cfg);
+  wire_storage();
+}
+
+void Grid::wire_storage() {
+  bool any_maxmin = false;
+  for (const auto& s : sites_) {
+    if (s->spec().storage_sharing == StorageSharing::kMaxMin) {
+      any_maxmin = true;
+      break;
+    }
+  }
+  if (!any_maxmin) return;  // pure-FIFO grid: flow network stays link-only
+  // Ascending site id -> resource registration order is deterministic.
+  for (auto& s : sites_) s->attach_solver(*net_);
+  // The binder consults a node -> site map fixed at finalize time (first
+  // site attached to a node wins), so it is pure in (src, dst).
+  auto node_site = std::make_shared<std::unordered_map<net::NodeId, SiteId>>();
+  for (const auto& s : sites_) node_site->emplace(s->node(), s->id());
+  net_->set_endpoint_binder([this, node_site](net::NodeId src, net::NodeId dst,
+                                              std::vector<net::ResourceId>& resources,
+                                              double& extra_latency) {
+    auto sit = node_site->find(src);
+    if (sit != node_site->end()) {
+      StorageDevice& d = sites_[sit->second]->disk();
+      if (d.sharing() == StorageSharing::kMaxMin) {
+        resources.push_back(d.read_resource());
+        extra_latency += d.access_latency();
+      }
+    }
+    auto dit = node_site->find(dst);
+    if (dit != node_site->end()) {
+      StorageDevice& d = sites_[dit->second]->disk();
+      if (d.sharing() == StorageSharing::kMaxMin) {
+        resources.push_back(d.write_resource());
+        extra_latency += d.access_latency();
+      }
+    }
+  });
 }
 
 SiteId Grid::find_site(const std::string& name) const {
   for (const auto& s : sites_) {
     if (s->name() == name) return s->id();
+  }
+  return kInvalidSite;
+}
+
+SiteId Grid::site_at_node(net::NodeId node) const {
+  for (const auto& s : sites_) {
+    if (s->node() == node) return s->id();
   }
   return kInvalidSite;
 }

@@ -41,7 +41,21 @@ struct SiteSpec {
   double tape_capacity = 1e15;
   double tape_bandwidth = 30e6;
   double tape_mount_latency = 30.0;
+  /// Optional fast tier (SSD cache in front of the disk buffer).
+  bool has_ssd = false;
+  double ssd_capacity = 1e11;
+  double ssd_read_bw = 500e6;
+  double ssd_write_bw = 400e6;
+  double ssd_latency = 1e-4;
+  /// Contention model for every storage tier of this site. kMaxMin makes
+  /// the devices capacity resources of the grid's flow network, so network
+  /// transfers are jointly constrained by endpoint disks (Grid installs
+  /// the endpoint binder when any site opts in).
+  StorageSharing storage_sharing = StorageSharing::kFifo;
 };
+
+/// The tiers a site may carry, slowest to fastest.
+enum class StorageTier { kTape, kDisk, kSsd };
 
 class Site {
  public:
@@ -58,6 +72,13 @@ class Site {
   const StorageDevice& disk() const { return disk_; }
   bool has_tape() const { return tape_ != nullptr; }
   StorageDevice& tape() { return *tape_; }
+  bool has_ssd() const { return ssd_ != nullptr; }
+  StorageDevice& ssd() { return *ssd_; }
+  /// Tier accessor; nullptr when the site does not carry that tier.
+  StorageDevice* storage(StorageTier tier);
+  /// Register every max-min tier with the flow network (no-op for FIFO
+  /// tiers). Grid calls this during finalize.
+  void attach_solver(net::FlowNetwork& net);
 
  private:
   SiteId id_;
@@ -66,6 +87,7 @@ class Site {
   CpuResource cpu_;
   StorageDevice disk_;
   std::unique_ptr<StorageDevice> tape_;
+  std::unique_ptr<StorageDevice> ssd_;
 };
 
 /// Owns the simulated distributed system: topology + sites + (after
@@ -106,7 +128,17 @@ class Grid {
   /// Lookup by name; kInvalidSite when absent.
   SiteId find_site(const std::string& name) const;
 
+  /// Site whose storage backs a topology node (the endpoint binder's map);
+  /// kInvalidSite when no site is attached there.
+  SiteId site_at_node(net::NodeId node) const;
+
  private:
+  /// Attach max-min storage tiers to the flow network and, when any site
+  /// opted into max-min sharing, install the endpoint binder that joins
+  /// `source disk read + route links + destination disk write` into one
+  /// constraint set. Pure-FIFO grids leave the network untouched.
+  void wire_storage();
+
   core::Engine& engine_;
   net::Topology topo_;
   std::vector<std::unique_ptr<Site>> sites_;

@@ -2,15 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace lsds::hosts {
+
+namespace {
+void validate_bytes(const char* op, double bytes) {
+  if (!std::isfinite(bytes) || bytes < 0) {
+    throw std::invalid_argument(std::string("StorageDevice::") + op +
+                                ": bytes must be finite and >= 0");
+  }
+}
+}  // namespace
 
 StorageDevice::StorageDevice(core::Engine& engine, std::string name, Spec spec)
     : engine_(engine), name_(std::move(name)), spec_(spec) {
   assert(spec_.capacity > 0 && spec_.read_bw > 0 && spec_.write_bw > 0);
 }
 
+void StorageDevice::attach_solver(net::FlowNetwork& net) {
+  if (spec_.sharing != StorageSharing::kMaxMin) return;  // FIFO: solver-free
+  assert(net_ == nullptr && "StorageDevice: solver already attached");
+  net_ = &net;
+  read_res_ = net.add_resource(spec_.read_bw, name_ + ".read");
+  write_res_ = net.add_resource(spec_.write_bw, name_ + ".write");
+}
+
 bool StorageDevice::store(const std::string& lfn, double bytes, bool pinned) {
+  validate_bytes("store", bytes);
   if (files_.count(lfn)) return false;
   if (used_ + bytes > spec_.capacity) return false;
   const double now = engine_.now();
@@ -22,8 +42,16 @@ bool StorageDevice::store(const std::string& lfn, double bytes, bool pinned) {
 bool StorageDevice::evict(const std::string& lfn) {
   auto it = files_.find(lfn);
   if (it == files_.end()) return false;
+  if (it->second.pinned) return false;  // pinned files survive eviction
   used_ -= it->second.bytes;
   files_.erase(it);
+  return true;
+}
+
+bool StorageDevice::set_pinned(const std::string& lfn, bool pinned) {
+  auto it = files_.find(lfn);
+  if (it == files_.end()) return false;
+  it->second.pinned = pinned;
   return true;
 }
 
@@ -72,6 +100,17 @@ double StorageDevice::schedule_io(double duration, IoDoneFn on_done) {
   return busy_until_;
 }
 
+void StorageDevice::start_shared_io(double bytes, net::ResourceId head, IoDoneFn on_done) {
+  assert(net_ != nullptr &&
+         "StorageDevice: max-min sharing requires attach_solver before timed I/O");
+  ++active_ios_;
+  net_->start_io(bytes, {head}, spec_.latency,
+                 [this, cb = std::move(on_done)](net::FlowId) {
+                   --active_ios_;
+                   if (cb) cb();
+                 });
+}
+
 bool StorageDevice::read(const std::string& lfn, IoDoneFn on_done) {
   auto it = files_.find(lfn);
   if (it == files_.end()) return false;
@@ -79,11 +118,16 @@ bool StorageDevice::read(const std::string& lfn, IoDoneFn on_done) {
   ++it->second.access_count;
   ++reads_;
   bytes_read_ += it->second.bytes;
-  schedule_io(it->second.bytes / spec_.read_bw, std::move(on_done));
+  if (spec_.sharing == StorageSharing::kMaxMin) {
+    start_shared_io(it->second.bytes, read_res_, std::move(on_done));
+  } else {
+    schedule_io(it->second.bytes / spec_.read_bw, std::move(on_done));
+  }
   return true;
 }
 
 bool StorageDevice::write(const std::string& lfn, double bytes, IoDoneFn on_done) {
+  validate_bytes("write", bytes);
   if (files_.count(lfn) || pending_writes_.count(lfn)) return false;
   if (used_ + bytes > spec_.capacity) return false;
   // Reserve capacity immediately; the file becomes visible when the head
@@ -92,21 +136,38 @@ bool StorageDevice::write(const std::string& lfn, double bytes, IoDoneFn on_done
   pending_writes_.insert(lfn);
   ++writes_;
   bytes_written_ += bytes;
-  schedule_io(bytes / spec_.write_bw, [this, lfn, bytes, cb = std::move(on_done)] {
+  IoDoneFn finish = [this, lfn, bytes, cb = std::move(on_done)] {
     const double now = engine_.now();
     pending_writes_.erase(lfn);
     files_[lfn] = StoredFile{lfn, bytes, now, now, 0, false};
     if (cb) cb();
-  });
+  };
+  if (spec_.sharing == StorageSharing::kMaxMin) {
+    start_shared_io(bytes, write_res_, std::move(finish));
+  } else {
+    schedule_io(bytes / spec_.write_bw, std::move(finish));
+  }
   return true;
 }
 
-StorageDevice::Spec mass_storage_spec(double capacity, double bandwidth, double mount_latency) {
+double StorageDevice::estimated_access_delay() const {
+  if (spec_.sharing == StorageSharing::kFifo) {
+    return std::max(0.0, busy_until_ - engine_.now()) + spec_.latency;
+  }
+  // Max-min: accesses overlap rather than queue; each concurrent I/O
+  // shrinks the newcomer's fair share, so scale the access latency by the
+  // current sharers as a placement-cost proxy.
+  return spec_.latency * (1.0 + static_cast<double>(active_ios_));
+}
+
+StorageDevice::Spec mass_storage_spec(double capacity, double bandwidth, double mount_latency,
+                                      StorageSharing sharing) {
   StorageDevice::Spec s;
   s.capacity = capacity;
   s.read_bw = bandwidth;
   s.write_bw = bandwidth;
   s.latency = mount_latency;
+  s.sharing = sharing;
   return s;
 }
 

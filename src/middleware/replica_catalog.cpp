@@ -39,19 +39,29 @@ std::optional<hosts::SiteId> ReplicaCatalog::best_source(const std::string& lfn,
                                                          net::NodeId consumer_node) const {
   auto it = entries_.find(lfn);
   if (it == entries_.end() || it->second.empty()) return std::nullopt;
+  // Lexicographic (zone rank, latency + source cost); the set iterates in
+  // ascending site id and both comparisons are strict '<', so every tie
+  // resolves to the lowest site id — deterministic by construction.
+  const std::size_t consumer_subtree =
+      zone_tree_ ? zone_tree_->child_of(consumer_node) : 0;
+  int best_rank = 2;
   double best = std::numeric_limits<double>::infinity();
   hosts::SiteId best_site = hosts::kInvalidSite;
   for (const auto& loc : it->second) {
-    double lat;
+    double cost;
     if (loc.node == consumer_node) {
-      lat = 0;  // local replica always wins
+      cost = 0;  // local replica: no route, no staging read
     } else {
       const auto& r = routing_.route(consumer_node, loc.node);
       if (!r.valid) continue;
-      lat = r.total_latency;
+      cost = r.total_latency;
+      if (source_cost_) cost += source_cost_(loc.site);
     }
-    if (lat < best) {
-      best = lat;
+    const int rank =
+        zone_tree_ && zone_tree_->child_of(loc.node) != consumer_subtree ? 1 : 0;
+    if (rank < best_rank || (rank == best_rank && cost < best)) {
+      best_rank = rank;
+      best = cost;
       best_site = loc.site;
     }
   }

@@ -2,11 +2,22 @@
 //
 // The data-grid substrate shared by the OptorSim, ChicagoSim and MONARC
 // facades. Maps each logical file to the set of sites holding a physical
-// replica and selects the "best" source for a consumer site (closest by
-// route latency, ties broken by site id for determinism).
+// replica and selects the "best" source for a consumer site. The base
+// ranking is route latency (ties broken by site id for determinism); two
+// optional refinements let placement decisions see the platform and the
+// storage layer:
+//
+//   * set_zone_tree — zone-aware placement: replicas in the SAME ZoneTree
+//     subtree as the consumer rank strictly ahead of replicas elsewhere
+//     (intra-zone staging avoids the backbone), before latency applies.
+//   * set_source_cost_fn — storage-aware placement: a per-site cost
+//     (canonically StorageDevice::estimated_access_delay of the source
+//     disk) added to the route latency, so a congested or tape-fronted
+//     source loses to a quiet one even when it is closer.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -15,12 +26,23 @@
 
 #include "hosts/site.hpp"
 #include "net/routing.hpp"
+#include "net/zone.hpp"
 
 namespace lsds::middleware {
 
 class ReplicaCatalog {
  public:
+  using SourceCostFn = std::function<double(hosts::SiteId)>;
+
   explicit ReplicaCatalog(net::RouteProvider& routing) : routing_(routing) {}
+
+  /// Enable zone-aware ranking over `tree` (nullptr disables). The tree
+  /// must be the provider's platform (node ids must agree) and outlive the
+  /// catalog.
+  void set_zone_tree(const net::ZoneTree* tree) { zone_tree_ = tree; }
+  /// Additional per-source cost added to route latency (nullptr disables).
+  /// Must be deterministic at any given simulation instant.
+  void set_source_cost_fn(SourceCostFn fn) { source_cost_ = std::move(fn); }
 
   /// Register/unregister a replica at a site (metadata only; callers manage
   /// the actual StorageDevice contents).
@@ -32,8 +54,11 @@ class ReplicaCatalog {
   std::size_t replica_count(const std::string& lfn) const;
   std::vector<hosts::SiteId> locations(const std::string& lfn) const;
 
-  /// Closest replica (by route latency) to `consumer_node`; nullopt when no
-  /// replica exists anywhere.
+  /// Best replica for `consumer_node`: rank 0 = same ZoneTree subtree (when
+  /// a tree is set), rank 1 = elsewhere; within a rank, minimum route
+  /// latency + source cost (when a cost fn is set); remaining ties go to
+  /// the lowest site id (ascending-id scan with strict '<'). nullopt when
+  /// no replica exists anywhere.
   std::optional<hosts::SiteId> best_source(const std::string& lfn,
                                            net::NodeId consumer_node) const;
 
@@ -46,6 +71,8 @@ class ReplicaCatalog {
     bool operator<(const Location& o) const { return site < o.site; }
   };
   net::RouteProvider& routing_;
+  const net::ZoneTree* zone_tree_ = nullptr;
+  SourceCostFn source_cost_;
   std::map<std::string, std::set<Location>> entries_;
 };
 

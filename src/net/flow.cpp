@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -23,32 +24,76 @@ FlowNetwork::FlowNetwork(core::Engine& engine, RouteProvider& routing, Config cf
     : engine_(engine),
       routing_(routing),
       cfg_(cfg),
-      link_rate_(routing.link_count(), 0.0),
-      link_bytes_(routing.link_count(), 0.0),
-      link_up_(routing.link_count(), 1),
+      n_links_(routing.link_count()),
+      res_rate_(routing.link_count(), 0.0),
+      res_bytes_(routing.link_count(), 0.0),
+      res_up_(routing.link_count(), 1),
       dsu_parent_(routing.link_count()),
       solve_cap_(routing.link_count(), 0.0),
       solve_wsum_(routing.link_count(), 0.0),
-      link_mark_(routing.link_count(), 0) {
-  std::iota(dsu_parent_.begin(), dsu_parent_.end(), LinkId{0});
+      res_mark_(routing.link_count(), 0) {
+  std::iota(dsu_parent_.begin(), dsu_parent_.end(), ResourceId{0});
   scratch_members_.reserve(64);
   scratch_old_rate_.reserve(64);
   scratch_fixed_.reserve(64);
-  scratch_links_.reserve(64);
-  dirty_links_.reserve(16);
+  scratch_res_.reserve(64);
+  dirty_res_.reserve(16);
 }
 
-void FlowNetwork::set_link_up(LinkId id, bool up) {
-  if (static_cast<bool>(link_up_[id]) == up) return;
-  link_up_[id] = up ? 1 : 0;
-  if (cfg_.incremental) dirty_links_.push_back(id);
-  // Fail-stop: the outage severs every connection crossing the link. Abort
-  // them all (latency-phase flows included — their handshake dies too).
+ResourceId FlowNetwork::add_resource(double capacity, std::string name) {
+  if (!std::isfinite(capacity) || capacity <= 0) {
+    throw std::invalid_argument("FlowNetwork::add_resource: capacity must be finite and > 0");
+  }
+  const ResourceId id = static_cast<ResourceId>(total_resources());
+  extra_caps_.push_back(capacity);
+  extra_names_.push_back(std::move(name));
+  res_rate_.push_back(0.0);
+  res_bytes_.push_back(0.0);
+  res_up_.push_back(1);
+  dsu_parent_.push_back(id);
+  solve_cap_.push_back(0.0);
+  solve_wsum_.push_back(0.0);
+  res_mark_.push_back(0);
+  return id;
+}
+
+void FlowNetwork::set_resource_capacity(ResourceId id, double capacity) {
+  if (id < n_links_ || id >= total_resources()) {
+    throw std::invalid_argument(
+        "FlowNetwork::set_resource_capacity: not a registered resource (links are owned by "
+        "the RouteProvider)");
+  }
+  if (!std::isfinite(capacity) || capacity <= 0) {
+    throw std::invalid_argument(
+        "FlowNetwork::set_resource_capacity: capacity must be finite and > 0");
+  }
+  double& cap = extra_caps_[id - n_links_];
+  if (cap == capacity) return;
+  cap = capacity;
+  // Dirty exactly this resource's component: the incremental re-solve picks
+  // up the new capacity there and touches nothing else.
+  if (cfg_.incremental) dirty_res_.push_back(id);
+  resolve_and_reschedule();
+}
+
+const std::string& FlowNetwork::resource_name(ResourceId id) const {
+  static const std::string kLinkName = "link";
+  return id < n_links_ ? kLinkName : extra_names_[id - n_links_];
+}
+
+void FlowNetwork::set_resource_up(ResourceId id, bool up) {
+  if (static_cast<bool>(res_up_[id]) == up) return;
+  res_up_[id] = up ? 1 : 0;
+  if (cfg_.incremental) dirty_res_.push_back(id);
+  // Fail-stop: the outage severs every connection crossing the resource (a
+  // dead link drops the circuit; a dead disk kills the I/O). Abort them all
+  // (latency-phase flows included — their handshake dies too).
   std::vector<std::pair<FlowId, ErrorFn>> aborted;
   if (!up && semantics_ == core::FailureSemantics::kFailStop) {
     std::vector<FlowId> doomed;  // flows_ is ordered: ascending-id callbacks
     for (const auto& [fid, flow] : flows_) {
-      if (std::find(flow.links.begin(), flow.links.end(), id) != flow.links.end()) {
+      if (std::find(flow.resources.begin(), flow.resources.end(), id) !=
+          flow.resources.end()) {
         doomed.push_back(fid);
       }
     }
@@ -75,29 +120,64 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes, CompletionF
 
 FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, double weight,
                                         CompletionFn on_complete, ErrorFn on_error) {
-  assert(bytes >= 0);
-  assert(weight > 0);
-  const Route& route = routing_.route(src, dst);
-  if (src != dst && !route.valid) {
-    throw std::invalid_argument("FlowNetwork: no route between nodes");
+  FlowSpec spec;
+  spec.src = src;
+  spec.dst = dst;
+  spec.bytes = bytes;
+  spec.weight = weight;
+  spec.on_complete = std::move(on_complete);
+  spec.on_error = std::move(on_error);
+  return start_flow_spec(std::move(spec));
+}
+
+FlowId FlowNetwork::start_io(double bytes, std::vector<ResourceId> resources,
+                             double access_latency, CompletionFn on_complete, ErrorFn on_error) {
+  FlowSpec spec;
+  spec.bytes = bytes;
+  spec.resources = std::move(resources);
+  spec.extra_latency = access_latency;
+  spec.bind_endpoints = false;
+  spec.on_complete = std::move(on_complete);
+  spec.on_error = std::move(on_error);
+  return start_flow_spec(std::move(spec));
+}
+
+FlowId FlowNetwork::start_flow_spec(FlowSpec spec) {
+  assert(spec.bytes >= 0);
+  assert(spec.weight > 0);
+  double latency = spec.extra_latency;
+  std::vector<ResourceId> resources;
+  if (spec.src != spec.dst) {
+    const Route& route = routing_.route(spec.src, spec.dst);
+    if (!route.valid) {
+      throw std::invalid_argument("FlowNetwork: no route between nodes");
+    }
+    resources = route.links;
+    latency += route.total_latency;
   }
+  // Endpoint binding joins the storage constraints: source disk read + route
+  // links + destination disk write, one constraint set for the solver.
+  if (spec.bind_endpoints && binder_) binder_(spec.src, spec.dst, resources, latency);
+  resources.insert(resources.end(), spec.resources.begin(), spec.resources.end());
+
   const FlowId id = next_id_++;
   Flow flow;
   flow.id = id;
-  if (src != dst) flow.links = route.links;
-  flow.remaining = bytes;
-  flow.weight = weight;
-  flow.on_complete = std::move(on_complete);
-  flow.on_error = std::move(on_error);
-  flow.src = src;
-  flow.dst = dst;
-  flow.bytes = bytes;
+  flow.resources = std::move(resources);
+  flow.remaining = spec.bytes;
+  flow.weight = spec.weight;
+  flow.on_complete = std::move(spec.on_complete);
+  flow.on_error = std::move(spec.on_error);
+  flow.src = spec.src;
+  flow.dst = spec.dst;
+  flow.bytes = spec.bytes;
   flow.started = engine_.now();
-  // Fail-stop + route already down = connection refused: fail asynchronously
-  // (callers expect the error after start_flow returns), never admit the flow.
+  // Fail-stop + constraint set already down = connection refused: fail
+  // asynchronously (callers expect the error after start returns), never
+  // admit the flow.
   if (semantics_ == core::FailureSemantics::kFailStop) {
-    for (LinkId l : flow.links) {
-      if (!link_up_[l]) {
+    for (ResourceId r : flow.resources) {
+      if (!res_up_[r]) {
         ++flows_aborted_;
         publish_span(flow, "refused");
         engine_.schedule_in(0, [cb = std::move(flow.on_error), id] {
@@ -110,10 +190,10 @@ FlowId FlowNetwork::start_flow_weighted(NodeId src, NodeId dst, double bytes, do
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
   assert(inserted);
 
-  const double latency = src == dst ? 0.0 : route.total_latency;
-  if (bytes <= kByteEpsilon || it->second.links.empty()) {
-    // Pure-latency delivery (empty payload or local copy).
-    engine_.schedule_in(latency, [this, id, bytes] {
+  if (spec.bytes <= kByteEpsilon || it->second.resources.empty()) {
+    // Pure-latency delivery (empty payload, or a local copy with no bound
+    // storage constraints).
+    engine_.schedule_in(latency, [this, id, bytes = spec.bytes] {
       auto fit = flows_.find(id);
       if (fit == flows_.end()) return;  // cancelled
       bytes_delivered_ += bytes;
@@ -133,10 +213,10 @@ void FlowNetwork::activate(FlowId id) {
   flow.anchor_t = engine_.now();
   ++sharing_count_;
   if (cfg_.incremental) {
-    const LinkId anchor = flow.links.front();
-    for (LinkId l : flow.links) dsu_unite(anchor, l);
+    const ResourceId anchor = flow.resources.front();
+    for (ResourceId r : flow.resources) dsu_unite(anchor, r);
     comp_members_[dsu_find(anchor)].push_back(id);
-    dirty_links_.push_back(anchor);
+    dirty_res_.push_back(anchor);
   }
   resolve_and_reschedule();
 }
@@ -149,7 +229,7 @@ bool FlowNetwork::cancel(FlowId id) {
   const bool was_sharing = it->second.sharing;
   detach_sharing(it->second);
   flows_.erase(it);
-  // A latency-phase flow never held bandwidth: nothing to re-solve.
+  // A latency-phase flow never held capacity: nothing to re-solve.
   if (was_sharing) resolve_and_reschedule();
   return true;
 }
@@ -159,9 +239,9 @@ double FlowNetwork::flow_rate(FlowId id) const {
   return it == flows_.end() ? 0.0 : it->second.rate;
 }
 
-void FlowNetwork::track_link(LinkId id) { tracked_.emplace(id, stats::TimeSeries{}); }
+void FlowNetwork::track_link(ResourceId id) { tracked_.emplace(id, stats::TimeSeries{}); }
 
-const stats::TimeSeries& FlowNetwork::link_series(LinkId id) const { return tracked_.at(id); }
+const stats::TimeSeries& FlowNetwork::link_series(ResourceId id) const { return tracked_.at(id); }
 
 void FlowNetwork::settle(Flow& flow, double old_rate) {
   const double now = engine_.now();
@@ -171,7 +251,7 @@ void FlowNetwork::settle(Flow& flow, double old_rate) {
   const double moved = std::min(old_rate * dt, flow.remaining);
   flow.remaining -= moved;
   bytes_delivered_ += moved;
-  for (LinkId l : flow.links) link_bytes_[l] += moved;
+  for (ResourceId r : flow.resources) res_bytes_[r] += moved;
 }
 
 double FlowNetwork::total_bytes_delivered() const {
@@ -187,12 +267,14 @@ double FlowNetwork::total_bytes_delivered() const {
   return total;
 }
 
-double FlowNetwork::link_bytes(LinkId id) const {
-  double total = link_bytes_[id];
+double FlowNetwork::resource_bytes(ResourceId id) const {
+  double total = res_bytes_[id];
   const double now = engine_.now();
   for (const auto& [fid, flow] : flows_) {
     if (!flow.sharing || flow.rate <= 0) continue;
-    if (std::find(flow.links.begin(), flow.links.end(), id) == flow.links.end()) continue;
+    if (std::find(flow.resources.begin(), flow.resources.end(), id) == flow.resources.end()) {
+      continue;
+    }
     total += std::min(flow.rate * (now - flow.anchor_t), flow.remaining);
   }
   return total;
@@ -207,35 +289,35 @@ void FlowNetwork::detach_sharing(Flow& flow) {
     flow.completion = {};
   }
   if (cfg_.incremental) {
-    // The departing flow's links must be re-solved (and zeroed when it was
-    // their last user); its component entry goes stale until the next
+    // The departing flow's resources must be re-solved (and zeroed when it
+    // was their last user); its component entry goes stale until the next
     // rebuild.
     ++stale_members_;
-    for (LinkId l : flow.links) dirty_links_.push_back(l);
+    for (ResourceId r : flow.resources) dirty_res_.push_back(r);
   }
 }
 
-LinkId FlowNetwork::dsu_find(LinkId l) {
-  while (dsu_parent_[l] != l) {
-    dsu_parent_[l] = dsu_parent_[dsu_parent_[l]];  // path halving
-    l = dsu_parent_[l];
+ResourceId FlowNetwork::dsu_find(ResourceId r) {
+  while (dsu_parent_[r] != r) {
+    dsu_parent_[r] = dsu_parent_[dsu_parent_[r]];  // path halving
+    r = dsu_parent_[r];
   }
-  return l;
+  return r;
 }
 
-void FlowNetwork::dsu_unite(LinkId a, LinkId b) {
-  const LinkId ra = dsu_find(a);
-  const LinkId rb = dsu_find(b);
+void FlowNetwork::dsu_unite(ResourceId a, ResourceId b) {
+  const ResourceId ra = dsu_find(a);
+  const ResourceId rb = dsu_find(b);
   if (ra == rb) return;
-  const auto list_size = [this](LinkId r) {
+  const auto list_size = [this](ResourceId r) {
     auto it = comp_members_.find(r);
     return it == comp_members_.end() ? std::size_t{0} : it->second.size();
   };
   // Small-to-large: the shorter member list is appended to the longer, so a
   // flow id moves lists O(log n) times. Ties go to the smaller root id —
   // fully determined by ids and sizes, never by hash layout.
-  LinkId win = ra;
-  LinkId lose = rb;
+  ResourceId win = ra;
+  ResourceId lose = rb;
   const std::size_t sa = list_size(ra);
   const std::size_t sb = list_size(rb);
   if (sb > sa || (sb == sa && rb < ra)) {
@@ -260,48 +342,48 @@ void FlowNetwork::maybe_rebuild_components() {
   // shrink the incrementality win). Rebuild from live flows once the stale
   // entries outnumber the live ones.
   if (stale_members_ < 64 || stale_members_ < sharing_count_) return;
-  std::iota(dsu_parent_.begin(), dsu_parent_.end(), LinkId{0});
+  std::iota(dsu_parent_.begin(), dsu_parent_.end(), ResourceId{0});
   comp_members_.clear();
   stale_members_ = 0;
   for (auto& [id, flow] : flows_) {
     if (!flow.sharing) continue;
-    const LinkId anchor = flow.links.front();
-    for (LinkId l : flow.links) dsu_unite(anchor, l);
+    const ResourceId anchor = flow.resources.front();
+    for (ResourceId r : flow.resources) dsu_unite(anchor, r);
     comp_members_[dsu_find(anchor)].push_back(id);
   }
 }
 
 void FlowNetwork::collect_dirty() {
   scratch_members_.clear();
-  scratch_links_.clear();
+  scratch_res_.clear();
   if (!cfg_.incremental) {
-    // Full reference solver: every sharing flow, every link, every time.
-    std::fill(link_rate_.begin(), link_rate_.end(), 0.0);
+    // Full reference solver: every sharing flow, every resource, every time.
+    std::fill(res_rate_.begin(), res_rate_.end(), 0.0);
     ++mark_epoch_;
     for (auto& [id, flow] : flows_) {
       if (!flow.sharing) continue;
       scratch_members_.push_back(&flow);
-      for (LinkId l : flow.links) {
-        if (link_mark_[l] != mark_epoch_) {
-          link_mark_[l] = mark_epoch_;
-          scratch_links_.push_back(l);
+      for (ResourceId r : flow.resources) {
+        if (res_mark_[r] != mark_epoch_) {
+          res_mark_[r] = mark_epoch_;
+          scratch_res_.push_back(r);
         }
       }
     }
-    std::sort(scratch_links_.begin(), scratch_links_.end());
+    std::sort(scratch_res_.begin(), scratch_res_.end());
     return;
   }
-  if (dirty_links_.empty()) return;
+  if (dirty_res_.empty()) return;
   maybe_rebuild_components();
   // Dirty component roots -> live member flows (compacting stale ids as we
   // pass). flows_ is ordered but member lists are not; sort afterwards so
   // the solve walks flows in ascending id order, exactly like the full
   // solver restricted to these components.
   ++mark_epoch_;
-  for (LinkId l : dirty_links_) {
-    const LinkId root = dsu_find(l);
-    if (link_mark_[root] == mark_epoch_) continue;
-    link_mark_[root] = mark_epoch_;
+  for (ResourceId r : dirty_res_) {
+    const ResourceId root = dsu_find(r);
+    if (res_mark_[root] == mark_epoch_) continue;
+    res_mark_[root] = mark_epoch_;
     auto it = comp_members_.find(root);
     if (it == comp_members_.end()) continue;
     auto& list = it->second;
@@ -317,34 +399,34 @@ void FlowNetwork::collect_dirty() {
   }
   std::sort(scratch_members_.begin(), scratch_members_.end(),
             [](const Flow* a, const Flow* b) { return a->id < b->id; });
-  // Links to re-solve: every member's links plus the explicitly dirtied
-  // ones (a departed flow's links must be zeroed even when no member
-  // remains on them).
+  // Resources to re-solve: every member's constraint set plus the explicitly
+  // dirtied ones (a departed flow's resources must be zeroed even when no
+  // member remains on them).
   ++mark_epoch_;
   for (const Flow* f : scratch_members_) {
-    for (LinkId l : f->links) {
-      if (link_mark_[l] != mark_epoch_) {
-        link_mark_[l] = mark_epoch_;
-        scratch_links_.push_back(l);
+    for (ResourceId r : f->resources) {
+      if (res_mark_[r] != mark_epoch_) {
+        res_mark_[r] = mark_epoch_;
+        scratch_res_.push_back(r);
       }
     }
   }
-  for (LinkId l : dirty_links_) {
-    if (link_mark_[l] != mark_epoch_) {
-      link_mark_[l] = mark_epoch_;
-      scratch_links_.push_back(l);
+  for (ResourceId r : dirty_res_) {
+    if (res_mark_[r] != mark_epoch_) {
+      res_mark_[r] = mark_epoch_;
+      scratch_res_.push_back(r);
     }
   }
-  std::sort(scratch_links_.begin(), scratch_links_.end());
+  std::sort(scratch_res_.begin(), scratch_res_.end());
 }
 
 void FlowNetwork::solve_members() {
   ++solves_;
   flows_rerated_ += scratch_members_.size();
-  for (LinkId l : scratch_links_) {
-    solve_cap_[l] = link_up_[l] ? routing_.link_bandwidth(l) : 0.0;
-    solve_wsum_[l] = 0.0;
-    link_rate_[l] = 0.0;
+  for (ResourceId r : scratch_res_) {
+    solve_cap_[r] = res_up_[r] ? resource_capacity(r) : 0.0;
+    solve_wsum_[r] = 0.0;
+    res_rate_[r] = 0.0;
   }
   // Weighted max-min: the bottleneck metric is capacity per unit of unfixed
   // *weight*, and a flow fixed at a bottleneck receives weight * that unit
@@ -353,62 +435,63 @@ void FlowNetwork::solve_members() {
   for (Flow* f : scratch_members_) {
     scratch_old_rate_.push_back(f->rate);
     f->rate = 0;
-    for (LinkId l : f->links) solve_wsum_[l] += f->weight;
+    for (ResourceId r : f->resources) solve_wsum_[r] += f->weight;
   }
   scratch_fixed_.assign(scratch_members_.size(), 0);
   std::size_t n_left = scratch_members_.size();
   while (n_left > 0) {
-    // Most constrained link: min per-weight share among links with unfixed
-    // flows. Ascending-LinkId scan with a strict '<' makes the tie-break
-    // (equal fair shares) the smallest link id, by construction.
+    // Most constrained resource: min per-weight share among resources with
+    // unfixed flows. Ascending-ResourceId scan with a strict '<' makes the
+    // tie-break (equal fair shares) the smallest resource id, by
+    // construction.
     double best = std::numeric_limits<double>::infinity();
-    LinkId best_link = kInvalidLink;
-    for (LinkId l : scratch_links_) {
-      if (solve_wsum_[l] <= kWeightEpsilon) continue;
-      const double fair = solve_cap_[l] / solve_wsum_[l];
+    ResourceId best_res = kInvalidResource;
+    for (ResourceId r : scratch_res_) {
+      if (solve_wsum_[r] <= kWeightEpsilon) continue;
+      const double fair = solve_cap_[r] / solve_wsum_[r];
       if (fair < best) {
         best = fair;
-        best_link = l;
+        best_res = r;
       }
     }
-    if (best_link == kInvalidLink) break;  // defensive: shouldn't happen
+    if (best_res == kInvalidResource) break;  // defensive: shouldn't happen
     // Fix every unfixed flow crossing the bottleneck at weight * unit rate.
     bool progressed = false;
     for (std::size_t i = 0; i < scratch_members_.size(); ++i) {
       if (scratch_fixed_[i]) continue;
       Flow* f = scratch_members_[i];
       const bool on_bottleneck =
-          std::find(f->links.begin(), f->links.end(), best_link) != f->links.end();
+          std::find(f->resources.begin(), f->resources.end(), best_res) != f->resources.end();
       if (!on_bottleneck) continue;
       f->rate = best * f->weight;
       scratch_fixed_[i] = 1;
       progressed = true;
       --n_left;
-      for (LinkId l : f->links) {
-        solve_cap_[l] = std::max(0.0, solve_cap_[l] - f->rate);
-        solve_wsum_[l] = std::max(0.0, solve_wsum_[l] - f->weight);
+      for (ResourceId r : f->resources) {
+        solve_cap_[r] = std::max(0.0, solve_cap_[r] - f->rate);
+        solve_wsum_[r] = std::max(0.0, solve_wsum_[r] - f->weight);
       }
     }
     if (!progressed) {
-      // All remaining weight on the chosen link was epsilon dust; zero it
-      // out so the link stops being selected. (Never happens with integer
-      // weights, but fractional weights can leave residue.)
-      solve_wsum_[best_link] = 0;
+      // All remaining weight on the chosen resource was epsilon dust; zero
+      // it out so the resource stops being selected. (Never happens with
+      // integer weights, but fractional weights can leave residue.)
+      solve_wsum_[best_res] = 0;
     }
   }
 
   for (const Flow* f : scratch_members_) {
-    for (LinkId l : f->links) link_rate_[l] += f->rate;
+    for (ResourceId r : f->resources) res_rate_[r] += f->rate;
   }
 }
 
 void FlowNetwork::resolve_and_reschedule() {
   collect_dirty();
   solve_members();
-  dirty_links_.clear();
+  dirty_res_.clear();
 
-  for (auto& [l, series] : tracked_) {
-    series.record(engine_.now(), link_rate_[l] / routing_.link_bandwidth(l));
+  for (auto& [r, series] : tracked_) {
+    series.record(engine_.now(), res_rate_[r] / resource_capacity(r));
   }
 
   // Reschedule only the flows whose fair share moved: with a piecewise-

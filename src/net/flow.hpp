@@ -1,13 +1,33 @@
-// Flow-level network model with progressive max-min fair bandwidth sharing.
+// Flow-level network model with progressive max-min fair sharing over
+// generic CAPACITY RESOURCES.
 //
 // This is the granularity the paper describes as modeling "only the flows of
 // packets going from one end to another in the network" — the approach
 // SimGrid made standard for Grid simulation. A transfer is a fluid flow that
-// receives a max-min fair share of every link on its (static) route:
+// receives a max-min fair share of every *capacity resource* it crosses:
 //
-//   repeat: find the most constrained link (remaining capacity / unfixed
-//   flows), fix those flows at that fair share, remove them, until all
-//   flows are fixed.
+//   repeat: find the most constrained resource (remaining capacity /
+//   unfixed weight), fix those flows at that fair share, remove them,
+//   until all flows are fixed.
+//
+// A capacity resource is anything whose capacity is max-min shared among
+// the flows crossing it. The solver knows two implementations of the
+// concept, unified in ONE dense id space so every per-resource array
+// (capacity, failure state, rate, bytes, dirty-component membership)
+// indexes directly:
+//
+//   * links        — ids [0, link_count()): capacity comes from the
+//     RouteProvider's static link table; membership from the flow's route.
+//   * registered resources — ids from add_resource(): capacity stored
+//     here and adjustable at runtime (set_resource_capacity). This is how
+//     disks join the constraint graph (hosts/storage.hpp registers one
+//     read-head and one write-head resource per max-min device), so a
+//     transfer's constraint set becomes
+//
+//         source disk read + route links + destination disk write
+//
+//     solved jointly and incrementally — SimGrid's DiskImpl lesson: a disk
+//     is just another constraint in the same LMM system as the links.
 //
 // Whenever the set of active flows changes, shares are re-solved and byte
 // progress is settled lazily from per-flow anchors (each flow's remaining is
@@ -15,30 +35,35 @@
 // pass). Two further scalability mechanisms (SimGrid's lazy/partial-resolve
 // lesson) keep the hot path sub-global:
 //
-//   * The bandwidth-sharing constraint graph is partitioned into connected
-//     components by a union-find over shared links, maintained incrementally
-//     on flow add/remove and link-state change. A change re-solves only the
-//     dirty component(s); every other flow keeps its rate — and its pending
-//     completion event — untouched. Components only merge between periodic
-//     rebuilds, so a re-solve may cover a stale super-component; that is a
-//     pure performance matter, never a correctness one, because the weighted
-//     max-min allocation of disconnected flow sets decomposes exactly.
+//   * The sharing constraint graph is partitioned into connected components
+//     by a union-find over shared resources, maintained incrementally on
+//     flow add/remove and resource-state change (a disk capacity change
+//     dirties exactly the component that disk anchors). A change re-solves
+//     only the dirty component(s); every other flow keeps its rate — and
+//     its pending completion event — untouched. Components only merge
+//     between periodic rebuilds, so a re-solve may cover a stale
+//     super-component; that is a pure performance matter, never a
+//     correctness one, because the weighted max-min allocation of
+//     disconnected flow sets decomposes exactly.
 //   * Completion events are per-flow: a re-solve reschedules only the flows
 //     whose rate actually changed (bitwise), tombstoning the superseded
 //     event in O(1) via core::Engine::cancel.
 //
-// Determinism: the bottleneck scan walks links in ascending LinkId order and
-// flows in ascending FlowId order, so tie-broken bottleneck selection is
-// deterministic by construction — and the incremental solver produces
-// byte-identical traces to the full solver (Config::incremental = false),
-// locked in by tests/flow_incremental_test.cpp across all queue kinds.
-// The model is validated against closed forms in tests/net_test.cpp
-// (max-min invariants as TEST_P properties) and in experiment E5.
+// Determinism: the bottleneck scan walks resources in ascending ResourceId
+// order and flows in ascending FlowId order, so tie-broken bottleneck
+// selection is deterministic by construction — and the incremental solver
+// produces byte-identical traces to the full solver (Config::incremental =
+// false), locked in by tests/flow_incremental_test.cpp (links only) and
+// tests/storage_sharing_test.cpp (joint disk + link constraint sets) across
+// all queue kinds. The model is validated against closed forms in
+// tests/net_test.cpp (max-min invariants as TEST_P properties) and in
+// experiments E5 and E15.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -52,10 +77,16 @@ namespace lsds::net {
 using FlowId = std::uint64_t;
 inline constexpr FlowId kInvalidFlow = 0;
 
+/// Dense id of a capacity resource in a FlowNetwork: link ids [0,
+/// link_count()) followed by registered (non-link) resources in
+/// registration order. LinkId values are valid ResourceIds unchanged.
+using ResourceId = LinkId;
+inline constexpr ResourceId kInvalidResource = kInvalidLink;
+
 class FlowNetwork {
  public:
   using CompletionFn = std::function<void(FlowId)>;
-  /// Fired when a flow is aborted by a fail-stop link outage.
+  /// Fired when a flow is aborted by a fail-stop resource outage.
   using ErrorFn = std::function<void(FlowId)>;
 
   struct Config {
@@ -66,26 +97,81 @@ class FlowNetwork {
     bool incremental = true;
   };
 
+  /// Everything that defines a flow. `resources` are extra capacity
+  /// constraints joined with the route's links (e.g. the source disk's read
+  /// head and the destination disk's write head); `extra_latency` is added
+  /// to the route's propagation latency (e.g. tape mount time).
+  struct FlowSpec {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double bytes = 0;
+    double weight = 1.0;
+    std::vector<ResourceId> resources;
+    double extra_latency = 0;
+    /// Consult the endpoint binder (set_endpoint_binder) for additional
+    /// endpoint resources/latency. start_io sets this false: a pure-device
+    /// I/O names its constraints explicitly.
+    bool bind_endpoints = true;
+    CompletionFn on_complete;
+    ErrorFn on_error;
+  };
+
+  /// Appends endpoint capacity resources (and extra access latency) for a
+  /// (src, dst) flow — installed by hosts::Grid when sites carry max-min
+  /// storage, so TransferService, the replica facades and every raw
+  /// start_flow call become disk-constrained end to end with no call-site
+  /// changes. Must be deterministic (pure in (src, dst)).
+  using EndpointBinder =
+      std::function<void(NodeId src, NodeId dst, std::vector<ResourceId>& resources,
+                         double& extra_latency)>;
+
   FlowNetwork(core::Engine& engine, RouteProvider& routing, Config cfg);
   FlowNetwork(core::Engine& engine, RouteProvider& routing)
       : FlowNetwork(engine, routing, Config{}) {}
 
   const Config& config() const { return cfg_; }
 
+  // --- capacity resources --------------------------------------------------
+
+  /// Register a non-link capacity resource (a disk head, a tape robot…).
+  /// Returns its id in the same dense space links occupy. Capacity must be
+  /// > 0 and finite (throws std::invalid_argument otherwise). Resources can
+  /// be registered at any time; ids are stable for the network's lifetime.
+  ResourceId add_resource(double capacity, std::string name = {});
+  /// Number of registered (non-link) resources.
+  std::size_t resource_count() const { return extra_caps_.size(); }
+  /// Total resources = links + registered.
+  std::size_t total_resources() const { return n_links_ + extra_caps_.size(); }
+
+  /// Live capacity of any resource (link table or registered store).
+  double resource_capacity(ResourceId id) const {
+    return id < n_links_ ? routing_.link_bandwidth(id) : extra_caps_[id - n_links_];
+  }
+  /// Change a registered resource's capacity (degraded RAID, robot taken
+  /// offline for maintenance at reduced throughput…). Dirties exactly the
+  /// resource's component; the incremental re-solve covers the rate change.
+  /// Only registered resources are mutable (links are owned by the
+  /// RouteProvider); throws std::invalid_argument on a link id or a
+  /// non-finite/non-positive capacity.
+  void set_resource_capacity(ResourceId id, double capacity);
+  const std::string& resource_name(ResourceId id) const;
+
   /// Begin a transfer of `bytes` from src to dst. The flow first experiences
-  /// the route's propagation latency, then shares bandwidth. `on_complete`
-  /// fires when the last byte arrives. src == dst completes after zero time.
-  /// Throws std::invalid_argument when dst is unreachable.
+  /// the route's propagation latency (+ any bound endpoint access latency),
+  /// then shares capacity. `on_complete` fires when the last byte arrives.
+  /// src == dst completes after the latency alone unless endpoint resources
+  /// are bound (a local copy still contends for its disk). Throws
+  /// std::invalid_argument when dst is unreachable.
   FlowId start_flow(NodeId src, NodeId dst, double bytes, CompletionFn on_complete = nullptr);
 
   /// Weighted variant: the max-min shares become weighted — on a saturated
-  /// link, a weight-2 flow receives twice the rate of a weight-1 flow
+  /// resource, a weight-2 flow receives twice the rate of a weight-1 flow
   /// (SimGrid-style flow priorities). weight must be > 0.
   FlowId start_flow_weighted(NodeId src, NodeId dst, double bytes, double weight,
                              CompletionFn on_complete = nullptr, ErrorFn on_error = nullptr);
 
-  /// Failure-aware variant: under kFailStop link semantics, `on_error`
-  /// fires (instead of the flow hanging) when an outage hits the route —
+  /// Failure-aware variant: under kFailStop semantics, `on_error` fires
+  /// (instead of the flow hanging) when an outage hits the constraint set —
   /// including a route that is already down at start time. The recovery
   /// layer (net/transfer.hpp retries) builds on this.
   FlowId start_flow_checked(NodeId src, NodeId dst, double bytes, CompletionFn on_complete,
@@ -94,19 +180,38 @@ class FlowNetwork {
                                std::move(on_error));
   }
 
+  /// Fully general entry point — every other start_* delegates here.
+  FlowId start_flow_spec(FlowSpec spec);
+
+  /// Pure device I/O: a flow constrained ONLY by the given resources (no
+  /// route, no links), with `access_latency` as its latency phase. This is
+  /// how a max-min StorageDevice times reads and writes.
+  FlowId start_io(double bytes, std::vector<ResourceId> resources, double access_latency,
+                  CompletionFn on_complete, ErrorFn on_error = nullptr);
+
+  /// Install/replace the endpoint binder (nullptr clears). See
+  /// EndpointBinder; hosts::Grid::finalize installs one when any site's
+  /// storage is max-min shared.
+  void set_endpoint_binder(EndpointBinder binder) { binder_ = std::move(binder); }
+  bool has_endpoint_binder() const { return static_cast<bool>(binder_); }
+
   /// Abort an in-flight flow. Returns false if already finished/unknown.
   bool cancel(FlowId id);
 
-  /// Failure injection. Under kFailResume (default), a down link
-  /// contributes zero capacity, so every flow crossing it stalls (rate 0)
-  /// until the link returns — a transport connection riding out a flap.
-  /// Under kFailStop, every flow whose route crosses the failed link is
-  /// aborted: it is removed and its on_error (when provided) fires.
+  /// Failure injection, uniformly over the resource space. Under
+  /// kFailResume (default), a down resource contributes zero capacity, so
+  /// every flow crossing it stalls (rate 0) until it returns — a transport
+  /// connection riding out a flap, or I/O frozen while a disk resets. Under
+  /// kFailStop, every flow whose constraint set crosses the failed resource
+  /// is aborted: it is removed and its on_error (when provided) fires.
   /// Routing is static — flows are never re-routed around outages.
-  void set_link_up(LinkId id, bool up);
-  bool link_up(LinkId id) const { return link_up_[id]; }
+  void set_resource_up(ResourceId id, bool up);
+  bool resource_up(ResourceId id) const { return res_up_[id]; }
+  /// Link-flavored aliases (the pre-resource API, still the common case).
+  void set_link_up(LinkId id, bool up) { set_resource_up(id, up); }
+  bool link_up(LinkId id) const { return res_up_[id]; }
 
-  /// Crash semantics applied by set_link_up(false) to flows in flight.
+  /// Crash semantics applied by set_resource_up(false) to flows in flight.
   void set_failure_semantics(core::FailureSemantics s) { semantics_ = s; }
   core::FailureSemantics failure_semantics() const { return semantics_; }
 
@@ -115,41 +220,48 @@ class FlowNetwork {
   /// The route provider (flat Routing or zone-backed ZoneRouting) this
   /// network models traffic over. Link ids below index its link space.
   const RouteProvider& routing() const { return routing_; }
-  std::size_t link_count() const { return routing_.link_count(); }
+  std::size_t link_count() const { return n_links_; }
   double link_bandwidth(LinkId id) const { return routing_.link_bandwidth(id); }
   std::size_t active_flows() const { return flows_.size(); }
-  /// Flows past the latency phase, currently sharing bandwidth.
+  /// Flows past the latency phase, currently sharing capacity.
   std::size_t sharing_flows() const { return sharing_count_; }
   /// Current fair-share rate of a flow (0 when latency-phase or unknown).
   double flow_rate(FlowId id) const;
-  /// Sum of flow rates currently allocated on a link.
-  double link_load(LinkId id) const { return link_rate_[id]; }
-  double link_utilization(LinkId id) const {
-    return link_rate_[id] / routing_.link_bandwidth(id);
+  /// Sum of flow rates currently allocated on a resource.
+  double resource_load(ResourceId id) const { return res_rate_[id]; }
+  double link_load(LinkId id) const { return res_rate_[id]; }
+  double resource_utilization(ResourceId id) const {
+    return res_rate_[id] / resource_capacity(id);
   }
+  double link_utilization(LinkId id) const { return resource_utilization(id); }
 
   // --- statistics ---------------------------------------------------------
 
   double total_bytes_delivered() const;
   std::uint64_t flows_completed() const { return flows_completed_; }
-  /// Flows killed by fail-stop link outages.
+  /// Flows killed by fail-stop resource outages.
   std::uint64_t flows_aborted() const { return flows_aborted_; }
-  /// Cumulative bytes carried per link (settled + in-flight anchors).
-  double link_bytes(LinkId id) const;
+  /// Cumulative bytes carried per resource (settled + in-flight anchors).
+  double resource_bytes(ResourceId id) const;
+  double link_bytes(LinkId id) const { return resource_bytes(id); }
   /// Max-min re-solves since construction, and flows re-rated by them —
   /// the work counters bench_flow_scaling reports (full re-rates every
   /// sharing flow per solve; incremental only the dirty component).
   std::uint64_t solves() const { return solves_; }
   std::uint64_t flows_rerated() const { return flows_rerated_; }
 
-  /// Opt-in utilization time series (records at every re-solve).
-  void track_link(LinkId id);
-  const stats::TimeSeries& link_series(LinkId id) const;
+  /// Opt-in utilization time series (records at every re-solve). Works for
+  /// links and registered resources alike.
+  void track_link(ResourceId id);
+  const stats::TimeSeries& link_series(ResourceId id) const;
 
  private:
   struct Flow {
     FlowId id = kInvalidFlow;
-    std::vector<LinkId> links;
+    /// The flow's constraint set: route links in path order, then any extra
+    /// capacity resources (endpoint disks). Uniform ids — the solver never
+    /// distinguishes.
+    std::vector<ResourceId> resources;
     /// Bytes left at `anchor_t`. The live value is the closed form
     /// remaining - rate * (now - anchor_t): byte accounting is settled only
     /// when the rate changes, never per event — so the arithmetic (and its
@@ -177,7 +289,7 @@ class FlowNetwork {
 
   void activate(FlowId id);
   /// Settle a flow's transferred bytes from its anchor up to now at
-  /// `old_rate`, crediting the global and per-link byte counters, and
+  /// `old_rate`, crediting the global and per-resource byte counters, and
   /// re-anchor at now. Called exactly when a flow's rate changes or the
   /// flow leaves — never on unrelated events.
   void settle(Flow& flow, double old_rate);
@@ -185,23 +297,23 @@ class FlowNetwork {
   /// Config::incremental is off) and reschedule the completion event of
   /// every flow whose rate changed.
   void resolve_and_reschedule();
-  /// Fills scratch_members_ (ascending FlowId) and scratch_links_
-  /// (ascending LinkId) with the flow set to re-solve and the links whose
+  /// Fills scratch_members_ (ascending FlowId) and scratch_res_ (ascending
+  /// ResourceId) with the flow set to re-solve and the resources whose
   /// rates it determines.
   void collect_dirty();
-  /// Weighted max-min over scratch_members_ / scratch_links_; updates
-  /// Flow::rate and link_rate_. Deterministic by construction: both scans
+  /// Weighted max-min over scratch_members_ / scratch_res_; updates
+  /// Flow::rate and res_rate_. Deterministic by construction: both scans
   /// run in ascending id order.
   void solve_members();
   void on_completion_event(FlowId id);
   void finish_flow(FlowId id);
   /// Bookkeeping when a sharing flow leaves (finish/cancel/abort): cancels
-  /// its pending completion event and dirties its links.
+  /// its pending completion event and dirties its resources.
   void detach_sharing(Flow& flow);
 
   // --- constraint-graph components (incremental mode) ---------------------
-  LinkId dsu_find(LinkId l);
-  void dsu_unite(LinkId a, LinkId b);
+  ResourceId dsu_find(ResourceId r);
+  void dsu_unite(ResourceId a, ResourceId b);
   /// Union-find only ever merges; removals leave it over-merged (a stale
   /// super-component is re-solved — correct, just wider than needed). When
   /// enough removals accumulate, rebuild the partition from live flows.
@@ -216,10 +328,16 @@ class FlowNetwork {
   /// construction instead of by accident of hash layout.
   std::map<FlowId, Flow> flows_;
   std::size_t sharing_count_ = 0;
-  std::vector<double> link_rate_;
-  std::vector<double> link_bytes_;
-  std::vector<char> link_up_;
-  std::unordered_map<LinkId, stats::TimeSeries> tracked_;
+  /// Links [0, n_links_), registered resources after. All per-resource
+  /// arrays below span the full space and grow on add_resource.
+  std::size_t n_links_ = 0;
+  std::vector<double> extra_caps_;         // registered resources only
+  std::vector<std::string> extra_names_;   // registered resources only
+  std::vector<double> res_rate_;
+  std::vector<double> res_bytes_;
+  std::vector<char> res_up_;
+  EndpointBinder binder_;
+  std::unordered_map<ResourceId, stats::TimeSeries> tracked_;
   FlowId next_id_ = 1;
   double bytes_delivered_ = 0;  // settled segments only; see settle()
   std::uint64_t flows_completed_ = 0;
@@ -227,22 +345,22 @@ class FlowNetwork {
   std::uint64_t solves_ = 0;
   std::uint64_t flows_rerated_ = 0;
 
-  // Component tracking: parent pointers over links, member flow ids per
+  // Component tracking: parent pointers over resources, member flow ids per
   // component root. Member lists may hold ids of flows that already left
   // (filtered on use, compacted at rebuild).
-  std::vector<LinkId> dsu_parent_;
-  std::unordered_map<LinkId, std::vector<FlowId>> comp_members_;
+  std::vector<ResourceId> dsu_parent_;
+  std::unordered_map<ResourceId, std::vector<FlowId>> comp_members_;
   std::size_t stale_members_ = 0;
-  std::vector<LinkId> dirty_links_;
+  std::vector<ResourceId> dirty_res_;
 
   // Per-solve scratch, reserved once and reused (no per-call allocation).
   std::vector<Flow*> scratch_members_;
   std::vector<double> scratch_old_rate_;
   std::vector<char> scratch_fixed_;
-  std::vector<LinkId> scratch_links_;
-  std::vector<double> solve_cap_;       // indexed by LinkId
-  std::vector<double> solve_wsum_;      // indexed by LinkId
-  std::vector<std::uint32_t> link_mark_;  // epoch stamps, indexed by LinkId
+  std::vector<ResourceId> scratch_res_;
+  std::vector<double> solve_cap_;       // indexed by ResourceId
+  std::vector<double> solve_wsum_;      // indexed by ResourceId
+  std::vector<std::uint32_t> res_mark_;  // epoch stamps, indexed by ResourceId
   std::uint32_t mark_epoch_ = 0;
 };
 

@@ -5,6 +5,12 @@
 // the "higher-level application protocols such as FTP" rung of the
 // taxonomy's protocol axis; the data-grid facades (OptorSim, MONARC) move
 // all replicas through it.
+//
+// Every transfer dials through FlowNetwork::start_flow_checked, so when the
+// grid's sites carry max-min storage (the endpoint binder is installed) each
+// stream is automatically constrained by `source disk read + route links +
+// destination disk write` as one jointly-solved set — disk-aware transfers
+// end to end, with no TransferService configuration.
 #pragma once
 
 #include <cstdint>

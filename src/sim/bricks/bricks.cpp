@@ -142,6 +142,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     server.cpu_speed = cfg.server_speed;
     server.policy = cfg.scheme == ServerScheme::kFcfs ? hosts::SharingPolicy::kSpaceShared
                                                       : hosts::SharingPolicy::kTimeShared;
+    server.storage_sharing = cfg.storage_sharing;
     grid.add_site(server);
   }
   for (std::size_t c = 0; c < cfg.num_clients; ++c) {
@@ -149,6 +150,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     client.name = util::strformat("client%zu", c);
     client.cores = 1;
     client.cpu_speed = 1;  // clients do not compute
+    client.storage_sharing = cfg.storage_sharing;
     grid.add_site(client);
   }
   auto& topo = grid.topology();

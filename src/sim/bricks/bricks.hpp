@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "hosts/storage.hpp"
 #include "middleware/failures.hpp"
 #include "net/flow.hpp"
 #include "stats/summary.hpp"
@@ -71,6 +72,11 @@ struct Config {
 
   /// Flow-network solver selection (`[network] incremental` toggle).
   net::FlowNetwork::Config network;
+
+  /// Storage contention model for server and client disks (`[storage]
+  /// sharing`): kMaxMin makes request/response payload flows contend with
+  /// endpoint disk heads inside the solver.
+  hosts::StorageSharing storage_sharing = hosts::StorageSharing::kFifo;
 };
 
 struct Result {

@@ -201,6 +201,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     s.disk_capacity = std::max(1.0, dataset_bytes * cfg.storage_fraction);
     s.disk_read_bw = cfg.disk_bw;
     s.disk_write_bw = cfg.disk_bw;
+    s.storage_sharing = cfg.storage_sharing;
     grid.add_site(s);
   }
   auto& topo = grid.topology();

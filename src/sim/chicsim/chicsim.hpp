@@ -23,6 +23,7 @@
 
 #include "apps/workload.hpp"
 #include "core/engine.hpp"
+#include "hosts/storage.hpp"
 #include "middleware/failures.hpp"
 #include "net/flow.hpp"
 #include "stats/summary.hpp"
@@ -53,6 +54,8 @@ struct Config {
   double disk_bw = 200e6;
   double site_bw = 125e6;
   double site_latency = 0.01;
+  /// Storage contention model for every site (`[storage] sharing`).
+  hosts::StorageSharing storage_sharing = hosts::StorageSharing::kFifo;
 
   apps::DataGridWorkloadSpec workload;
   JobPolicy job_policy = JobPolicy::kDataPresent;

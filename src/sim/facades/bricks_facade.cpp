@@ -23,6 +23,7 @@ int run_bricks(core::Engine& eng, const util::IniConfig& ini, obs::RunReport& re
   cfg.client_bw = ini.get_rate("bricks", "client_bw", 12.5e6);
   cfg.failures = facades::parse_resume_failures(ini);
   cfg.network = facades::parse_network(ini);
+  cfg.storage_sharing = facades::parse_storage(ini);
   const auto res = bricks::run(eng, cfg);
   std::printf("bricks: %llu jobs, mean response %.2f s, server util %.1f%%, makespan %.1f s\n",
               static_cast<unsigned long long>(res.jobs), res.response_times.mean(),
@@ -41,6 +42,7 @@ void register_bricks_facade(FacadeRegistry& reg) {
                       "input",        "output",          "server_cores", "client_bw"};
   e.keys["failures"] = facades::failures_keys();
   e.keys["network"] = facades::network_keys();
+  e.keys["storage"] = facades::storage_keys();
   reg.add(std::move(e));
 }
 

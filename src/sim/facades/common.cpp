@@ -52,6 +52,13 @@ net::FlowNetwork::Config parse_network(const util::IniConfig& ini) {
   return cfg;
 }
 
+hosts::StorageSharing parse_storage(const util::IniConfig& ini) {
+  const std::string s = ini.get_string("storage", "sharing", "fifo");
+  if (s == "fifo") return hosts::StorageSharing::kFifo;
+  if (s == "maxmin") return hosts::StorageSharing::kMaxMin;
+  throw util::ConfigError("unknown storage sharing: " + s + " (fifo|maxmin)");
+}
+
 std::vector<std::string> failures_keys() {
   return {"enabled", "mtbf", "mttr", "horizon", "weibull_shape", "links", "semantics"};
 }
@@ -61,5 +68,7 @@ std::vector<std::string> execution_keys() {
 }
 
 std::vector<std::string> network_keys() { return {"incremental"}; }
+
+std::vector<std::string> storage_keys() { return {"sharing"}; }
 
 }  // namespace lsds::sim::facades

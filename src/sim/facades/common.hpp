@@ -36,10 +36,18 @@ hosts::ExecutionSpec parse_exec_spec(const util::IniConfig& ini);
 /// comparisons and as a big red switch.
 net::FlowNetwork::Config parse_network(const util::IniConfig& ini);
 
+/// `[storage]` section: `sharing = fifo|maxmin` selects the contention
+/// model for every storage device of the scenario's sites. fifo (default)
+/// is the busy-until head, byte-identical to the pre-storage-resource
+/// framework; maxmin registers the heads as solver capacity resources so
+/// disk and link constraints are solved jointly.
+hosts::StorageSharing parse_storage(const util::IniConfig& ini);
+
 /// Declared-key lists for strict validation (FacadeRegistry::Entry::keys).
 std::vector<std::string> failures_keys();
 std::vector<std::string> execution_keys();
 std::vector<std::string> network_keys();
+std::vector<std::string> storage_keys();
 
 /// Match `value` against an enum's candidate list by its to_string name,
 /// assigning `out` on a hit; otherwise throw ConfigError naming the bad

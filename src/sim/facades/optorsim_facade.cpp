@@ -28,6 +28,11 @@ int run_optorsim(core::Engine& eng, const util::IniConfig& ini, obs::RunReport& 
                              ini.get_size("optorsim", "file_size", 50e6), 0};
   cfg.failures = facades::parse_resume_failures(ini);
   cfg.network = facades::parse_network(ini);
+  cfg.storage_sharing = facades::parse_storage(ini);
+  cfg.zones = static_cast<std::size_t>(ini.get_int("optorsim", "zones", 0));
+  cfg.zone_backbone_bw = ini.get_rate("optorsim", "zone_backbone_bw", cfg.zone_backbone_bw);
+  cfg.zone_backbone_latency =
+      ini.get_duration("optorsim", "zone_backbone_latency", cfg.zone_backbone_latency);
   const auto res = optorsim::run(eng, cfg);
   std::printf(
       "optorsim(%s): %llu jobs, mean job time %.2f s, hit ratio %.2f, network %s, "
@@ -45,10 +50,13 @@ void register_optorsim_facade(FacadeRegistry& reg) {
   FacadeRegistry::Entry e;
   e.name = "optorsim";
   e.run = run_optorsim;
-  e.keys["optorsim"] = {"sites", "cache_fraction", "policy",      "jobs",
-                        "files", "zipf",           "interarrival", "file_size"};
+  e.keys["optorsim"] = {"sites",     "cache_fraction", "policy",
+                        "jobs",      "files",          "zipf",
+                        "interarrival", "file_size",   "zones",
+                        "zone_backbone_bw", "zone_backbone_latency"};
   e.keys["failures"] = facades::failures_keys();
   e.keys["network"] = facades::network_keys();
+  e.keys["storage"] = facades::storage_keys();
   reg.add(std::move(e));
 }
 

@@ -138,6 +138,7 @@ Result run(core::Engine& engine, const Config& cfg) {
   t0.has_mass_storage = true;
   t0.tape_bandwidth = cfg.tape_bandwidth;
   t0.tape_mount_latency = cfg.tape_mount_latency;
+  t0.storage_sharing = cfg.storage_sharing;
   grid.add_site(t0);
 
   for (std::size_t i = 0; i < cfg.num_t1; ++i) {
@@ -146,6 +147,7 @@ Result run(core::Engine& engine, const Config& cfg) {
     t1.cores = cfg.t1_cores;
     t1.cpu_speed = cfg.analysis_cpu_speed;
     t1.disk_capacity = cfg.t1_disk;
+    t1.storage_sharing = cfg.storage_sharing;
     grid.add_site(t1);
   }
   // Optional T2 tier under each T1.
@@ -157,6 +159,7 @@ Result run(core::Engine& engine, const Config& cfg) {
       t2.cores = cfg.t2_cores;
       t2.cpu_speed = cfg.analysis_cpu_speed;
       t2.disk_capacity = cfg.t2_disk;
+      t2.storage_sharing = cfg.storage_sharing;
       t2_sites[i].push_back(grid.add_site(t2).id());
     }
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "hosts/storage.hpp"
 #include "middleware/failures.hpp"
 #include "net/flow.hpp"
 #include "stats/summary.hpp"
@@ -62,6 +63,13 @@ struct Config {
   bool archive_to_tape = false;
   double tape_bandwidth = 1e9;  // bytes/s aggregate robot throughput
   double tape_mount_latency = 10.0;
+  /// Storage contention model for every tier site (`[storage] sharing`).
+  /// kMaxMin puts the T0 disk's read head (default 100 MB/s, well under
+  /// the 2.5 Gbps link) and each T1 disk's write head into the transfer
+  /// constraint sets, so replication sees the T0 staging bottleneck the
+  /// MONARC studies identified — the fifo arm keeps the original
+  /// link-only traces.
+  hosts::StorageSharing storage_sharing = hosts::StorageSharing::kFifo;
 
   // Optional T2 tier ("jobs are processed according to their hierarchical
   // levels"): each T1 serves `t2_per_t1` T2 centers; every T2 re-analyzes a

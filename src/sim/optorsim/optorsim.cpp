@@ -9,6 +9,7 @@
 #include "core/process.hpp"
 #include "hosts/site.hpp"
 #include "middleware/replica_catalog.hpp"
+#include "net/zone.hpp"
 #include "sim/common.hpp"
 #include "util/strings.hpp"
 
@@ -88,6 +89,10 @@ core::Process job_process(core::Engine& eng, Ctx& ctx, hosts::SiteId site_id, ho
 }  // namespace
 
 Result run(core::Engine& engine, const Config& cfg) {
+  // Zone platform objects must outlive the grid (it keeps a provider
+  // reference), so they are declared first.
+  std::unique_ptr<net::ZoneTree> tree;
+  std::unique_ptr<net::ZoneRouting> zone_routing;
   hosts::Grid grid(engine);
 
   // Workload first: cache capacity is a fraction of the dataset size.
@@ -97,6 +102,7 @@ Result run(core::Engine& engine, const Config& cfg) {
   for (const auto& [lfn, bytes] : workload.files) dataset_bytes += bytes;
 
   // Site 0: master storage element holding every file, no compute.
+  std::vector<hosts::SiteSpec> specs;
   hosts::SiteSpec master;
   master.name = "master-SE";
   master.cores = 1;
@@ -104,7 +110,8 @@ Result run(core::Engine& engine, const Config& cfg) {
   master.disk_capacity = dataset_bytes * 2 + 1;
   master.disk_read_bw = cfg.disk_bw;
   master.disk_write_bw = cfg.disk_bw;
-  grid.add_site(master);
+  master.storage_sharing = cfg.storage_sharing;
+  specs.push_back(master);
 
   for (std::size_t i = 0; i < cfg.num_sites; ++i) {
     hosts::SiteSpec s;
@@ -114,20 +121,53 @@ Result run(core::Engine& engine, const Config& cfg) {
     s.disk_capacity = std::max(1.0, dataset_bytes * cfg.cache_fraction);
     s.disk_read_bw = cfg.disk_bw;
     s.disk_write_bw = cfg.disk_bw;
-    grid.add_site(s);
+    s.storage_sharing = cfg.storage_sharing;
+    specs.push_back(s);
   }
 
-  // Star around a hub router.
-  auto& topo = grid.topology();
-  const net::NodeId hub = topo.add_node("hub", net::NodeKind::kRouter);
-  for (std::size_t s = 0; s < grid.site_count(); ++s) {
-    topo.add_link(grid.site(static_cast<hosts::SiteId>(s)).node(), hub, cfg.site_bw,
-                  cfg.site_latency);
+  if (cfg.zones >= 2) {
+    // Hierarchical platform: `zones` star subtrees over a ZoneTree
+    // backbone; site i lives in subtree i % zones at position i / zones.
+    const std::size_t per_zone = (specs.size() + cfg.zones - 1) / cfg.zones;
+    tree = std::make_unique<net::ZoneTree>();
+    for (std::size_t z = 0; z < cfg.zones; ++z) {
+      net::StarSpec star;
+      star.hosts = per_zone;
+      star.bandwidth = cfg.site_bw;
+      star.latency = cfg.site_latency;
+      tree->add_child(std::make_unique<net::StarZone>(star), cfg.zone_backbone_bw,
+                      cfg.zone_backbone_latency);
+    }
+    zone_routing = std::make_unique<net::ZoneRouting>(*tree);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const std::size_t z = s % cfg.zones;
+      const auto node =
+          static_cast<net::NodeId>(tree->child_offset(z) + s / cfg.zones);
+      grid.add_site_at(specs[s], node);
+    }
+    grid.finalize_with(*zone_routing, cfg.network);
+  } else {
+    // Classic OptorSim topology: a star around a hub router.
+    for (const auto& s : specs) grid.add_site(s);
+    auto& topo = grid.topology();
+    const net::NodeId hub = topo.add_node("hub", net::NodeKind::kRouter);
+    for (std::size_t s = 0; s < grid.site_count(); ++s) {
+      topo.add_link(grid.site(static_cast<hosts::SiteId>(s)).node(), hub, cfg.site_bw,
+                    cfg.site_latency);
+    }
+    grid.finalize(cfg.network);
   }
-  grid.finalize(cfg.network);
   auto chaos = inject_failures(grid, cfg.failures);
 
-  middleware::ReplicaCatalog catalog(grid.routing());
+  middleware::ReplicaCatalog catalog(grid.route_provider());
+  if (tree) catalog.set_zone_tree(tree.get());
+  if (cfg.storage_sharing == hosts::StorageSharing::kMaxMin) {
+    // Storage-aware staging: rank candidate sources by their disk's live
+    // access delay on top of route latency.
+    catalog.set_source_cost_fn([&grid](hosts::SiteId s) {
+      return grid.site(s).disk().estimated_access_delay();
+    });
+  }
   auto strategy = middleware::make_replication_strategy(cfg.policy);
 
   Result res;

@@ -17,6 +17,7 @@
 
 #include "apps/workload.hpp"
 #include "core/engine.hpp"
+#include "hosts/storage.hpp"
 #include "middleware/failures.hpp"
 #include "net/flow.hpp"
 #include "middleware/replication.hpp"
@@ -38,6 +39,21 @@ struct Config {
 
   double site_bw = 125e6;  // site <-> hub
   double site_latency = 0.01;
+
+  /// Hierarchical platform: 0 or 1 = the classic flat hub star; >= 2 = that
+  /// many StarZone subtrees composed by a net::ZoneTree backbone, sites
+  /// dealt round-robin across subtrees (site i -> zone i % zones). Replica
+  /// placement then becomes zone-aware: same-subtree replicas rank strictly
+  /// ahead, ties broken deterministically by site id.
+  std::size_t zones = 0;
+  double zone_backbone_bw = 1.25e9;
+  double zone_backbone_latency = 0.05;
+
+  /// Storage contention model for every site (`[storage] sharing` INI key):
+  /// kFifo busy-until heads, or kMaxMin heads solved jointly with the links
+  /// — remote reads then contend with the source SE's local disk traffic,
+  /// and the replica optimizer ranks sources by live storage access delay.
+  hosts::StorageSharing storage_sharing = hosts::StorageSharing::kFifo;
 
   apps::DataGridWorkloadSpec workload;
   middleware::ReplicationPolicy policy = middleware::ReplicationPolicy::kLru;

@@ -102,6 +102,7 @@ TierResult run_tier(const monarc::Config& cfg, const hosts::ExecutionSpec& exec)
   t0spec.has_mass_storage = true;
   t0spec.tape_bandwidth = cfg.tape_bandwidth;
   t0spec.tape_mount_latency = cfg.tape_mount_latency;
+  t0spec.storage_sharing = cfg.storage_sharing;
   const hosts::SiteId t0 = grid.add_site(t0spec);
 
   std::vector<hosts::SiteId> t1_sites;
@@ -111,6 +112,7 @@ TierResult run_tier(const monarc::Config& cfg, const hosts::ExecutionSpec& exec)
     s.cores = cfg.t1_cores;
     s.cpu_speed = cfg.analysis_cpu_speed;
     s.disk_capacity = cfg.t1_disk;
+    s.storage_sharing = cfg.storage_sharing;
     t1_sites.push_back(grid.add_site(s));
   }
   std::vector<std::vector<hosts::SiteId>> t2_sites(cfg.num_t1);
@@ -121,6 +123,7 @@ TierResult run_tier(const monarc::Config& cfg, const hosts::ExecutionSpec& exec)
       s.cores = cfg.t2_cores;
       s.cpu_speed = cfg.analysis_cpu_speed;
       s.disk_capacity = cfg.t2_disk;
+      s.storage_sharing = cfg.storage_sharing;
       t2_sites[i].push_back(grid.add_site(s));
     }
   }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_storage.json emitted by bench_storage (E15).
+
+Usage: check_storage_bench.py BENCH_storage.json
+
+Checks:
+  * the file parses as JSON with benchmark == "storage_staging" and a
+    non-empty points list covering all three arms (fifo, maxmin-full,
+    maxmin-incremental) at every stream count;
+  * every point passed its in-binary self-check (determinism re-hash,
+    full-vs-incremental differential, all streams delivered);
+  * per stream count, the maxmin-full and maxmin-incremental state
+    hashes are EQUAL (the incremental solver is byte-identical under
+    disk+link joint constraints) and differ from the fifo hash (the
+    sharing model actually changes the trace);
+  * within each arm, makespan grows strictly with the stream count
+    (contended staging scales, it does not flat-line);
+  * the incremental solver never re-rates more flows than the full
+    solver at the same point.
+
+Exit code 0 on success, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+ARMS = ("fifo", "maxmin-full", "maxmin-incremental")
+
+
+def fail(msg):
+    print(f"check_storage_bench: FAIL: {msg}")
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"cannot read {argv[1]}: {e}")
+
+    if doc.get("benchmark") != "storage_staging":
+        return fail(f"unexpected benchmark field: {doc.get('benchmark')!r}")
+    points = doc.get("points")
+    if not points:
+        return fail("no points in document")
+
+    by_streams = {}
+    for p in points:
+        streams, arm = p.get("streams"), p.get("arm")
+        if not isinstance(streams, int) or streams <= 0:
+            return fail(f"bad streams field: {streams!r}")
+        if arm not in ARMS:
+            return fail(f"unknown arm: {arm!r}")
+        for key in ("wall_ms", "makespan_s"):
+            v = p.get(key)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+                return fail(f"{arm}@{streams}: bad {key}: {v!r}")
+        if not p.get("ok", False):
+            return fail(f"{arm}@{streams}: self-check failed")
+        if p.get("delivered") != streams:
+            return fail(f"{arm}@{streams}: delivered {p.get('delivered')!r} != {streams}")
+        if int(p.get("state_hash", "0"), 16) == 0:
+            return fail(f"{arm}@{streams}: zero state hash")
+        by_streams.setdefault(streams, {})[arm] = p
+
+    for streams, arms in sorted(by_streams.items()):
+        missing = [a for a in ARMS if a not in arms]
+        if missing:
+            return fail(f"streams={streams}: missing arms {missing}")
+        full, inc = arms["maxmin-full"], arms["maxmin-incremental"]
+        if full["state_hash"] != inc["state_hash"]:
+            return fail(f"streams={streams}: maxmin solvers diverged "
+                        f"({full['state_hash']} vs {inc['state_hash']})")
+        if arms["fifo"]["state_hash"] == full["state_hash"]:
+            return fail(f"streams={streams}: fifo and maxmin hashes equal — "
+                        "the sharing model changed nothing")
+        if inc["flows_rerated"] > full["flows_rerated"]:
+            return fail(f"streams={streams}: incremental re-rated more flows "
+                        f"({inc['flows_rerated']}) than full ({full['flows_rerated']})")
+
+    for arm in ARMS:
+        prev = 0.0
+        for streams in sorted(by_streams):
+            mk = by_streams[streams][arm]["makespan_s"]
+            if mk <= prev:
+                return fail(f"{arm}: makespan not growing at {streams} streams "
+                            f"({prev:.1f} -> {mk:.1f})")
+            prev = mk
+
+    counts = sorted(by_streams)
+    print(f"check_storage_bench: OK ({len(points)} points, streams {counts[0]}..{counts[-1]}, "
+          f"maxmin solvers byte-identical at every point)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
