@@ -81,6 +81,10 @@ void args_for_all(benchmark::internal::Benchmark* b) {
   for (int k = 0; k < 5; ++k) {
     for (std::int64_t n : {100, 1000, 10000, 100000}) b->Args({k, n});
   }
+  // E16 operating point: the ladder queue carrying a million pending events
+  // (the million-peer churn workload of bench_p2p_churn holds one
+  // maintenance timer per live peer).
+  b->Args({4, 1000000});
 }
 
 void ramp_args(benchmark::internal::Benchmark* b) {

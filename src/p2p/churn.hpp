@@ -1,0 +1,195 @@
+// Lifetime-model churn and synthetic lookup traffic for the P2P overlays.
+//
+// OverSim-style churn (PAPERS.md): each peer draws a session *lifetime*
+// when it comes up and a *downtime* when it dies; after the downtime the
+// peer rejoins (Chord: protocol join via a random live bootstrap;
+// Gnutella: rewire to random live neighbors) on the same topology node.
+// Lifetimes are exponential (memoryless baseline) or Weibull (heavy-tailed
+// session lengths, shape < 1, or aging, shape > 1 — the shape measured
+// studies report). All draws come from named core/rng substreams, so a
+// churn schedule is a pure function of the scenario seed, independent of
+// the event-queue kind.
+//
+// The traffic generators are the measurement probes of experiment E16:
+// Poisson lookup/search arrivals from random live origins, results folded
+// into hop/latency accumulators through the overlays' allocation-free
+// tagged-handler path. Every driver stops scheduling at its horizon, so
+// Engine::run() terminates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "p2p/chord.hpp"
+#include "p2p/gnutella.hpp"
+#include "stats/summary.hpp"
+
+namespace lsds::p2p {
+
+struct ChurnSpec {
+  enum class Lifetime { kExponential, kWeibull };
+
+  Lifetime lifetime_model = Lifetime::kExponential;
+  double mean_lifetime = 300;  // mean session length (sim seconds)
+  double weibull_shape = 1.5;  // Weibull only
+  double mean_downtime = 30;   // mean off-time before rejoin
+  double horizon = 0;          // no deaths or rebirths at/after this time
+
+  /// Throws std::invalid_argument on non-positive / non-finite parameters.
+  void validate() const;
+  /// Weibull scale such that the mean equals mean_lifetime.
+  double weibull_scale() const;
+};
+
+/// Drives lifetime churn on a ChordNetwork in protocol mode: fail_peer on
+/// death, join_via(random live bootstrap) on rebirth.
+class ChordChurn {
+ public:
+  ChordChurn(core::Engine& engine, ChordNetwork& chord, const ChurnSpec& spec);
+
+  /// Draw a lifetime for every currently-live peer. Call once, after
+  /// enable_protocol_mode.
+  void start();
+
+  std::uint64_t deaths() const { return deaths_; }
+  std::uint64_t rebirths() const { return rebirths_; }
+
+ private:
+  void schedule_death(PeerIndex peer);
+  void on_death(std::uint32_t slot, std::uint32_t gen);
+  void on_rebirth(net::NodeId node);
+  double draw_lifetime();
+
+  core::Engine& engine_;
+  ChordNetwork& chord_;
+  ChurnSpec spec_;
+  core::RngStream& lifetime_rng_;
+  core::RngStream& downtime_rng_;
+  core::RngStream& bootstrap_rng_;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t rebirths_ = 0;
+};
+
+/// Same lifetime model for the unstructured overlay: remove_peer on death,
+/// add_peer + connect_random(degree) on rebirth.
+class GnutellaChurn {
+ public:
+  GnutellaChurn(core::Engine& engine, GnutellaNetwork& net, const ChurnSpec& spec,
+                std::size_t rejoin_degree);
+
+  void start();
+
+  std::uint64_t deaths() const { return deaths_; }
+  std::uint64_t rebirths() const { return rebirths_; }
+
+ private:
+  void schedule_death(GnutellaNetwork::PeerIndex peer);
+  void on_death(std::uint32_t slot, std::uint32_t gen);
+  void on_rebirth(net::NodeId node);
+  double draw_lifetime();
+
+  core::Engine& engine_;
+  GnutellaNetwork& net_;
+  ChurnSpec spec_;
+  std::size_t rejoin_degree_;
+  core::RngStream& lifetime_rng_;
+  core::RngStream& downtime_rng_;
+  core::RngStream& rewire_rng_;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t rebirths_ = 0;
+};
+
+struct TrafficSpec {
+  double rate = 100;   // arrivals per sim second, network-wide (Poisson)
+  double horizon = 0;  // no arrivals at/after this time
+  std::size_t ttl = 6; // Gnutella floods only
+
+  /// Throws std::invalid_argument on non-positive / non-finite parameters.
+  void validate() const;
+};
+
+/// Poisson lookup workload over a ChordNetwork: uniform random keys from
+/// random live origins, results folded through the tagged-handler path
+/// (installs itself as the network's lookup handler).
+class ChordLookupTraffic {
+ public:
+  ChordLookupTraffic(core::Engine& engine, ChordNetwork& chord, const TrafficSpec& spec);
+
+  void start();
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t succeeded() const { return succeeded_; }
+  std::uint64_t failed() const { return failed_; }
+  double failure_rate() const {
+    const std::uint64_t n = succeeded_ + failed_;
+    return n == 0 ? 0.0 : static_cast<double>(failed_) / static_cast<double>(n);
+  }
+  /// Hop count / origin-observed latency of *successful* lookups.
+  const stats::Accumulator& hops() const { return hops_; }
+  const stats::Accumulator& latency() const { return latency_; }
+  /// Max Engine::pending() observed at arrival instants.
+  std::size_t peak_pending() const { return peak_pending_; }
+
+ private:
+  static void dispatch(void* user, std::uint64_t tag, const ChordNetwork::LookupResult& r);
+  void on_tick();
+  void schedule_next();
+
+  core::Engine& engine_;
+  ChordNetwork& chord_;
+  TrafficSpec spec_;
+  core::RngStream& arrival_rng_;
+  core::RngStream& origin_rng_;
+  core::RngStream& key_rng_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t failed_ = 0;
+  stats::Accumulator hops_;
+  stats::Accumulator latency_;
+  std::size_t peak_pending_ = 0;
+};
+
+/// Poisson flooding-search workload over a GnutellaNetwork. Targets are
+/// drawn from a fixed catalog of object-name hashes (the facade places
+/// "obj-<i>" objects and hands the hashes over).
+class GnutellaSearchTraffic {
+ public:
+  GnutellaSearchTraffic(core::Engine& engine, GnutellaNetwork& net, const TrafficSpec& spec,
+                        std::vector<std::uint64_t> catalog);
+
+  void start();
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t found() const { return found_; }
+  std::uint64_t missed() const { return missed_; }
+  double failure_rate() const {
+    const std::uint64_t n = found_ + missed_;
+    return n == 0 ? 0.0 : static_cast<double>(missed_) / static_cast<double>(n);
+  }
+  const stats::Accumulator& hops() const { return hops_; }
+  const stats::Accumulator& latency() const { return latency_; }
+  const stats::Accumulator& messages() const { return messages_; }
+  std::size_t peak_pending() const { return peak_pending_; }
+
+ private:
+  static void dispatch(void* user, std::uint64_t tag, const GnutellaNetwork::SearchResult& r);
+  void on_tick();
+  void schedule_next();
+
+  core::Engine& engine_;
+  GnutellaNetwork& net_;
+  TrafficSpec spec_;
+  std::vector<std::uint64_t> catalog_;
+  core::RngStream& arrival_rng_;
+  core::RngStream& origin_rng_;
+  core::RngStream& target_rng_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t found_ = 0;
+  std::uint64_t missed_ = 0;
+  stats::Accumulator hops_;
+  stats::Accumulator latency_;
+  stats::Accumulator messages_;
+  std::size_t peak_pending_ = 0;
+};
+
+}  // namespace lsds::p2p

@@ -5,11 +5,22 @@
 // duplicate-suppressed per query id. Search cost grows with the flooded
 // frontier (O(n) messages to cover the network) where Chord pays O(log n)
 // hops — the comparison examples/p2p_overlay.cpp reproduces.
+//
+// Scale engineering (million-peer churn, experiment E16): the seed kept
+// queries in a std::map<id, Query> with a std::set visit tracker and a
+// std::string object name per query — three allocation sources per search
+// plus a table that only shrank when a flood drained. Queries now live in
+// a recycled slot pool (generation-counted, so late flood messages for a
+// finished query are dropped in O(1)), the visit tracker is a reusable
+// open-addressing set of peer slots, and object names are stored as FNV-1a
+// hashes (sorted per-peer arrays). The query table is bounded by the peak
+// number of *concurrent* floods, not by cumulative traffic. Peer state is
+// struct-of-arrays with generation counters and slot reuse, mirroring
+// ChordNetwork, so lifetime-model churn runs allocation-light.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -25,16 +36,38 @@ class GnutellaNetwork {
 
   GnutellaNetwork(core::Engine& engine, net::RouteProvider& routing);
 
+  /// Pre-size the per-peer slabs (bulk builds at 100k+ peers).
+  void reserve(std::size_t peers);
+
+  /// Add a peer attached to a topology node (recycles churned-out slots).
   PeerIndex add_peer(net::NodeId node);
+  /// Remove a peer (churn): unlink it from every neighbor and recycle the
+  /// slot. Floods in flight may lose frontier. Throws std::invalid_argument
+  /// on an out-of-range or dead peer.
+  void remove_peer(PeerIndex peer);
   /// Wire each peer to `degree` distinct random neighbors (symmetric).
   void build_random_overlay(std::size_t degree, core::RngStream& rng);
+  /// Wire one (re)joining peer to up to `degree` random live neighbors —
+  /// the incremental counterpart of build_random_overlay for churn.
+  void connect_random(PeerIndex peer, std::size_t degree, core::RngStream& rng);
 
-  /// Place a named object at a peer.
+  /// Place a named object at a peer. Names are stored hashed (FNV-1a);
+  /// distinct names collide with probability ~n^2 / 2^64 — negligible for
+  /// any catalog this simulator hosts.
   void place_object(PeerIndex peer, const std::string& name);
   bool has_object(PeerIndex peer, const std::string& name) const;
+  static std::uint64_t hash_name(const std::string& name);
 
-  std::size_t size() const { return peers_.size(); }
-  std::size_t degree_of(PeerIndex peer) const { return peers_[peer].neighbors.size(); }
+  std::size_t size() const { return live_count_; }
+  bool is_live(PeerIndex peer) const { return peer < live_.size() && live_[peer] != 0; }
+  net::NodeId node_of(PeerIndex peer) const { return node_[peer]; }
+  /// Generation counter of a slot; bumped when the peer dies, so stale
+  /// references can detect slot reuse.
+  std::uint32_t generation(PeerIndex peer) const { return gen_[peer]; }
+  std::size_t degree_of(PeerIndex peer) const { return neighbors_[peer].size(); }
+  PeerIndex neighbor(PeerIndex peer, std::size_t k) const { return neighbors_[peer][k]; }
+  /// A live peer drawn uniformly (rejection over slots; O(1) expected).
+  PeerIndex random_live_peer(core::RngStream& rng) const;
 
   struct SearchResult {
     bool found = false;
@@ -49,32 +82,89 @@ class GnutellaNetwork {
   /// out (all in-flight messages processed), with the first hit if any.
   void search(PeerIndex origin, const std::string& name, std::size_t ttl, SearchFn done);
 
+  // Allocation-free bulk path: results go to the installed handler with the
+  // caller's tag (one handler per network; the traffic driver owns it).
+  using SearchHandler = void (*)(void* user, std::uint64_t tag, const SearchResult& result);
+  void set_search_handler(SearchHandler handler, void* user) {
+    handler_ = handler;
+    handler_user_ = user;
+  }
+  void search_tagged(PeerIndex origin, std::uint64_t name_hash, std::size_t ttl,
+                     std::uint64_t tag);
+
+  // --- statistics ---------------------------------------------------------
+
+  /// Query slots ever allocated — bounded by peak *concurrent* floods (the
+  /// regression hook for the old unbounded-table bug).
+  std::size_t query_table_capacity() const { return queries_.size(); }
+  std::size_t searches_in_flight() const { return queries_live_; }
+  /// Total slots ever allocated (bounded by peak live population).
+  std::size_t slot_count() const { return node_.size(); }
+
+  /// FNV-1a digest of the live overlay (walked in slot order): adjacency,
+  /// objects, liveness. Equal digests across event-queue kinds are the E16
+  /// determinism self-check.
+  std::uint64_t state_digest() const;
+
  private:
-  struct Peer {
-    net::NodeId node = net::kInvalidNode;
-    std::vector<PeerIndex> neighbors;
-    std::set<std::string> objects;
+  using PeerSlot = std::uint32_t;
+  static constexpr std::uint32_t kNilIdx = 0xffffffffu;
+
+  /// Reusable open-addressing set of peer slots (the per-flood visit
+  /// tracker). clear() keeps the table allocation, so a recycled query
+  /// slot floods without touching the heap once warmed up.
+  class VisitSet {
+   public:
+    bool insert(PeerSlot s);
+    bool contains(PeerSlot s) const;
+    void clear();
+
+   private:
+    static constexpr PeerSlot kEmpty = 0xffffffffu;
+    void grow();
+    std::vector<PeerSlot> table_;
+    std::size_t size_ = 0;
   };
 
   struct Query {
-    std::string name;
-    PeerIndex origin = 0;
-    std::size_t in_flight = 0;
-    std::set<PeerIndex> visited;
-    SearchResult result;
+    std::uint64_t name_hash = 0;
+    std::uint64_t tag = 0;
     double started = 0;
-    SearchFn done;
+    SearchFn done;  // callback path only
+    SearchResult result;
+    VisitSet visited;
+    PeerSlot origin = 0;
+    std::uint32_t in_flight = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilIdx;
+    bool tagged = false;
   };
 
-  void deliver(std::uint64_t query_id, PeerIndex at, std::size_t ttl, std::size_t hops);
-  void finish_if_drained(std::uint64_t query_id);
-  double link_latency(PeerIndex a, PeerIndex b);
+  std::uint32_t allocate_query(PeerIndex origin, std::uint64_t name_hash);
+  void deliver(std::uint32_t qs, std::uint32_t q_gen, PeerSlot at, std::uint32_t at_gen,
+               std::uint32_t ttl, std::uint32_t hops);
+  void finish_if_drained(std::uint32_t qs);
+  double link_latency(PeerSlot a, PeerSlot b);
 
   core::Engine& engine_;
   net::RouteProvider& routing_;
-  std::vector<Peer> peers_;
-  std::map<std::uint64_t, Query> queries_;
-  std::uint64_t next_query_ = 1;
+
+  // Per-peer state, struct-of-arrays; index = slot.
+  std::vector<net::NodeId> node_;
+  std::vector<std::uint32_t> gen_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::vector<PeerSlot>> neighbors_;
+  std::vector<std::vector<std::uint64_t>> objects_;  // sorted name hashes
+  std::vector<PeerSlot> free_slots_;
+  std::size_t live_count_ = 0;
+
+  // Query pool (recycled slots, free-listed).
+  std::vector<Query> queries_;
+  std::uint32_t query_free_ = kNilIdx;
+  std::size_t queries_live_ = 0;
+
+  SearchHandler handler_ = nullptr;
+  void* handler_user_ = nullptr;
 };
 
 }  // namespace lsds::p2p

@@ -46,6 +46,7 @@ void register_builtin_facades() {
     register_chaos_facade(reg);
     register_explore_facade(reg);
     register_platform_facade(reg);
+    register_p2p_facade(reg);
     return true;
   }();
   (void)once;

@@ -71,6 +71,7 @@ void register_simg_facade(FacadeRegistry& reg);
 void register_chaos_facade(FacadeRegistry& reg);
 void register_explore_facade(FacadeRegistry& reg);
 void register_platform_facade(FacadeRegistry& reg);
+void register_p2p_facade(FacadeRegistry& reg);
 
 /// Register every built-in facade into the global registry. Idempotent.
 void register_builtin_facades();

@@ -1,0 +1,233 @@
+// Registry adapter for the P2P overlay facade: build a ZoneTree platform
+// of `sites` clusters, overlay it with a Chord DHT or a Gnutella flooding
+// network, and drive lifetime-model churn plus Poisson lookup/search
+// traffic over it — the experiment E16 workload as a scenario.
+//
+//   [p2p]
+//   overlay = chord | gnutella
+//   peers, sites                      — population and platform shape
+//   bandwidth, latency,
+//   backbone_bandwidth, backbone_latency
+//   m                                 — Chord id-space bits
+//   protocol = true|false             — Chord protocol mode (maintenance)
+//   stabilize_period, horizon
+//   churn = none | exponential | weibull
+//   mean_lifetime, weibull_shape, mean_downtime
+//   lookup_rate                       — Poisson arrivals per sim second
+//   degree, ttl, objects              — Gnutella overlay/flood shape
+//
+// Churn requires protocol mode for Chord (a failed peer must be healed by
+// stabilization, not by an omniscient rebuild); the facade rejects the
+// combination churn != none, protocol = false. Routing is ZoneTree-backed
+// (O(1) route memory), so the facade scales to million-peer populations.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "net/zone.hpp"
+#include "obs/report.hpp"
+#include "p2p/churn.hpp"
+#include "sim/facade_registry.hpp"
+#include "sim/facades/common.hpp"
+#include "util/strings.hpp"
+
+namespace lsds::sim {
+
+namespace {
+
+std::string hex64(std::uint64_t v) { return util::strformat("%016llx", (unsigned long long)v); }
+
+int run_p2p(core::Engine& eng, const util::IniConfig& ini, obs::RunReport& report) {
+  const std::string overlay = ini.get_string("p2p", "overlay", "chord");
+  if (overlay != "chord" && overlay != "gnutella") {
+    throw util::ConfigError("unknown overlay: " + overlay + " (chord|gnutella)");
+  }
+  const auto peers = static_cast<std::size_t>(ini.get_int("p2p", "peers", 1024));
+  if (peers < 2) throw util::ConfigError("[p2p] peers: need at least 2, got " +
+                                         std::to_string(peers));
+  auto sites = static_cast<std::size_t>(ini.get_int("p2p", "sites", 16));
+  if (sites == 0) throw util::ConfigError("[p2p] sites: must be positive");
+  if (sites > peers) sites = peers;
+
+  // Platform: `sites` clusters under one backbone, peers spread evenly.
+  net::ZoneTree tree;
+  const double bw = ini.get_double("p2p", "bandwidth", 1e8);
+  const double lat = ini.get_double("p2p", "latency", 5e-3);
+  const double bb_bw = ini.get_double("p2p", "backbone_bandwidth", 1e10);
+  const double bb_lat = ini.get_double("p2p", "backbone_latency", 2e-2);
+  const std::size_t base = peers / sites;
+  const std::size_t extra = peers % sites;
+  for (std::size_t s = 0; s < sites; ++s) {
+    net::ClusterSpec spec;
+    spec.hosts = base + (s < extra ? 1 : 0);
+    spec.host_bandwidth = bw;
+    spec.host_latency = lat;
+    spec.backbone_bandwidth = bb_bw;
+    spec.backbone_latency = bb_lat;
+    tree.add_child(std::make_unique<net::ClusterZone>(spec), bb_bw, bb_lat);
+  }
+  net::ZoneRouting routing(tree);
+
+  const double horizon = ini.get_duration("p2p", "horizon", 60.0);
+  if (!(horizon > 0) || !std::isfinite(horizon)) {
+    throw util::ConfigError("[p2p] horizon: must be positive and finite");
+  }
+
+  p2p::ChurnSpec churn;
+  const std::string churn_kind = ini.get_string("p2p", "churn", "none");
+  const bool churn_on = churn_kind != "none";
+  if (churn_on) {
+    if (churn_kind == "exponential") {
+      churn.lifetime_model = p2p::ChurnSpec::Lifetime::kExponential;
+    } else if (churn_kind == "weibull") {
+      churn.lifetime_model = p2p::ChurnSpec::Lifetime::kWeibull;
+    } else {
+      throw util::ConfigError("unknown churn: " + churn_kind + " (none|exponential|weibull)");
+    }
+    churn.mean_lifetime = ini.get_duration("p2p", "mean_lifetime", 300.0);
+    churn.weibull_shape = ini.get_double("p2p", "weibull_shape", 1.5);
+    churn.mean_downtime = ini.get_duration("p2p", "mean_downtime", 30.0);
+    churn.horizon = horizon;
+    churn.validate();
+  }
+
+  p2p::TrafficSpec traffic;
+  traffic.rate = ini.get_double("p2p", "lookup_rate", 100.0);
+  traffic.ttl = static_cast<std::size_t>(ini.get_int("p2p", "ttl", 6));
+  traffic.horizon = horizon;
+  traffic.validate();
+
+  std::uint64_t digest = 0;
+  if (overlay == "chord") {
+    const auto m = static_cast<std::uint32_t>(ini.get_int("p2p", "m", 32));
+    const bool protocol = ini.get_bool("p2p", "protocol", churn_on);
+    if (churn_on && !protocol) {
+      throw util::ConfigError(
+          "[p2p] churn without protocol mode: a failed peer can only be healed by "
+          "stabilization; set protocol = true");
+    }
+    const double period = ini.get_duration("p2p", "stabilize_period", 5.0);
+
+    p2p::ChordNetwork chord(eng, routing, m);
+    chord.reserve(peers);
+    for (std::size_t i = 0; i < peers; ++i) chord.add_peer(tree.host(i));
+    chord.build();
+    if (protocol) chord.enable_protocol_mode(period, horizon);
+
+    p2p::ChordLookupTraffic gen(eng, chord, traffic);
+    std::unique_ptr<p2p::ChordChurn> churner;
+    if (churn_on) {
+      churner = std::make_unique<p2p::ChordChurn>(eng, chord, churn);
+      churner->start();
+    }
+    gen.start();
+    eng.run();
+
+    digest = chord.state_digest();
+    std::printf(
+        "p2p(chord): %zu peers (%zu live), %llu lookups (%.4f failed), mean hops %.2f, "
+        "mean latency %.4f s, %llu deaths, peak pending %zu\n",
+        peers, chord.size(), static_cast<unsigned long long>(gen.issued()), gen.failure_rate(),
+        gen.hops().mean(), gen.latency().mean(),
+        static_cast<unsigned long long>(churner ? churner->deaths() : 0), gen.peak_pending());
+
+    report.set_result_core(gen.succeeded(), eng.now(), 0.0);
+    auto& res = report.result();
+    res["overlay"] = std::string("chord");
+    res["peers"] = std::uint64_t{peers};
+    res["live_peers"] = std::uint64_t{chord.size()};
+    res["lookups_issued"] = gen.issued();
+    res["lookups_ok"] = gen.succeeded();
+    res["lookups_failed"] = gen.failed();
+    res["failure_rate"] = gen.failure_rate();
+    res["mean_hops"] = gen.hops().mean();
+    res["mean_latency"] = gen.latency().mean();
+    res["messages"] = chord.messages_sent();
+    res["stabilize_rounds"] = chord.stabilize_rounds();
+    res["deaths"] = churner ? churner->deaths() : 0;
+    res["rebirths"] = churner ? churner->rebirths() : 0;
+    res["peak_pending"] = std::uint64_t{gen.peak_pending()};
+    res["state_digest"] = hex64(digest);
+    return gen.issued() > 0 && chord.size() > 0 ? 0 : 1;
+  }
+
+  // gnutella
+  const auto degree = static_cast<std::size_t>(ini.get_int("p2p", "degree", 4));
+  const auto objects = static_cast<std::size_t>(ini.get_int("p2p", "objects", 64));
+  if (objects == 0) throw util::ConfigError("[p2p] objects: must be positive");
+
+  p2p::GnutellaNetwork gnet(eng, routing);
+  gnet.reserve(peers);
+  for (std::size_t i = 0; i < peers; ++i) gnet.add_peer(tree.host(i));
+  gnet.build_random_overlay(degree, eng.rng("p2p.overlay"));
+
+  // Catalog: objects placed on rng-drawn peers; searches draw from it.
+  std::vector<std::uint64_t> catalog;
+  catalog.reserve(objects);
+  auto& place_rng = eng.rng("p2p.objects");
+  for (std::size_t i = 0; i < objects; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    const auto holder = static_cast<std::size_t>(
+        place_rng.uniform_int(0, static_cast<std::int64_t>(peers) - 1));
+    gnet.place_object(holder, name);
+    catalog.push_back(p2p::GnutellaNetwork::hash_name(name));
+  }
+
+  p2p::GnutellaSearchTraffic gen(eng, gnet, traffic, std::move(catalog));
+  std::unique_ptr<p2p::GnutellaChurn> churner;
+  if (churn_on) {
+    churner = std::make_unique<p2p::GnutellaChurn>(eng, gnet, churn, degree);
+    churner->start();
+  }
+  gen.start();
+  eng.run();
+
+  digest = gnet.state_digest();
+  std::printf(
+      "p2p(gnutella): %zu peers (%zu live), %llu searches (%.4f missed), mean hops %.2f, "
+      "mean messages %.1f, %llu deaths, query table %zu slots\n",
+      peers, gnet.size(), static_cast<unsigned long long>(gen.issued()), gen.failure_rate(),
+      gen.hops().mean(), gen.messages().mean(),
+      static_cast<unsigned long long>(churner ? churner->deaths() : 0),
+      gnet.query_table_capacity());
+
+  report.set_result_core(gen.found(), eng.now(), 0.0);
+  auto& res = report.result();
+  res["overlay"] = std::string("gnutella");
+  res["peers"] = std::uint64_t{peers};
+  res["live_peers"] = std::uint64_t{gnet.size()};
+  res["searches_issued"] = gen.issued();
+  res["searches_found"] = gen.found();
+  res["searches_missed"] = gen.missed();
+  res["failure_rate"] = gen.failure_rate();
+  res["mean_hops"] = gen.hops().mean();
+  res["mean_latency"] = gen.latency().mean();
+  res["mean_messages"] = gen.messages().mean();
+  res["deaths"] = churner ? churner->deaths() : 0;
+  res["rebirths"] = churner ? churner->rebirths() : 0;
+  res["query_table_slots"] = std::uint64_t{gnet.query_table_capacity()};
+  res["peak_pending"] = std::uint64_t{gen.peak_pending()};
+  res["state_digest"] = hex64(digest);
+  return gen.issued() > 0 && gnet.size() > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+void register_p2p_facade(FacadeRegistry& reg) {
+  FacadeRegistry::Entry e;
+  e.name = "p2p";
+  e.run = run_p2p;
+  e.keys["p2p"] = {"overlay",       "peers",         "sites",
+                   "m",             "bandwidth",     "latency",
+                   "backbone_bandwidth", "backbone_latency",
+                   "protocol",      "stabilize_period", "horizon",
+                   "churn",         "mean_lifetime", "weibull_shape",
+                   "mean_downtime", "lookup_rate",   "degree",
+                   "ttl",           "objects"};
+  reg.add(std::move(e));
+}
+
+}  // namespace lsds::sim

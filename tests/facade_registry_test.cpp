@@ -15,9 +15,9 @@ using namespace lsds;
 TEST(FacadeRegistry, AllBuiltinsResolve) {
   sim::register_builtin_facades();
   const auto& reg = sim::FacadeRegistry::global();
-  EXPECT_EQ(reg.size(), 9u);
+  EXPECT_EQ(reg.size(), 10u);
   for (const char* name : {"bricks", "optorsim", "monarc", "gridsim", "chicsim", "simg", "chaos",
-                           "explore", "platform"}) {
+                           "explore", "platform", "p2p"}) {
     const auto* entry = reg.find(name);
     ASSERT_NE(entry, nullptr) << name;
     EXPECT_EQ(entry->name, name);
@@ -28,13 +28,13 @@ TEST(FacadeRegistry, AllBuiltinsResolve) {
 TEST(FacadeRegistry, RegisterBuiltinsIsIdempotent) {
   sim::register_builtin_facades();
   sim::register_builtin_facades();
-  EXPECT_EQ(sim::FacadeRegistry::global().size(), 9u);
+  EXPECT_EQ(sim::FacadeRegistry::global().size(), 10u);
 }
 
 TEST(FacadeRegistry, NamesAreSorted) {
   sim::register_builtin_facades();
   const auto names = sim::FacadeRegistry::global().names();
-  ASSERT_EQ(names.size(), 9u);
+  ASSERT_EQ(names.size(), 10u);
   for (std::size_t i = 1; i < names.size(); ++i) {
     EXPECT_LT(names[i - 1], names[i]);
   }

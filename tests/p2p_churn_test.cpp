@@ -1,0 +1,476 @@
+// Million-peer-scale P2P machinery at unit-test scale: the RingIndex
+// ordered-ring structure against a std::map reference, slot reuse and
+// generation counters under churn, lookup failure when peers die with
+// lookups in flight, the lifetime churn drivers, the bounded Gnutella
+// query table, and cross-queue-kind determinism (trace + state digest) of
+// the whole protocol+churn+traffic stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hash.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/zone.hpp"
+#include "p2p/chord.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/gnutella.hpp"
+#include "p2p/ring_index.hpp"
+
+namespace core = lsds::core;
+namespace net = lsds::net;
+namespace p2p = lsds::p2p;
+
+namespace {
+
+struct P2pWorld {
+  core::Engine eng;
+  net::Topology topo;
+  std::unique_ptr<net::Routing> routing;
+
+  explicit P2pWorld(std::size_t n, core::QueueKind q = core::QueueKind::kBinaryHeap) : eng({.queue = q, .seed = 5}) {
+    core::RngStream rng(17);
+    topo = net::Topology::random_connected(n, n / 2, 1e8, 0.005, rng);
+    routing = std::make_unique<net::Routing>(topo);
+  }
+};
+
+}  // namespace
+
+// --- RingIndex ------------------------------------------------------------
+
+TEST(RingIndex, MatchesMapReferenceUnderChurn) {
+  const std::uint32_t m = 16;  // small id space: plenty of wrap cases
+  const std::uint64_t mask = (1ull << m) - 1;
+  p2p::RingIndex ring(m);
+  std::map<std::uint64_t, std::uint32_t> ref;
+  core::RngStream rng(123);
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t id = rng.next_u64() & mask;
+    if (rng.uniform() < 0.6) {
+      if (!ref.count(id)) {
+        const auto slot = static_cast<std::uint32_t>(step);
+        ring.insert(id, slot);
+        ref[id] = slot;
+      }
+      EXPECT_TRUE(ring.contains(id));
+    } else {
+      EXPECT_EQ(ring.erase(id), ref.erase(id) > 0);
+    }
+    ASSERT_EQ(ring.size(), ref.size());
+    if (ref.empty()) continue;
+
+    // successor(key) == lower_bound with wrap, on a random probe.
+    const std::uint64_t key = rng.next_u64() & mask;
+    auto it = ref.lower_bound(key);
+    if (it == ref.end()) it = ref.begin();
+    const auto got = ring.successor(key);
+    EXPECT_EQ(got.id, it->first);
+    EXPECT_EQ(got.slot, it->second);
+  }
+
+  // Iteration order must equal std::map's (ascending id) — protocol-mode
+  // rng draw order rides on this.
+  std::vector<std::uint64_t> order;
+  ring.for_each([&](std::uint64_t id, std::uint32_t) { order.push_back(id); });
+  std::vector<std::uint64_t> expect;
+  for (const auto& [id, slot] : ref) expect.push_back(id);
+  EXPECT_EQ(order, expect);
+}
+
+// --- slot reuse & generations ----------------------------------------------
+
+TEST(ChordChurnState, SlotsAreRecycledAndIdsStayUnique) {
+  P2pWorld w(64);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  std::vector<p2p::PeerIndex> peers;
+  for (std::size_t i = 0; i < 64; ++i) peers.push_back(chord.add_peer(static_cast<net::NodeId>(i)));
+
+  // Kill every odd peer, then add the same number back: the table must not
+  // grow — all newcomers land in recycled slots with fresh generations.
+  std::vector<std::uint32_t> old_gen;
+  for (std::size_t i = 1; i < 64; i += 2) {
+    old_gen.push_back(chord.generation(peers[i]));
+    chord.remove_peer(peers[i]);
+  }
+  EXPECT_EQ(chord.size(), 32u);
+  const std::size_t slots_before = chord.slot_count();
+  for (std::size_t i = 0; i < 32; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  EXPECT_EQ(chord.slot_count(), slots_before);  // pure reuse, no growth
+  EXPECT_EQ(chord.size(), 64u);
+
+  // Ids unique across the live ring; generations bumped on the dead slots.
+  std::set<p2p::ChordId> ids;
+  chord.for_each_live([&](p2p::PeerIndex p) { ids.insert(chord.id_of(p)); });
+  EXPECT_EQ(ids.size(), 64u);
+
+  chord.build();
+  bool done = false;
+  chord.lookup(0, chord.hash_key("after-reuse"), [&](const auto& r) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.home, chord.responsible_peer(chord.hash_key("after-reuse")));
+    done = true;
+  });
+  w.eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ChordChurnState, RemoveDeadPeerThrows) {
+  P2pWorld w(4);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  const auto p0 = chord.add_peer(0);
+  chord.add_peer(1);
+  chord.remove_peer(p0);
+  EXPECT_THROW(chord.remove_peer(p0), std::invalid_argument);
+  EXPECT_THROW(chord.fail_peer(p0), std::invalid_argument);
+  EXPECT_THROW(chord.remove_peer(999), std::invalid_argument);
+}
+
+TEST(ChordChurnState, ConstructorRejectsBadWidth) {
+  P2pWorld w(2);
+  EXPECT_THROW(p2p::ChordNetwork(w.eng, *w.routing, 0), std::invalid_argument);
+  EXPECT_THROW(p2p::ChordNetwork(w.eng, *w.routing, 64), std::invalid_argument);
+}
+
+// --- satellite: protocol-mode argument validation ---------------------------
+
+TEST(ChordProtocolValidation, RejectsBadStabilizePeriodAndHorizon) {
+  P2pWorld w(8);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 8; ++i) chord.add_peer(static_cast<net::NodeId>(i));
+  chord.build();
+  EXPECT_THROW(chord.enable_protocol_mode(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(chord.enable_protocol_mode(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(chord.enable_protocol_mode(std::nan(""), 10.0), std::invalid_argument);
+  EXPECT_THROW(chord.enable_protocol_mode(std::numeric_limits<double>::infinity(), 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(chord.enable_protocol_mode(1.0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(chord.enable_protocol_mode(1.0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // Valid arguments still work afterwards.
+  chord.enable_protocol_mode(1.0, 5.0);
+  w.eng.run();
+  EXPECT_GT(chord.stabilize_rounds(), 0u);
+}
+
+TEST(ChurnSpecValidation, RejectsBadParameters) {
+  p2p::ChurnSpec s;
+  s.horizon = 10;
+  s.validate();  // baseline OK
+  p2p::ChurnSpec bad = s;
+  bad.mean_lifetime = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = s;
+  bad.mean_downtime = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = s;
+  bad.lifetime_model = p2p::ChurnSpec::Lifetime::kWeibull;
+  bad.weibull_shape = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = s;
+  bad.horizon = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  p2p::TrafficSpec t;
+  t.horizon = 10;
+  t.validate();
+  t.rate = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(ChurnSpecValidation, WeibullScaleMatchesMean) {
+  p2p::ChurnSpec s;
+  s.lifetime_model = p2p::ChurnSpec::Lifetime::kWeibull;
+  s.mean_lifetime = 120;
+  s.weibull_shape = 1.5;
+  // scale * Gamma(1 + 1/shape) == mean.
+  EXPECT_NEAR(s.weibull_scale() * std::tgamma(1.0 + 1.0 / 1.5), 120.0, 1e-9);
+}
+
+// --- satellite: churn during in-flight lookups ------------------------------
+
+// A peer on the forwarding path dies while lookups are in flight: the
+// documented behavior is no crash and ok=false for affected lookups — and
+// the outcome must be identical under every queue kind.
+TEST(ChordInFlightChurn, LookupsFailCleanlyAndDeterministically) {
+  std::vector<std::uint64_t> outcomes;
+  for (core::QueueKind q : core::kAllQueueKinds) {
+    P2pWorld w(64, q);
+    p2p::ChordNetwork chord(w.eng, *w.routing);
+    std::vector<p2p::PeerIndex> peers;
+    for (std::size_t i = 0; i < 64; ++i)
+      peers.push_back(chord.add_peer(static_cast<net::NodeId>(i)));
+    chord.build();
+
+    // Issue lookups from a spread of surviving origins, then kill a swath
+    // of the ring at a time when all of them are still being forwarded
+    // (every route latency exceeds 0.004).
+    int ok = 0, fail = 0, total = 0;
+    auto& rng = w.eng.rng("keys");
+    for (int i = 0; i < 200; ++i) {
+      const p2p::ChordId key = rng.next_u64() & chord.id_mask();
+      ++total;
+      chord.lookup(static_cast<std::size_t>(i) % 8, key,
+                   [&](const p2p::ChordNetwork::LookupResult& r) { r.ok ? ++ok : ++fail; });
+    }
+    w.eng.schedule_at(0.004, [&] {
+      for (std::size_t i = 8; i < 24; ++i) chord.fail_peer(peers[i]);
+    });
+    w.eng.run();
+
+    EXPECT_EQ(ok + fail, total);  // every lookup resolved exactly once
+    EXPECT_GT(fail, 0);           // the churn actually bit
+    EXPECT_GT(ok, 0);             // and didn't take everything down
+    EXPECT_EQ(chord.lookups_in_flight(), 0u);
+    outcomes.push_back((static_cast<std::uint64_t>(ok) << 32) |
+                       static_cast<std::uint64_t>(fail));
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) EXPECT_EQ(outcomes[i], outcomes[0]);
+}
+
+TEST(ChordInFlightChurn, LookupFromDeadPeerFailsImmediately) {
+  P2pWorld w(8);
+  p2p::ChordNetwork chord(w.eng, *w.routing);
+  std::vector<p2p::PeerIndex> peers;
+  for (std::size_t i = 0; i < 8; ++i) peers.push_back(chord.add_peer(static_cast<net::NodeId>(i)));
+  chord.build();
+  chord.remove_peer(peers[3]);
+  bool done = false;
+  chord.lookup(peers[3], 42, [&](const auto& r) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.hops, 0u);
+    done = true;
+  });
+  EXPECT_TRUE(done);  // resolved synchronously
+}
+
+// --- cross-queue-kind determinism of the full churn stack -------------------
+
+namespace {
+
+struct ChurnRunResult {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t rebirths = 0;
+};
+
+ChurnRunResult run_chord_churn_scenario(core::QueueKind q) {
+  core::Engine eng({.queue = q, .seed = 42});
+  net::ZoneTree tree;
+  for (int s = 0; s < 4; ++s) {
+    net::ClusterSpec spec;
+    spec.hosts = 64;
+    spec.host_bandwidth = 1e8;
+    spec.host_latency = 0.002;
+    spec.backbone_bandwidth = 1e10;
+    spec.backbone_latency = 0.01;
+    tree.add_child(std::make_unique<net::ClusterZone>(spec), 1e10, 0.01);
+  }
+  net::ZoneRouting routing(tree);
+
+  core::StateHash trace;
+  eng.set_trace_hook([&](double t, core::EventId id) {
+    trace.mix(t);
+    trace.mix(std::uint64_t{id});
+  });
+
+  p2p::ChordNetwork chord(eng, routing, 32);
+  for (std::size_t i = 0; i < 256; ++i) chord.add_peer(tree.host(i));
+  chord.build();
+  chord.enable_protocol_mode(2.0, 30.0);
+
+  p2p::ChurnSpec cs;
+  cs.lifetime_model = p2p::ChurnSpec::Lifetime::kWeibull;
+  cs.mean_lifetime = 40;
+  cs.weibull_shape = 1.5;
+  cs.mean_downtime = 5;
+  cs.horizon = 30.0;
+  p2p::ChordChurn churn(eng, chord, cs);
+
+  p2p::TrafficSpec ts;
+  ts.rate = 50;
+  ts.horizon = 30.0;
+  p2p::ChordLookupTraffic traffic(eng, chord, ts);
+
+  churn.start();
+  traffic.start();
+  eng.run();
+
+  ChurnRunResult r;
+  r.trace_hash = trace.value();
+  r.digest = chord.state_digest();
+  r.issued = traffic.issued();
+  r.failed = traffic.failed();
+  r.deaths = churn.deaths();
+  r.rebirths = churn.rebirths();
+  return r;
+}
+
+}  // namespace
+
+TEST(ChurnDeterminism, ChordStackIdenticalAcrossAllQueueKinds) {
+  const ChurnRunResult ref = run_chord_churn_scenario(core::QueueKind::kSortedList);
+  EXPECT_GT(ref.issued, 0u);
+  EXPECT_GT(ref.deaths, 0u);
+  EXPECT_GT(ref.rebirths, 0u);
+  for (core::QueueKind q : core::kAllQueueKinds) {
+    if (q == core::QueueKind::kSortedList) continue;
+    const ChurnRunResult r = run_chord_churn_scenario(q);
+    EXPECT_EQ(r.trace_hash, ref.trace_hash) << "queue kind " << static_cast<int>(q);
+    EXPECT_EQ(r.digest, ref.digest) << "queue kind " << static_cast<int>(q);
+    EXPECT_EQ(r.issued, ref.issued);
+    EXPECT_EQ(r.failed, ref.failed);
+    EXPECT_EQ(r.deaths, ref.deaths);
+    EXPECT_EQ(r.rebirths, ref.rebirths);
+  }
+}
+
+// --- satellite: bounded Gnutella query table --------------------------------
+
+TEST(GnutellaQueryTable, StaysBoundedUnderSustainedTraffic) {
+  P2pWorld w(64);
+  p2p::GnutellaNetwork g(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 64; ++i) g.add_peer(static_cast<net::NodeId>(i));
+  g.build_random_overlay(4, w.eng.rng("overlay"));
+  g.place_object(40, "needle");
+
+  // 500 searches staggered so a bounded number overlap: the slot pool must
+  // top out near the overlap width, far below the cumulative count.
+  const int kSearches = 500;
+  int done = 0;
+  for (int i = 0; i < kSearches; ++i) {
+    w.eng.schedule_at(0.01 * i, [&, i] {
+      g.search(static_cast<std::size_t>(i) % 64, "needle", 5, [&](const auto&) { ++done; });
+    });
+  }
+  w.eng.run();
+
+  EXPECT_EQ(done, kSearches);                      // every flood drained + reported
+  EXPECT_EQ(g.searches_in_flight(), 0u);           // nothing leaked in flight
+  EXPECT_LT(g.query_table_capacity(), 64u);        // bounded by peak overlap,
+  EXPECT_GE(g.query_table_capacity(), 1u);         // not by cumulative traffic
+}
+
+TEST(GnutellaChurnState, RemoveUnlinksNeighborsAndRecyclesSlots) {
+  P2pWorld w(32);
+  p2p::GnutellaNetwork g(w.eng, *w.routing);
+  for (std::size_t i = 0; i < 32; ++i) g.add_peer(static_cast<net::NodeId>(i));
+  g.build_random_overlay(4, w.eng.rng("overlay"));
+
+  const std::size_t victim = 7;
+  g.remove_peer(victim);
+  EXPECT_FALSE(g.is_live(victim));
+  EXPECT_THROW(g.remove_peer(victim), std::invalid_argument);
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (!g.is_live(i)) continue;
+    // no live peer may still point at the corpse
+    for (std::size_t k = 0; k < g.degree_of(i); ++k) EXPECT_NE(g.neighbor(i, k), victim);
+  }
+  const std::size_t slots = g.slot_count();
+  const auto back = g.add_peer(static_cast<net::NodeId>(victim));  // rebirth on the vacated node
+  EXPECT_EQ(back, victim);          // slot recycled
+  EXPECT_EQ(g.slot_count(), slots); // no growth
+  g.connect_random(back, 4, w.eng.rng("rewire"));
+  EXPECT_GE(g.degree_of(back), 1u);
+
+  // A search started after the rewire floods the whole overlay again.
+  g.place_object(back, "obj");
+  bool found = false;
+  g.search(0, "obj", 10, [&](const auto& r) { found = r.found; });
+  w.eng.run();
+  EXPECT_TRUE(found);
+}
+
+TEST(GnutellaChurnState, FloodSurvivesMidFlightDeaths) {
+  std::vector<std::uint64_t> outcomes;
+  for (core::QueueKind q : core::kAllQueueKinds) {
+    P2pWorld w(64, q);
+    p2p::GnutellaNetwork g(w.eng, *w.routing);
+    for (std::size_t i = 0; i < 64; ++i) g.add_peer(static_cast<net::NodeId>(i));
+    g.build_random_overlay(4, w.eng.rng("overlay"));
+    g.place_object(60, "needle");
+
+    int done = 0, found = 0;
+    g.search(0, "needle", 12, [&](const auto& r) {
+      ++done;
+      found += r.found ? 1 : 0;
+    });
+    w.eng.schedule_at(0.003, [&] {
+      for (std::size_t i = 10; i < 30; ++i) {
+        if (g.is_live(i)) g.remove_peer(i);
+      }
+    });
+    w.eng.run();
+    EXPECT_EQ(done, 1);  // the flood drained despite losing frontier
+    EXPECT_EQ(g.searches_in_flight(), 0u);
+    outcomes.push_back(static_cast<std::uint64_t>(found) ^ (g.state_digest() << 1));
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) EXPECT_EQ(outcomes[i], outcomes[0]);
+}
+
+// --- Gnutella churn driver --------------------------------------------------
+
+TEST(GnutellaChurnDriver, DrivesDeathsAndRebirthsDeterministically) {
+  auto run = [](core::QueueKind q) {
+    core::Engine eng({.queue = q, .seed = 9});
+    net::ZoneTree tree;
+    net::ClusterSpec spec;
+    spec.hosts = 128;
+    spec.host_bandwidth = 1e8;
+    spec.host_latency = 0.002;
+    spec.backbone_bandwidth = 1e10;
+    spec.backbone_latency = 0.01;
+    tree.add_child(std::make_unique<net::ClusterZone>(spec), 1e10, 0.01);
+    net::ZoneRouting routing(tree);
+
+    p2p::GnutellaNetwork g(eng, routing);
+    for (std::size_t i = 0; i < 128; ++i) g.add_peer(tree.host(i));
+    g.build_random_overlay(4, eng.rng("overlay"));
+
+    std::vector<std::uint64_t> catalog;
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "obj-" + std::to_string(i);
+      g.place_object(static_cast<std::size_t>(i) * 16, name);
+      catalog.push_back(p2p::GnutellaNetwork::hash_name(name));
+    }
+
+    p2p::ChurnSpec cs;
+    cs.mean_lifetime = 20;
+    cs.mean_downtime = 4;
+    cs.horizon = 20.0;
+    p2p::GnutellaChurn churn(eng, g, cs, 4);
+    p2p::TrafficSpec ts;
+    ts.rate = 20;
+    ts.ttl = 6;
+    ts.horizon = 20.0;
+    p2p::GnutellaSearchTraffic traffic(eng, g, ts, catalog);
+
+    churn.start();
+    traffic.start();
+    eng.run();
+
+    EXPECT_GT(churn.deaths(), 0u);
+    EXPECT_GT(traffic.issued(), 0u);
+    EXPECT_EQ(g.searches_in_flight(), 0u);
+    core::StateHash h;
+    h.mix(g.state_digest());
+    h.mix(churn.deaths());
+    h.mix(churn.rebirths());
+    h.mix(traffic.issued());
+    h.mix(traffic.found());
+    return h.value();
+  };
+  const std::uint64_t ref = run(core::QueueKind::kSortedList);
+  for (core::QueueKind q : core::kAllQueueKinds) {
+    if (q == core::QueueKind::kSortedList) continue;
+    EXPECT_EQ(run(q), ref) << "queue kind " << static_cast<int>(q);
+  }
+}

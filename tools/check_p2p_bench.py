@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_p2p.json emitted by bench_p2p_churn.
+
+Usage: check_p2p_bench.py BENCH_p2p.json
+
+Checks (experiment E16 acceptance gates):
+  * the file parses as JSON with benchmark == "p2p_churn";
+  * ring key-resolution A/B: every point matched the std::map reference
+    bit-for-bit, every speedup >= 2x, and at least one point at >= 100k
+    peers reached >= 10x — the flat RingIndex vs std::map::lower_bound
+    gate the rewrite rides on;
+  * end-to-end overlay A/B: for every (overlay, peers) pair the flat and
+    map implementations produced identical ok / hops / message counts
+    (behavior identity), and the flat build is not slower than 0.9x the
+    seed (no regression hiding behind the resolution win);
+  * chord mean hops grow with population (O(log n) routing sanity);
+  * the 512-peer differential scenario (protocol mode + kills + rebirths)
+    produced byte-identical event traces for both implementations;
+  * the protocol+churn+traffic stack hashed identically across all five
+    event-queue kinds, with non-zero digests, and an identical-seed
+    re-run reproduced the chord throughput run exactly;
+  * the churn study has >= 4 lifetime points with sane failure rates,
+    and shrinking lifetimes never *reduce* the failure rate below the
+    no-churn baseline;
+  * the million-peer point (full runs only): >= 1e6 peers and >= 1e6
+    peak pending events in the ladder queue, with live peers remaining.
+
+Exit code 0 on success, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import sys
+
+MIN_RESOLVE_SPEEDUP_ANY = 10.0   # at >= 100k peers
+MIN_RESOLVE_SPEEDUP_ALL = 2.0
+MIN_THROUGHPUT_RATIO = 0.9       # flat ops/s vs map ops/s
+MILLION_PEERS = 1_000_000
+MILLION_PENDING = 1_000_000
+
+
+def fail(msg):
+    print(f"check_p2p_bench: FAIL: {msg}")
+    return 1
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and math.isfinite(v)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"cannot read {argv[1]}: {e}")
+
+    if doc.get("benchmark") != "p2p_churn":
+        return fail(f"unexpected benchmark field: {doc.get('benchmark')!r}")
+
+    # --- ring key-resolution primitive ---------------------------------
+    resolve = doc.get("resolve")
+    if not resolve:
+        return fail("no resolve points")
+    best_at_scale = 0.0
+    for r in resolve:
+        peers, speedup = r.get("peers"), r.get("speedup")
+        if not r.get("match", False):
+            return fail(f"resolve @{peers}: flat/map successor answers diverged")
+        if not is_num(speedup) or speedup < MIN_RESOLVE_SPEEDUP_ALL:
+            return fail(f"resolve @{peers}: speedup {speedup!r} < "
+                        f"{MIN_RESOLVE_SPEEDUP_ALL}x")
+        if isinstance(peers, int) and peers >= 100_000:
+            best_at_scale = max(best_at_scale, speedup)
+    if best_at_scale < MIN_RESOLVE_SPEEDUP_ANY:
+        return fail(f"no resolve point at >= 100k peers reached "
+                    f"{MIN_RESOLVE_SPEEDUP_ANY}x (best {best_at_scale}x)")
+
+    # --- end-to-end overlay A/B ----------------------------------------
+    points = doc.get("throughput")
+    if not points:
+        return fail("no throughput points")
+    pairs = {}
+    for p in points:
+        pairs.setdefault((p.get("overlay"), p.get("peers")), {})[p.get("impl")] = p
+    chord_flat = []
+    for (overlay, peers), by_impl in sorted(pairs.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+        flat = by_impl.get("flat")
+        if flat is None:
+            return fail(f"{overlay} @{peers}: missing flat implementation point")
+        if not is_num(flat.get("ops_per_s")) or flat["ops_per_s"] <= 0:
+            return fail(f"{overlay} @{peers}: bad flat ops_per_s")
+        if overlay == "chord":
+            chord_flat.append(flat)
+        mapp = by_impl.get("map")
+        if mapp is None:
+            continue  # flat-only scale point (1M peers: the seed build is impractical)
+        for key in ("ok", "hops_total", "messages", "ops"):
+            if flat.get(key) != mapp.get(key):
+                return fail(f"{overlay} @{peers}: {key} diverged "
+                            f"(flat {flat.get(key)!r} vs map {mapp.get(key)!r})")
+        if flat["ops_per_s"] < MIN_THROUGHPUT_RATIO * mapp["ops_per_s"]:
+            return fail(f"{overlay} @{peers}: flat {flat['ops_per_s']:.0f} ops/s regressed "
+                        f"below {MIN_THROUGHPUT_RATIO}x map ({mapp['ops_per_s']:.0f})")
+
+    chord_flat.sort(key=lambda p: p["peers"])
+    prev_hops = 0.0
+    for p in chord_flat:
+        ok = p.get("ok") or 0
+        hops = (p.get("hops_total") or 0) / max(ok, 1)
+        if hops < prev_hops:
+            return fail(f"chord mean hops shrank with population "
+                        f"({prev_hops:.2f} -> {hops:.2f} @{p['peers']} peers)")
+        prev_hops = hops
+
+    # --- seed-vs-rewrite differential trace ----------------------------
+    diff = doc.get("diff_trace") or {}
+    if not diff.get("identical", False):
+        return fail(f"differential scenario traces diverged "
+                    f"(flat {diff.get('trace_flat')}, map {diff.get('trace_map')})")
+    if int(diff.get("trace_flat", "0"), 16) == 0 or not diff.get("executed"):
+        return fail("differential scenario trace is empty")
+
+    # --- cross-queue-kind determinism ----------------------------------
+    hashes = doc.get("hash_points")
+    if not hashes or len(hashes) != 5:
+        return fail(f"expected 5 hash points (one per queue kind), got "
+                    f"{len(hashes) if hashes else 0}")
+    digests = {h.get("digest") for h in hashes}
+    traces = {h.get("trace") for h in hashes}
+    if len(digests) != 1 or len(traces) != 1:
+        return fail(f"queue kinds disagree: digests {sorted(digests)}, traces {sorted(traces)}")
+    if int(next(iter(digests)), 16) == 0:
+        return fail("zero state digest — overlay state was not hashed")
+    if not doc.get("hash_equal", False):
+        return fail("hash_equal flag is false")
+    if not doc.get("deterministic", False):
+        return fail("identical-seed re-run did not reproduce the throughput run")
+
+    # --- churn study ----------------------------------------------------
+    churn = doc.get("churn")
+    if not churn or len(churn) < 4:
+        return fail(f"churn study needs >= 4 lifetime points, got "
+                    f"{len(churn) if churn else 0}")
+    for c in churn:
+        rate = c.get("failure_rate")
+        if not is_num(rate) or not 0.0 <= rate <= 1.0:
+            return fail(f"churn life={c.get('mean_lifetime')}: bad failure_rate {rate!r}")
+        if c.get("mean_lifetime", 0) > 0 and not c.get("deaths"):
+            return fail(f"churn life={c.get('mean_lifetime')}: churn enabled but no deaths")
+        if not is_num(c.get("events_per_s")) or c["events_per_s"] <= 0:
+            return fail(f"churn life={c.get('mean_lifetime')}: bad events_per_s")
+    if churn[-1]["failure_rate"] < churn[0]["failure_rate"]:
+        return fail("heaviest churn point has a lower failure rate than the no-churn baseline")
+
+    # --- million-peer point (omitted in --small runs) -------------------
+    million = doc.get("million")
+    if million is not None:
+        if million.get("peers", 0) < MILLION_PEERS:
+            return fail(f"million point ran {million.get('peers')} peers")
+        if million.get("peak_pending", 0) < MILLION_PENDING:
+            return fail(f"million point peaked at {million.get('peak_pending')} pending "
+                        f"events (< {MILLION_PENDING})")
+        if not million.get("live") or not million.get("events"):
+            return fail("million point finished with no live peers or no events")
+
+    n_res = len(resolve)
+    print(f"check_p2p_bench: OK ({n_res} resolve points, best {best_at_scale:.1f}x at scale; "
+          f"{len(pairs)} A/B pairs behavior-identical; 5 queue kinds agree; "
+          f"{len(churn)} churn points"
+          + (f"; 1M peers, peak {million['peak_pending']} pending" if million else "")
+          + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
