@@ -19,12 +19,21 @@
 // overrides [campaign] workers without changing the output), and a
 // deterministic campaign report (mean ± 95% CI per point and metric) is
 // written to --report= or CAMPAIGN_<facade>.json. See exp/campaign.hpp.
+//
+// With `[campaign] distribute = N` (or --distribute=N) the (point,
+// replication) grid is sharded across N worker *processes* — spawned
+// `scenario_runner --campaign-worker` subprocesses, or ssh targets from a
+// `hosts =` file — with per-shard timeout, bounded retry and shard
+// reassignment; --resume skips shards whose partials already landed in
+// --partial-dir. The merged report is byte-identical to the in-process
+// one. See exp/dist_campaign.hpp.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "core/engine.hpp"
 #include "exp/campaign.hpp"
+#include "exp/dist_campaign.hpp"
 #include "obs/observability.hpp"
 #include "obs/report.hpp"
 #include "sim/facade_registry.hpp"
@@ -38,11 +47,41 @@ using namespace lsds;
 namespace {
 
 int run_campaign(const util::IniConfig& ini, const util::Flags& flags) {
-  exp::Campaign campaign(ini);
-  if (flags.has("workers")) {
-    campaign.set_workers(static_cast<unsigned>(flags.get_int("workers", 1)));
+  exp::DistConfig dcfg = exp::DistConfig::parse(ini);
+  if (flags.has("distribute")) {
+    dcfg.processes = static_cast<unsigned>(flags.get_int("distribute", 0));
   }
-  const auto result = campaign.run();
+  if (flags.has("timeout")) dcfg.timeout_sec = flags.get_duration("timeout", dcfg.timeout_sec);
+  if (flags.has("retries")) {
+    dcfg.retries = static_cast<unsigned>(flags.get_int("retries", dcfg.retries));
+  }
+  if (flags.has("partial-dir")) dcfg.partial_dir = flags.get_string("partial-dir");
+  if (flags.has("worker-binary")) dcfg.worker_binary = flags.get_string("worker-binary");
+  if (flags.has("worker-threads")) {
+    dcfg.worker_threads = static_cast<unsigned>(flags.get_int("worker-threads", 1));
+  }
+  if (flags.get_bool("resume", false)) dcfg.resume = true;
+  if (flags.get_bool("keep-partials", false)) dcfg.keep_partials = true;
+  // Fault-injection hooks for the distexec-smoke CI job: lose one worker
+  // (SIGKILL / hang-until-timeout) and prove the report still converges.
+  if (flags.has("test-kill-shard")) {
+    dcfg.kill_shard = static_cast<std::size_t>(flags.get_int("test-kill-shard", -1));
+  }
+  if (flags.has("test-hang-shard")) {
+    dcfg.hang_shard = static_cast<std::size_t>(flags.get_int("test-hang-shard", -1));
+  }
+
+  exp::CampaignResult result;
+  if (dcfg.processes > 0) {
+    exp::DistributedCampaign distributed(ini, dcfg);
+    result = distributed.run();
+  } else {
+    exp::Campaign campaign(ini);
+    if (flags.has("workers")) {
+      campaign.set_workers(static_cast<unsigned>(flags.get_int("workers", 1)));
+    }
+    result = campaign.run();
+  }
 
   for (const auto& point : result.points) {
     std::string params;
@@ -58,6 +97,13 @@ int run_campaign(const util::IniConfig& ini, const util::Flags& flags) {
   }
   std::printf("campaign: %llu runs in %.2f s wall\n",
               static_cast<unsigned long long>(result.runs), result.wall_seconds);
+  if (result.distribution) {
+    const auto& d = *result.distribution;
+    std::printf("distributed: %zu shards over %u processes, %zu resumed, %zu retries, "
+                "%zu worker failure%s recovered\n",
+                d.shards, d.processes, d.shards_resumed, d.retries_used, d.failures.size(),
+                d.failures.size() == 1 ? "" : "s");
+  }
 
   const std::string path = flags.has("report") ? flags.get_string("report")
                                                : "CAMPAIGN_" + result.facade + ".json";
@@ -70,10 +116,17 @@ int run_campaign(const util::IniConfig& ini, const util::Flags& flags) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  if (flags.has("campaign-worker")) {
+    // Shard worker of a distributed campaign (spawned by the coordinator):
+    // compute grid slots [--shard-begin, --shard-end) of --scenario= and
+    // publish the lsds.campaign_partial/1 message at --partial=.
+    return exp::run_campaign_worker(flags);
+  }
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: scenario_runner [--report=out.json] [--campaign] [--workers=N] "
-                 "<scenario.ini>\n");
+                 "usage: scenario_runner [--report=out.json] [--campaign] [--workers=N]\n"
+                 "                       [--distribute=N] [--partial-dir=DIR] [--resume]\n"
+                 "                       [--timeout=60s] [--retries=K] <scenario.ini>\n");
     return 2;
   }
   try {

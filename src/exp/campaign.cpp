@@ -24,41 +24,56 @@ namespace lsds::exp {
 
 namespace {
 
-// Facades print a one-line summary to stdout; N workers' worth of those
-// interleave arbitrarily. Redirect fd 1 to /dev/null for the duration of
-// the parallel phase (RAII; restored even on throw).
-class StdoutSilencer {
+// Facades print a one-line summary to stdout, and the chatty ones log to
+// stderr; N workers' worth of those interleave arbitrarily (and in a
+// distributed worker they would pollute the coordinator's view). Redirect
+// fds 1 and 2 to /dev/null for the duration of the parallel phase. RAII:
+// every fd this opens is closed again on every path — the dup2'd devnull fd
+// immediately after redirection, the saved originals when they are restored
+// in the destructor — so a campaign run leaks no descriptors even when a
+// facade throws mid-phase.
+class OutputSilencer {
  public:
-  StdoutSilencer() {
+  OutputSilencer() {
 #ifdef LSDS_EXP_CAN_SILENCE_STDOUT
     std::fflush(stdout);
-    saved_ = ::dup(1);
-    const int devnull = ::open("/dev/null", O_WRONLY);
-    if (saved_ >= 0 && devnull >= 0) ::dup2(devnull, 1);
-    if (devnull >= 0) ::close(devnull);
+    std::fflush(stderr);
+    const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+    if (devnull < 0) return;  // cannot silence; leave fds untouched
+    saved_out_ = ::dup(1);
+    saved_err_ = ::dup(2);
+    if (saved_out_ >= 0) ::dup2(devnull, 1);
+    if (saved_err_ >= 0) ::dup2(devnull, 2);
+    ::close(devnull);  // fds 1/2 hold their own copies now
 #endif
   }
-  ~StdoutSilencer() {
+  ~OutputSilencer() { restore(); }
+
+  /// Restore the original fds early (idempotent) — used before error paths
+  /// that must reach the user.
+  void restore() {
 #ifdef LSDS_EXP_CAN_SILENCE_STDOUT
     std::fflush(stdout);
-    if (saved_ >= 0) {
-      ::dup2(saved_, 1);
-      ::close(saved_);
+    std::fflush(stderr);
+    if (saved_out_ >= 0) {
+      ::dup2(saved_out_, 1);
+      ::close(saved_out_);
+      saved_out_ = -1;
+    }
+    if (saved_err_ >= 0) {
+      ::dup2(saved_err_, 2);
+      ::close(saved_err_);
+      saved_err_ = -1;
     }
 #endif
   }
-  StdoutSilencer(const StdoutSilencer&) = delete;
-  StdoutSilencer& operator=(const StdoutSilencer&) = delete;
+
+  OutputSilencer(const OutputSilencer&) = delete;
+  OutputSilencer& operator=(const OutputSilencer&) = delete;
 
  private:
-  int saved_ = -1;
-};
-
-/// One replication's extracted scalar metrics, in report insertion order.
-struct RepOutcome {
-  std::vector<std::pair<std::string, double>> metrics;
-  int rc = 0;
-  std::string error;
+  int saved_out_ = -1;
+  int saved_err_ = -1;
 };
 
 void extract_metrics(const obs::Json& result, RepOutcome& out) {
@@ -80,15 +95,29 @@ void extract_metrics(const obs::Json& result, RepOutcome& out) {
 }  // namespace
 
 CampaignSpec CampaignSpec::parse(const util::IniConfig& ini) {
-  CampaignSpec spec;
-  spec.replications = static_cast<std::size_t>(ini.get_int("campaign", "replications", 5));
-  spec.warmup = static_cast<std::size_t>(ini.get_int("campaign", "warmup", 0));
-  spec.confidence = ini.get_double("campaign", "confidence", 0.95);
-  spec.workers = static_cast<unsigned>(ini.get_int("campaign", "workers", 1));
-  spec.timing = ini.get_bool("campaign", "timing", false);
-  if (spec.replications == 0) {
-    throw util::ConfigError("[campaign] replications must be >= 1");
+  // Validate the raw integers BEFORE the size_t casts: `replications = -3`
+  // must be rejected, not wrapped into 18 quintillion replications.
+  const long long replications = ini.get_int("campaign", "replications", 5);
+  if (replications < 1) {
+    throw util::ConfigError("[campaign] replications must be >= 1 (got " +
+                            std::to_string(replications) + ")");
   }
+  const long long warmup = ini.get_int("campaign", "warmup", 0);
+  if (warmup < 0) {
+    throw util::ConfigError("[campaign] warmup must be >= 0 (got " + std::to_string(warmup) +
+                            ")");
+  }
+  const long long workers = ini.get_int("campaign", "workers", 1);
+  if (workers < 0) {
+    throw util::ConfigError("[campaign] workers must be >= 0 (got " + std::to_string(workers) +
+                            ")");
+  }
+  CampaignSpec spec;
+  spec.replications = static_cast<std::size_t>(replications);
+  spec.warmup = static_cast<std::size_t>(warmup);
+  spec.confidence = ini.get_double("campaign", "confidence", 0.95);
+  spec.workers = static_cast<unsigned>(workers);
+  spec.timing = ini.get_bool("campaign", "timing", false);
   if (spec.warmup >= spec.replications) {
     throw util::ConfigError("[campaign] warmup (" + std::to_string(spec.warmup) +
                             ") must be < replications (" + std::to_string(spec.replications) +
@@ -120,6 +149,10 @@ Campaign::Campaign(util::IniConfig base) : base_(std::move(base)) {
   queue_name_ = base_.get_string("scenario", "queue", "heap");
   queue_ = sim::facades::parse_queue(queue_name_);
   base_seed_ = static_cast<std::uint64_t>(base_.get_int("scenario", "seed", 42));
+  seeds_.resize(spec_.replications);
+  for (std::size_t r = 0; r < spec_.replications; ++r) {
+    seeds_[r] = substream_seed(base_seed_, r);
+  }
 
   sim::register_builtin_facades();
   entry_ = sim::FacadeRegistry::global().find(facade_);
@@ -128,62 +161,91 @@ Campaign::Campaign(util::IniConfig base) : base_(std::move(base)) {
   }
 }
 
-CampaignResult Campaign::run() {
-  const std::size_t n_points = sweep_.point_count();
+std::vector<RepOutcome> Campaign::run_slots(std::size_t begin, std::size_t end,
+                                            unsigned threads) const {
   const std::size_t n_reps = spec_.replications;
-  const std::size_t n_runs = n_points * n_reps;
+  if (begin > end || end > run_count()) {
+    throw std::invalid_argument("campaign: slot range [" + std::to_string(begin) + ", " +
+                                std::to_string(end) + ") outside grid of " +
+                                std::to_string(run_count()));
+  }
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
 
-  // One INI per point, built up front; replications share it read-only.
+  // One INI per covered point, built up front; replications share it
+  // read-only.
+  const std::size_t p_lo = begin / n_reps;
+  const std::size_t p_hi = end == begin ? p_lo : (end - 1) / n_reps + 1;
   std::vector<util::IniConfig> point_inis;
-  point_inis.reserve(n_points);
-  for (std::size_t p = 0; p < n_points; ++p) {
+  point_inis.reserve(p_hi - p_lo);
+  for (std::size_t p = p_lo; p < p_hi; ++p) {
     util::IniConfig ini = base_;
     sweep_.apply(p, ini);
     point_inis.push_back(std::move(ini));
   }
 
-  std::vector<std::uint64_t> seeds(n_reps);
-  for (std::size_t r = 0; r < n_reps; ++r) seeds[r] = substream_seed(base_seed_, r);
-
-  // Pre-sized (point, replication) grid: each task writes its own slot, so
-  // scheduling order cannot leak into the aggregate.
-  std::vector<RepOutcome> outcomes(n_runs);
-  const auto t0 = std::chrono::steady_clock::now();
-  {
-    unsigned workers = spec_.workers;
-    if (workers == 0) workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
-    std::fprintf(stderr, "campaign: %s — %zu point%s x %zu replication%s on %u worker%s\n",
-                 facade_.c_str(), n_points, n_points == 1 ? "" : "s", n_reps,
-                 n_reps == 1 ? "" : "s", workers, workers == 1 ? "" : "s");
-    StdoutSilencer quiet;
-    util::ThreadPool pool(workers);
-    for (std::size_t p = 0; p < n_points; ++p) {
-      for (std::size_t r = 0; r < n_reps; ++r) {
-        const std::size_t slot = p * n_reps + r;
-        pool.submit([this, &point_inis, &outcomes, &seeds, p, r, slot] {
-          RepOutcome& out = outcomes[slot];
-          try {
-            core::Engine::Config ecfg;
-            ecfg.queue = queue_;
-            ecfg.seed = seeds[r];
-            core::Engine engine(ecfg);
-            obs::RunReport report;
-            out.rc = entry_->run(engine, point_inis[p], report);
-            extract_metrics(report.result(), out);
-          } catch (const std::exception& e) {
-            out.rc = -1;
-            out.error = e.what();
-          }
-        });
+  // Pre-sized outcome grid: each task writes its own slot, so scheduling
+  // order cannot leak into the result.
+  std::vector<RepOutcome> outcomes(end - begin);
+  OutputSilencer quiet;
+  util::ThreadPool pool(threads);
+  for (std::size_t slot = begin; slot < end; ++slot) {
+    const std::size_t p = slot / n_reps;
+    const std::size_t r = slot % n_reps;
+    pool.submit([this, &point_inis, &outcomes, begin, p_lo, slot, p, r] {
+      RepOutcome& out = outcomes[slot - begin];
+      try {
+        core::Engine::Config ecfg;
+        ecfg.queue = queue_;
+        ecfg.seed = seeds_[r];
+        core::Engine engine(ecfg);
+        obs::RunReport report;
+        out.rc = entry_->run(engine, point_inis[p - p_lo], report);
+        extract_metrics(report.result(), out);
+      } catch (const std::exception& e) {
+        out.rc = -1;
+        out.error = e.what();
+      } catch (...) {
+        out.rc = -1;
+        out.error = "unknown exception";
       }
-    }
-    pool.wait_idle();
+    });
   }
+  pool.wait_idle();
+  return outcomes;
+}
+
+CampaignResult Campaign::run() {
+  const std::size_t n_points = sweep_.point_count();
+  const std::size_t n_reps = spec_.replications;
+
+  unsigned workers = spec_.workers;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  std::fprintf(stderr, "campaign: %s — %zu point%s x %zu replication%s on %u worker%s\n",
+               facade_.c_str(), n_points, n_points == 1 ? "" : "s", n_reps,
+               n_reps == 1 ? "" : "s", workers, workers == 1 ? "" : "s");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RepOutcome> outcomes = run_slots(0, run_count(), workers);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return aggregate(outcomes, wall);
+}
 
-  // Fail loudly and deterministically: first bad slot in grid order wins.
+CampaignResult Campaign::aggregate(const std::vector<RepOutcome>& outcomes,
+                                   double wall_seconds) const {
+  const std::size_t n_points = sweep_.point_count();
+  const std::size_t n_reps = spec_.replications;
+  const std::size_t n_runs = n_points * n_reps;
+  if (outcomes.size() != n_runs) {
+    throw std::runtime_error("campaign: aggregate over " + std::to_string(outcomes.size()) +
+                             " outcomes, grid has " + std::to_string(n_runs));
+  }
+
+  // Fail loudly and deterministically: the first bad slot in grid order
+  // wins, never whichever failure happened to finish first — the diagnostic
+  // is identical across workers=1/N and across process counts.
   for (std::size_t p = 0; p < n_points; ++p) {
     for (std::size_t r = 0; r < n_reps; ++r) {
       const RepOutcome& out = outcomes[p * n_reps + r];
@@ -201,9 +263,9 @@ CampaignResult Campaign::run() {
   result.base_seed = base_seed_;
   result.spec = spec_;
   result.sweep = sweep_;
-  result.seeds = std::move(seeds);
+  result.seeds = seeds_;
   result.runs = n_runs;
-  result.wall_seconds = wall;
+  result.wall_seconds = wall_seconds;
   result.points.reserve(n_points);
 
   for (std::size_t p = 0; p < n_points; ++p) {
@@ -309,6 +371,27 @@ obs::Json CampaignResult::to_json() const {
     obs::Json t = obs::Json::object();
     t.set("wall_seconds", wall_seconds);
     root.set("timing", std::move(t));
+    if (distribution) {
+      // Worker-failure accounting is as nondeterministic as the wall clock
+      // (which worker dies or times out depends on OS scheduling), so it
+      // rides behind the same opt-in.
+      obs::Json d = obs::Json::object();
+      d.set("processes", static_cast<std::uint64_t>(distribution->processes));
+      d.set("shards", static_cast<std::uint64_t>(distribution->shards));
+      d.set("shards_resumed", static_cast<std::uint64_t>(distribution->shards_resumed));
+      d.set("retries_used", static_cast<std::uint64_t>(distribution->retries_used));
+      obs::Json fails = obs::Json::array();
+      for (const DistAccounting::Failure& f : distribution->failures) {
+        obs::Json jf = obs::Json::object();
+        jf.set("shard", static_cast<std::uint64_t>(f.shard));
+        jf.set("attempt", static_cast<std::uint64_t>(f.attempt));
+        jf.set("reason", f.reason);
+        jf.set("detail", f.detail);
+        fails.push(std::move(jf));
+      }
+      d.set("worker_failures", std::move(fails));
+      root.set("distribution", std::move(d));
+    }
   }
   return root;
 }

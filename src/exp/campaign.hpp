@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,8 +59,8 @@ struct CampaignSpec {
   bool timing = false;       // opt into the nondeterministic wall-clock section
 
   /// Parse the `[campaign]` section (defaults when absent). Throws
-  /// util::ConfigError on replications = 0, warmup >= replications, or an
-  /// unsupported confidence level.
+  /// util::ConfigError on replications < 1, negative warmup/workers,
+  /// warmup >= replications, or an unsupported confidence level.
   static CampaignSpec parse(const util::IniConfig& ini);
 };
 
@@ -67,6 +68,16 @@ struct CampaignSpec {
 /// SplitMix64 chain. Independent of the sweep point (common random numbers)
 /// and of worker count / execution order.
 std::uint64_t substream_seed(std::uint64_t base_seed, std::size_t replication);
+
+/// One (point, replication) slot's extracted scalar metrics in report
+/// insertion order, plus its outcome. The unit of work the campaign grid —
+/// in-process or distributed — is made of, and the payload of the
+/// lsds.campaign_partial/1 protocol (see exp/dist_protocol.hpp).
+struct RepOutcome {
+  std::vector<std::pair<std::string, double>> metrics;
+  int rc = 0;
+  std::string error;
+};
 
 /// Across-replication statistics of one scalar metric at one point.
 struct MetricStats {
@@ -87,6 +98,25 @@ struct PointResult {
   std::vector<std::pair<std::string, MetricStats>> metrics;
 };
 
+/// Structured accounting of a distributed run's worker failures and
+/// recoveries (filled by exp::DistributedCampaign). Like the wall clock it
+/// is nondeterministic — which worker dies, times out or retries depends on
+/// scheduling — so it is serialized only under the `timing = true` opt-in;
+/// the canonical report stays byte-identical across execution modes.
+struct DistAccounting {
+  unsigned processes = 0;       // concurrent worker processes
+  std::size_t shards = 0;       // shards the grid was split into
+  std::size_t shards_resumed = 0;  // shards skipped via --resume partials
+  std::size_t retries_used = 0;
+  struct Failure {
+    std::size_t shard = 0;
+    unsigned attempt = 0;   // 0-based attempt that failed
+    std::string reason;     // "timeout" | "exit" | "signal" | "bad-partial" | "spawn"
+    std::string detail;
+  };
+  std::vector<Failure> failures;
+};
+
 struct CampaignResult {
   std::string facade;
   std::string queue;
@@ -98,6 +128,8 @@ struct CampaignResult {
   std::uint64_t runs = 0;    // points x replications actually executed
   double wall_seconds = 0;   // total campaign wall clock (report: only when
                              // spec.timing)
+  /// Present after a distributed run (report: only when spec.timing).
+  std::optional<DistAccounting> distribution;
 
   obs::Json to_json() const;
   std::string to_json_string(int indent = 2) const;
@@ -115,15 +147,40 @@ class Campaign {
   const CampaignSpec& spec() const { return spec_; }
   const SweepSpec& sweep() const { return sweep_; }
   const std::string& facade() const { return facade_; }
+  /// The base scenario INI (pre-sweep) — the coordinator serializes this to
+  /// ship the campaign to worker processes.
+  const util::IniConfig& base() const { return base_; }
+  const std::string& queue_name() const { return queue_name_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+  const std::vector<std::uint64_t>& seeds() const { return seeds_; }
+  std::size_t point_count() const { return sweep_.point_count(); }
+  /// Grid size: point_count() x replications, point-major slot order.
+  std::size_t run_count() const { return sweep_.point_count() * spec_.replications; }
 
   /// Command-line override of [campaign] workers (does not affect output).
   void set_workers(unsigned w) { spec_.workers = w; }
 
-  /// Execute every (point, replication) pair and aggregate. Facade stdout
-  /// is suppressed for the duration (parallel one-line summaries would
-  /// interleave); campaign progress goes to stderr. Throws
-  /// std::runtime_error when any replication fails.
+  /// Execute every (point, replication) pair and aggregate. Facade stdout/
+  /// stderr are suppressed for the duration (parallel one-line summaries
+  /// would interleave); campaign progress goes to stderr before the
+  /// silenced phase. Throws std::runtime_error when any replication fails.
   CampaignResult run();
+
+  // --- distributed building blocks (see exp/dist_campaign.hpp) --------------
+
+  /// Execute slots [begin, end) of the point-major (point, replication)
+  /// grid in-process on `threads` threads (0 = hardware concurrency) and
+  /// return their outcomes (slot begin+i at index i). Replication failures
+  /// are recorded per-slot, never thrown — surfacing them deterministically
+  /// is aggregate()'s job. Facade stdout/stderr are silenced for the
+  /// duration and restored on every path.
+  std::vector<RepOutcome> run_slots(std::size_t begin, std::size_t end, unsigned threads) const;
+
+  /// Deterministically surface failures (first bad slot in grid order wins,
+  /// independent of execution order, thread count or process count — throws
+  /// std::runtime_error with that slot's diagnostic) and aggregate a
+  /// complete grid of run_count() outcomes into the campaign report.
+  CampaignResult aggregate(const std::vector<RepOutcome>& outcomes, double wall_seconds) const;
 
  private:
   util::IniConfig base_;
@@ -133,6 +190,7 @@ class Campaign {
   std::string queue_name_;
   core::QueueKind queue_;
   std::uint64_t base_seed_ = 0;
+  std::vector<std::uint64_t> seeds_;  // per replication, shared across points
   const sim::FacadeRegistry::Entry* entry_ = nullptr;
 };
 

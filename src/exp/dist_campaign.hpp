@@ -1,0 +1,110 @@
+// Distributed campaign execution: shard the (point, replication) grid of an
+// experiment campaign across worker OS processes — local subprocesses or a
+// hosts file of ssh targets — with a deterministic merge.
+//
+//   [campaign]
+//   distribute   = 4        ; worker processes (0 = in-process, the default)
+//   shard_size   = 1        ; grid slots per shard (reassignment granularity)
+//   timeout      = 600s     ; per-shard wall-clock budget per attempt
+//   retries      = 2        ; re-executions after a lost shard
+//   partial_dir  = out/     ; where partials land ("" = private temp dir)
+//   hosts        = hosts.txt; optional ssh targets, one per line
+//
+// The coordinator spawns `scenario_runner --campaign-worker` subprocesses
+// (round-robin over the hosts file when given; ssh targets need the binary
+// and a shared filesystem at the same paths), each computing its shard with
+// the same SplitMix64 substream seeds the in-process runner uses and
+// publishing a lsds.campaign_partial/1 message (exp/dist_protocol.hpp).
+// Partials merge into the pre-sized result grid in point-major order, so
+// the final lsds.campaign_report/1 JSON is **byte-identical** for
+// in-process workers=N, 1 local process, 4 local processes, and any
+// sharding of the same grid.
+//
+// Robustness: a worker that exits non-zero, dies on a signal, times out
+// (SIGKILL after `timeout`), or publishes a malformed partial loses its
+// shard; the shard goes back on the queue and is reassigned to the next
+// free worker slot, up to `retries` re-executions, after which the campaign
+// fails with that shard's diagnostic. `--resume` re-merges valid partials
+// already on disk (signature-checked, atomically published) and only
+// computes the missing shards. Worker failures are accounted in
+// CampaignResult::distribution — serialized, like the wall clock, only
+// under the `timing = true` opt-in so the canonical report stays
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/dist_protocol.hpp"
+#include "util/ini.hpp"
+
+namespace lsds::util {
+class Flags;
+}
+
+namespace lsds::exp {
+
+struct DistConfig {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  unsigned processes = 0;      // concurrent worker processes (0 = off)
+  std::size_t shard_size = 1;  // grid slots per shard
+  double timeout_sec = 600;    // per-shard budget per attempt
+  unsigned retries = 2;        // re-executions after a lost shard
+  std::string partial_dir;     // "" = private temp dir, removed on success
+  bool resume = false;         // merge valid on-disk partials, run the rest
+  bool keep_partials = false;  // keep a private dir after a successful merge
+  std::string worker_binary;   // "" = this executable (/proc/self/exe)
+  unsigned worker_threads = 1; // threads inside each worker process
+  std::vector<std::string> hosts;  // ssh targets; empty = local processes
+
+  // Fault-injection hooks for tests and the distexec-smoke CI job, npos =
+  // off: SIGKILL the first attempt of this shard right after spawn / make
+  // the first attempt hang until the per-shard timeout fires.
+  std::size_t kill_shard = npos;
+  std::size_t hang_shard = npos;
+
+  /// Parse the [campaign] distribution keys (defaults when absent; `hosts`
+  /// is read and parsed eagerly). Throws util::ConfigError on distribute <
+  /// 0, shard_size < 1, timeout <= 0, retries < 0, or an unreadable hosts
+  /// file.
+  static DistConfig parse(const util::IniConfig& ini);
+
+  /// Programmatic-use validation (same std::invalid_argument style as the
+  /// net::TransferService constructor). Called by DistributedCampaign.
+  void validate() const;
+};
+
+class DistributedCampaign {
+ public:
+  /// Throws util::ConfigError on a bad campaign spec and
+  /// std::invalid_argument on a bad DistConfig.
+  DistributedCampaign(util::IniConfig base, DistConfig cfg);
+
+  const Campaign& campaign() const { return campaign_; }
+  const DistConfig& config() const { return cfg_; }
+
+  /// Shard, spawn, supervise, merge, aggregate. Throws std::runtime_error
+  /// when a shard exhausts its retries or a replication inside a shard
+  /// failed (the latter with the identical diagnostic an in-process run
+  /// produces). All spawned workers are reaped on every exit path.
+  CampaignResult run();
+
+ private:
+  Campaign campaign_;
+  DistConfig cfg_;
+};
+
+/// Entry point of a `--campaign-worker` process: load --scenario=, run grid
+/// slots [--shard-begin, --shard-end) on --worker-threads threads, publish
+/// the partial message atomically at --partial= (write to .tmp, rename).
+/// Replication failures are recorded per-slot inside the partial (exit 0);
+/// a non-zero exit means the worker itself broke. Linked into
+/// scenario_runner and into the distributed test binary, which respawns
+/// itself in this mode.
+int run_campaign_worker(const util::Flags& flags);
+
+}  // namespace lsds::exp

@@ -1,0 +1,75 @@
+// Wire protocol of the distributed campaign runner (exp/dist_campaign.hpp).
+//
+// The (point, replication) grid of a campaign is cut into *shards* —
+// contiguous slot ranges in point-major order. A worker process computes
+// one shard with the same SplitMix64 substream seeds the in-process runner
+// uses and publishes a `lsds.campaign_partial/1` JSON message:
+//
+//   {
+//     "schema": "lsds.campaign_partial/1",
+//     "signature": "c0ffee...",          // grid fingerprint, hex FNV-1a
+//     "shard": {"id": 3, "begin": 6, "end": 8},
+//     "slots": [
+//       {"rc": 0, "error": "", "metrics": [["makespan", 104.5], ...]},
+//       ...
+//     ]
+//   }
+//
+// The signature fingerprints everything that determines the grid (facade,
+// queue, base seed, replications, warmup, sweep axes), so the coordinator
+// rejects partials from a different campaign — the `--resume` mode depends
+// on this to never merge stale shards. Metrics ride as [name, value] pairs
+// (not an object) to preserve the facade's insertion order exactly; values
+// round-trip bit-exactly through obs::Json's shortest-round-trip doubles,
+// which is what makes the merged report byte-identical to an in-process
+// run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "obs/json.hpp"
+
+namespace lsds::exp {
+
+/// Schema identifier of a worker's partial-result message.
+inline constexpr const char* kPartialSchema = "lsds.campaign_partial/1";
+
+/// A contiguous range [begin, end) of grid slots in point-major order.
+struct Shard {
+  std::size_t id = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Cut `n_runs` grid slots into shards of `shard_size` slots (the last
+/// shard is ragged). The plan depends only on the grid and the shard size —
+/// not on the process count — so `--resume` partials stay valid when the
+/// campaign is re-run with a different worker fleet. Throws
+/// std::invalid_argument on shard_size == 0.
+std::vector<Shard> plan_shards(std::size_t n_runs, std::size_t shard_size);
+
+/// Hex FNV-1a fingerprint of the campaign grid: facade, queue, base seed,
+/// replications, warmup, and every sweep axis with its values.
+std::string grid_signature(const Campaign& campaign);
+
+/// Canonical partial filename of a shard inside a partial directory.
+std::string partial_filename(const Shard& shard);
+
+/// Serialize one shard's outcomes as a partial message. `outcomes` holds
+/// shard.size() entries (slot shard.begin + i at index i).
+obs::Json partial_to_json(const Shard& shard, const std::string& signature,
+                          const std::vector<RepOutcome>& outcomes);
+
+/// Parse and validate a partial message against the expected shard and grid
+/// signature. Throws std::runtime_error naming the first mismatch (schema,
+/// signature, shard range, slot count, malformed slot).
+std::vector<RepOutcome> parse_partial(const obs::Json& doc, const Shard& shard,
+                                      const std::string& signature);
+
+}  // namespace lsds::exp

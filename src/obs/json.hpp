@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -72,6 +73,14 @@ class Json {
 
   /// Serialize. indent > 0 pretty-prints; 0 emits one line.
   std::string dump(int indent = 2) const;
+
+  /// Parse a JSON document produced by this writer (the distributed-campaign
+  /// partial protocol round-trips through here). Accepts the writer's full
+  /// dialect including the NaN / Infinity / -Infinity literals; integers
+  /// without a fraction or exponent come back as kInt, everything else
+  /// numeric as kDouble, so dump(parse(dump(x))) == dump(x). Throws
+  /// std::runtime_error with a byte offset on malformed input.
+  static Json parse(std::string_view text);
 
   /// Escape + quote a string per JSON rules (shared with the JSONL sink).
   static std::string quote(std::string_view s);

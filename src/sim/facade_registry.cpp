@@ -57,7 +57,9 @@ void validate_scenario_keys(const util::IniConfig& ini, const FacadeRegistry::En
   static const std::map<std::string, std::vector<std::string>> kRunnerKeys = {
       {"scenario", {"facade", "seed", "queue", "strict"}},
       {"observability", {"enabled", "report", "trace", "sample_interval", "trace_events"}},
-      {"campaign", {"replications", "warmup", "confidence", "workers", "timing"}},
+      {"campaign",
+       {"replications", "warmup", "confidence", "workers", "timing", "distribute", "shard_size",
+        "timeout", "retries", "partial_dir", "hosts", "keep_partials"}},
   };
 
   for (const std::string& section : ini.sections()) {

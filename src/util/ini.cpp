@@ -177,6 +177,43 @@ double IniConfig::get_duration(const std::string& section, const std::string& ke
   return out;
 }
 
+std::string IniConfig::dump() const {
+  std::string out;
+  auto emit_section = [&](const std::string& section) {
+    auto sit = values_.find(section);
+    if (sit == values_.end()) return;
+    if (!section.empty()) out += "[" + section + "]\n";
+    auto oit = key_order_.find(section);
+    if (oit == key_order_.end()) return;
+    for (const std::string& key : oit->second) {
+      auto kit = sit->second.find(key);
+      if (kit == sit->second.end()) continue;
+      const std::string& v = kit->second;
+      // Quote values the parser would otherwise mangle: comment starters,
+      // surrounding whitespace, or an empty value.
+      const bool needs_quotes =
+          v.empty() || v.find(';') != std::string::npos || v.find('#') != std::string::npos ||
+          v.front() == ' ' || v.back() == ' ' || v.front() == '"';
+      out += key + " = " + (needs_quotes ? "\"" + v + "\"" : v) + "\n";
+    }
+  };
+  // Keys set before any [section] header live in the global section and
+  // must be re-emitted first to stay global.
+  emit_section("");
+  for (const std::string& section : section_order_) {
+    if (section.empty()) continue;
+    emit_section(section);
+  }
+  return out;
+}
+
+void IniConfig::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw ConfigError("ini: cannot open " + path + " for writing");
+  f << dump();
+  if (!f.flush()) throw ConfigError("ini: write to " + path + " failed");
+}
+
 std::vector<std::string> IniConfig::sections() const { return section_order_; }
 
 std::vector<std::string> IniConfig::keys(const std::string& section) const {

@@ -63,6 +63,15 @@ class IniConfig {
   /// Programmatic construction (used by tests and sweep drivers).
   void set(const std::string& section, const std::string& key, std::string value);
 
+  /// Serialize back to INI text (sections and keys in file order, values
+  /// quoted when they would not survive reparsing). parse(dump()) yields an
+  /// equivalent config — the distributed campaign coordinator ships the
+  /// scenario to worker processes through this.
+  std::string dump() const;
+  /// Write dump() to `path`. Throws ConfigError when the file cannot be
+  /// written.
+  void save(const std::string& path) const;
+
  private:
   const std::string* find(const std::string& section, const std::string& key) const;
 

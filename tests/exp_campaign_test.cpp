@@ -91,6 +91,23 @@ TEST(CampaignSpec, DefaultsAndValidation) {
       util::ConfigError);
 }
 
+TEST(CampaignSpec, RejectsNegativeValuesBeforeTheUnsignedCast) {
+  // A negative INI integer must be rejected as written, not wrap into a
+  // huge std::size_t (replications = -3 once meant ~2^64 runs).
+  EXPECT_THROW(
+      exp::CampaignSpec::parse(util::IniConfig::parse("[campaign]\nreplications = -3\n")),
+      util::ConfigError);
+  EXPECT_THROW(exp::CampaignSpec::parse(util::IniConfig::parse("[campaign]\nwarmup = -1\n")),
+               util::ConfigError);
+  EXPECT_THROW(exp::CampaignSpec::parse(util::IniConfig::parse("[campaign]\nworkers = -2\n")),
+               util::ConfigError);
+  try {
+    exp::CampaignSpec::parse(util::IniConfig::parse("[campaign]\nreplications = -3\n"));
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos) << e.what();
+  }
+}
+
 // --- substream seeding -------------------------------------------------------
 
 TEST(SubstreamSeed, DeterministicAndDistinct) {

@@ -63,6 +63,49 @@ TEST(Json, DoublesRoundTrip) {
   EXPECT_EQ(obs::Json::number(std::nan("")), "NaN");
 }
 
+TEST(JsonParse, DumpParseDumpIsIdentity) {
+  // The distributed campaign protocol depends on parse(dump(x)).dump() ==
+  // dump(x): partials travel between processes as printed JSON.
+  obs::Json j = obs::Json::object();
+  j.set("b", true);
+  j.set("i", std::int64_t{-3});
+  j.set("d", 1.0 / 3.0);
+  j.set("s", "quote \" backslash \\ newline \n");
+  j["nested"].set("tiny", 1e-308);
+  j["arr"].push(1).push(0.1).push("x");
+  j.set("none", obs::Json());
+  const std::string once = j.dump();
+  EXPECT_EQ(obs::Json::parse(once).dump(), once);
+}
+
+TEST(JsonParse, TypesAndEscapes) {
+  using Kind = obs::Json::Kind;
+  const obs::Json j = obs::Json::parse(
+      R"({"i": 42, "d": 2.5, "neg": -7, "big": 1e300, "u": "a\u00e9\u20acb",)"
+      R"( "t": true, "n": null, "arr": [1, [2]], "nan": NaN})");
+  EXPECT_EQ(j.find("i")->kind(), Kind::kInt);
+  EXPECT_EQ(j.find("i")->as_int(), 42);
+  EXPECT_EQ(j.find("d")->kind(), Kind::kDouble);
+  EXPECT_DOUBLE_EQ(j.find("d")->as_double(), 2.5);
+  EXPECT_EQ(j.find("neg")->as_int(), -7);
+  EXPECT_EQ(j.find("big")->kind(), Kind::kDouble);  // too big for int64
+  EXPECT_EQ(j.find("u")->as_string(), "a\xc3\xa9\xe2\x82\xac" "b");  // UTF-8 from \u
+  EXPECT_TRUE(j.find("t")->as_bool());
+  EXPECT_EQ(j.find("n")->kind(), Kind::kNull);
+  EXPECT_EQ(j.find("arr")->items()[1].items()[0].as_int(), 2);
+  EXPECT_TRUE(std::isnan(j.find("nan")->as_double()));
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse(""), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1, 2] trailing"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{1: 2}"), std::runtime_error);
+}
+
 // --- MetricsRegistry --------------------------------------------------------
 
 TEST(Metrics, CountersGaugesTimers) {

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate the partial directory of a distributed campaign run.
+
+Usage: check_distributed.py PARTIAL_DIR [--report CAMPAIGN.json]
+
+Checks, over every partial_s*.json in PARTIAL_DIR:
+  * each file parses as JSON with schema "lsds.campaign_partial/1";
+  * each file's shard {id, begin, end} matches its own filename and
+    len(slots) == end - begin;
+  * every partial carries the same grid signature (a mixed directory means
+    shards of two different campaigns were written into one place);
+  * shard ranges are disjoint and, together, cover [0, N) with no holes —
+    the merged grid the coordinator builds is complete;
+  * every slot has rc == 0 and an empty error (a failed replication in a
+    kept partial directory means the merged report threw);
+  * every metric value is finite and metric names are consistent across
+    slots (same set everywhere — facades emit a fixed report shape).
+
+With --report, additionally validates the merged campaign report via
+check_campaign.py (same directory) and cross-checks runs == the slot count
+covered by the partials.
+
+Exit code 0 when everything passes, 1 otherwise. Stdlib only.
+"""
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+import check_campaign
+
+PARTIAL_RE = re.compile(r"^partial_s(\d+)_(\d+)_(\d+)\.json$")
+SCHEMA = "lsds.campaign_partial/1"
+
+
+def check_partial(path):
+    m = PARTIAL_RE.match(path.name)
+    if not m:
+        raise ValueError(f"{path.name}: not a canonical partial filename")
+    fid, fbegin, fend = (int(g) for g in m.groups())
+
+    with open(path) as f:
+        doc = json.load(f, parse_constant=check_campaign.reject_constant)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path.name}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    signature = doc.get("signature")
+    if not isinstance(signature, str) or not signature:
+        raise ValueError(f"{path.name}: missing grid signature")
+
+    shard = doc.get("shard", {})
+    if (shard.get("id"), shard.get("begin"), shard.get("end")) != (fid, fbegin, fend):
+        raise ValueError(f"{path.name}: shard header {shard} contradicts the filename")
+    if fend <= fbegin:
+        raise ValueError(f"{path.name}: empty shard range [{fbegin}, {fend})")
+
+    slots = doc.get("slots")
+    if not isinstance(slots, list) or len(slots) != fend - fbegin:
+        n = len(slots) if isinstance(slots, list) else "missing"
+        raise ValueError(f"{path.name}: {n} slots for range [{fbegin}, {fend})")
+
+    names = None
+    for i, slot in enumerate(slots):
+        if slot.get("rc", None) != 0 or slot.get("error", ""):
+            raise ValueError(
+                f"{path.name}: slot {fbegin + i} failed "
+                f"(rc={slot.get('rc')!r}, error={slot.get('error')!r})")
+        metrics = slot.get("metrics")
+        if not isinstance(metrics, list) or not metrics:
+            raise ValueError(f"{path.name}: slot {fbegin + i} has no metrics")
+        slot_names = []
+        for pair in metrics:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not isinstance(pair[0], str)
+                    or not isinstance(pair[1], (int, float))):
+                raise ValueError(f"{path.name}: slot {fbegin + i}: malformed metric {pair!r}")
+            if not math.isfinite(pair[1]):
+                raise ValueError(f"{path.name}: slot {fbegin + i}: non-finite {pair[0]}")
+            slot_names.append(pair[0])
+        if names is None:
+            names = slot_names
+        elif slot_names != names:
+            raise ValueError(f"{path.name}: slot {fbegin + i}: metric names diverge")
+    return signature, fbegin, fend
+
+
+def main(argv):
+    if not argv or argv[0].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    directory = Path(argv[0])
+    report = None
+    if len(argv) >= 3 and argv[1] == "--report":
+        report = argv[2]
+
+    partials = sorted(directory.glob("partial_s*.json"))
+    if not partials:
+        print(f"FAIL {directory}: no partial_s*.json files", file=sys.stderr)
+        return 1
+
+    failed = 0
+    signatures = set()
+    ranges = []
+    for path in partials:
+        try:
+            signature, begin, end = check_partial(path)
+        except Exception as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed += 1
+            continue
+        signatures.add(signature)
+        ranges.append((begin, end))
+
+    if len(signatures) > 1:
+        print(f"FAIL {directory}: {len(signatures)} distinct grid signatures "
+              f"(partials of different campaigns)", file=sys.stderr)
+        failed += 1
+
+    ranges.sort()
+    covered = 0
+    for begin, end in ranges:
+        if begin < covered:
+            print(f"FAIL {directory}: shard ranges overlap at slot {begin}", file=sys.stderr)
+            failed += 1
+            break
+        if begin > covered:
+            print(f"FAIL {directory}: slots [{covered}, {begin}) are uncovered",
+                  file=sys.stderr)
+            failed += 1
+            break
+        covered = end
+
+    if report is not None and not failed:
+        try:
+            doc = check_campaign.check(report)
+        except Exception as e:
+            print(f"FAIL {report}: {e}", file=sys.stderr)
+            failed += 1
+        else:
+            runs = doc["campaign"]["runs"]
+            if runs != covered:
+                print(f"FAIL {report}: runs={runs}, partials cover {covered} slots",
+                      file=sys.stderr)
+                failed += 1
+
+    if not failed:
+        print(f"ok   {directory}: {len(partials)} partials, {covered} slots, "
+              f"signature {next(iter(signatures))}"
+              + (f", report {report} consistent" if report else ""))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
