@@ -21,6 +21,9 @@
 #include <unistd.h>
 #define LSDS_EXP_CAN_SPAWN 1
 #endif
+#if defined(__APPLE__)
+#include <mach-o/dyld.h>
+#endif
 
 namespace lsds::exp {
 
@@ -93,11 +96,21 @@ std::string read_file(const fs::path& path) {
 }
 
 std::string self_executable() {
+#if defined(__APPLE__)
+  std::uint32_t size = 0;
+  ::_NSGetExecutablePath(nullptr, &size);  // reports the needed buffer size
+  std::string path(size, '\0');
+  if (::_NSGetExecutablePath(path.data(), &size) != 0) return {};
+  const std::size_t nul = path.find('\0');
+  if (nul != std::string::npos) path.resize(nul);
+  return path;
+#else
   char buf[4096];
   const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
   if (n <= 0) return {};
   buf[n] = '\0';
   return buf;
+#endif
 }
 
 // Single-quote an argument for the remote shell an ssh target runs.
@@ -247,9 +260,15 @@ CampaignResult DistributedCampaign::run() {
       if (!cfg_.hosts.empty()) {
         const std::string& host = cfg_.hosts[spawn_count % cfg_.hosts.size()];
         if (host != "localhost" && host != "-") {
-          std::string remote;
+          // The coordinator's SIGKILL (per-shard timeout, kill_all) only
+          // reaches the local ssh client; give the remote side its own
+          // watchdog with the same budget so a lost shard cannot keep
+          // computing — or publish its partial after reassignment.
+          const long long budget =
+              std::max<long long>(1, static_cast<long long>(std::ceil(cfg_.timeout_sec)));
+          std::string remote = "timeout " + std::to_string(budget);
           for (const std::string& a : args) {
-            if (!remote.empty()) remote += " ";
+            remote += " ";
             remote += shell_quote(a);
           }
           args = {"ssh", "-oBatchMode=yes", host, remote};

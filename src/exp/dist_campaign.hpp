@@ -12,10 +12,12 @@
 //
 // The coordinator spawns `scenario_runner --campaign-worker` subprocesses
 // (round-robin over the hosts file when given; ssh targets need the binary
-// and a shared filesystem at the same paths), each computing its shard with
-// the same SplitMix64 substream seeds the in-process runner uses and
-// publishing a lsds.campaign_partial/1 message (exp/dist_protocol.hpp).
-// Partials merge into the pre-sized result grid in point-major order, so
+// and a shared filesystem at the same paths, and run under a remote
+// `timeout` watchdog matched to the per-shard budget, since killing the
+// local ssh client alone would leave the remote worker computing), each
+// computing its shard with the same SplitMix64 substream seeds the
+// in-process runner uses and publishing a lsds.campaign_partial/1 message
+// (exp/dist_protocol.hpp). Partials merge into the pre-sized result grid in point-major order, so
 // the final lsds.campaign_report/1 JSON is **byte-identical** for
 // in-process workers=N, 1 local process, 4 local processes, and any
 // sharding of the same grid.
@@ -57,7 +59,8 @@ struct DistConfig {
   std::string partial_dir;     // "" = private temp dir, removed on success
   bool resume = false;         // merge valid on-disk partials, run the rest
   bool keep_partials = false;  // keep a private dir after a successful merge
-  std::string worker_binary;   // "" = this executable (/proc/self/exe)
+  std::string worker_binary;   // "" = this executable (/proc/self/exe on
+                               // Linux, _NSGetExecutablePath on macOS)
   unsigned worker_threads = 1; // threads inside each worker process
   std::vector<std::string> hosts;  // ssh targets; empty = local processes
 

@@ -1,6 +1,8 @@
 #include "exp/dist_protocol.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <stdexcept>
 
 #include "core/rng.hpp"
@@ -39,6 +41,31 @@ std::string grid_signature(const Campaign& campaign) {
     field(axis.name());
     for (const std::string& v : axis.values) field(v);
     canon += '\x1e';  // axis separator
+  }
+  // Slot outcomes depend on *every* base-scenario key (platform, workload,
+  // network parameters, ...), so the full INI contents are part of the
+  // fingerprint. The only exception is the [campaign] execution keys, which
+  // choose how and where the grid is computed, never what it computes — a
+  // --resume is allowed to use a different fleet, timeout or partial
+  // directory than the run that produced the partials.
+  static constexpr const char* kExecutionKeys[] = {
+      "workers",  "timing",      "distribute", "shard_size",
+      "timeout",  "retries",     "partial_dir", "keep_partials",
+      "hosts",
+  };
+  const util::IniConfig& base = campaign.base();
+  for (const std::string& section : base.sections()) {
+    canon += '\x1d';  // section separator
+    field(section);
+    for (const std::string& key : base.keys(section)) {
+      if (section == "campaign" &&
+          std::find(std::begin(kExecutionKeys), std::end(kExecutionKeys), key) !=
+              std::end(kExecutionKeys)) {
+        continue;
+      }
+      field(key);
+      field(base.get_string(section, key, ""));
+    }
   }
   char buf[24];
   std::snprintf(buf, sizeof buf, "%016llx",

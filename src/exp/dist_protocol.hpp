@@ -15,10 +15,13 @@
 //     ]
 //   }
 //
-// The signature fingerprints everything that determines the grid (facade,
-// queue, base seed, replications, warmup, sweep axes), so the coordinator
-// rejects partials from a different campaign — the `--resume` mode depends
-// on this to never merge stale shards. Metrics ride as [name, value] pairs
+// The signature fingerprints everything that determines the grid — facade,
+// queue, base seed, replications, warmup, sweep axes, and every remaining
+// key of the base scenario INI (platform, workload, network parameters,
+// ...; only the [campaign] execution keys such as distribute/timeout/hosts
+// are excluded) — so the coordinator rejects partials from a different or
+// edited campaign; the `--resume` mode depends on this to never merge
+// stale shards. Metrics ride as [name, value] pairs
 // (not an object) to preserve the facade's insertion order exactly; values
 // round-trip bit-exactly through obs::Json's shortest-round-trip doubles,
 // which is what makes the merged report byte-identical to an in-process
@@ -55,7 +58,11 @@ struct Shard {
 std::vector<Shard> plan_shards(std::size_t n_runs, std::size_t shard_size);
 
 /// Hex FNV-1a fingerprint of the campaign grid: facade, queue, base seed,
-/// replications, warmup, and every sweep axis with its values.
+/// replications, warmup, every sweep axis with its values, and every
+/// section/key/value of the base scenario INI except the [campaign]
+/// execution keys (workers, timing, distribute, shard_size, timeout,
+/// retries, partial_dir, keep_partials, hosts), which affect how the grid
+/// is computed but not its outcomes.
 std::string grid_signature(const Campaign& campaign);
 
 /// Canonical partial filename of a shard inside a partial directory.

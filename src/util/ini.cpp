@@ -1,6 +1,7 @@
 #include "util/ini.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -189,11 +190,17 @@ std::string IniConfig::dump() const {
       auto kit = sit->second.find(key);
       if (kit == sit->second.end()) continue;
       const std::string& v = kit->second;
+      if (v.find('\n') != std::string::npos || v.find('\r') != std::string::npos) {
+        throw ConfigError(strformat("ini: [%s] %s: value contains a line break, which the "
+                                    "line-based format cannot represent",
+                                    section.c_str(), key.c_str()));
+      }
       // Quote values the parser would otherwise mangle: comment starters,
-      // surrounding whitespace, or an empty value.
+      // surrounding whitespace (space or tab), or an empty value.
       const bool needs_quotes =
           v.empty() || v.find(';') != std::string::npos || v.find('#') != std::string::npos ||
-          v.front() == ' ' || v.back() == ' ' || v.front() == '"';
+          std::isspace(static_cast<unsigned char>(v.front())) != 0 ||
+          std::isspace(static_cast<unsigned char>(v.back())) != 0 || v.front() == '"';
       out += key + " = " + (needs_quotes ? "\"" + v + "\"" : v) + "\n";
     }
   };

@@ -66,7 +66,9 @@ class IniConfig {
   /// Serialize back to INI text (sections and keys in file order, values
   /// quoted when they would not survive reparsing). parse(dump()) yields an
   /// equivalent config — the distributed campaign coordinator ships the
-  /// scenario to worker processes through this.
+  /// scenario to worker processes through this. Throws ConfigError on a
+  /// value containing '\n' or '\r': the line-based format cannot represent
+  /// it, and emitting it anyway would silently alter the value on reparse.
   std::string dump() const;
   /// Write dump() to `path`. Throws ConfigError when the file cannot be
   /// written.

@@ -156,6 +156,45 @@ TEST(GridSignature, FingerprintsTheGrid) {
   EXPECT_NE(exp::grid_signature(a), exp::grid_signature(d));
 }
 
+TEST(GridSignature, CoversEveryScenarioKey) {
+  // Any base-scenario key steers slot outcomes, not just the campaign
+  // fields — an edited workload parameter must invalidate old partials.
+  exp::Campaign a(campaign_ini());
+  auto edited = campaign_ini();
+  edited.set("bricks", "mean_ops", "2000");
+  exp::Campaign b(edited);
+  EXPECT_NE(exp::grid_signature(a), exp::grid_signature(b));
+
+  auto new_section = campaign_ini();
+  new_section.set("network", "latency", "5ms");
+  exp::Campaign c(new_section);
+  EXPECT_NE(exp::grid_signature(a), exp::grid_signature(c));
+}
+
+TEST(GridSignature, IgnoresCampaignExecutionKeys) {
+  // How and where the grid is computed must not invalidate partials:
+  // --resume is allowed a different fleet, timeout or partial directory.
+  exp::Campaign a(campaign_ini());
+  auto other_fleet = campaign_ini();
+  other_fleet.set("campaign", "distribute", "8");
+  other_fleet.set("campaign", "timeout", "30s");
+  other_fleet.set("campaign", "retries", "5");
+  other_fleet.set("campaign", "partial_dir", "elsewhere/");
+  other_fleet.set("campaign", "keep_partials", "true");
+  other_fleet.set("campaign", "workers", "7");
+  other_fleet.set("campaign", "timing", "true");
+  exp::Campaign b(other_fleet);
+  EXPECT_EQ(exp::grid_signature(a), exp::grid_signature(b));
+}
+
+TEST(GridSignature, StableAcrossTheCoordinatorWorkerIniRoundTrip) {
+  // The worker recomputes the signature from the scenario.ini the
+  // coordinator saved; both sides must agree or no partial ever merges.
+  exp::Campaign a(campaign_ini());
+  exp::Campaign b(util::IniConfig::parse(campaign_ini().dump()));
+  EXPECT_EQ(exp::grid_signature(a), exp::grid_signature(b));
+}
+
 // --- DistConfig parsing ------------------------------------------------------
 
 TEST(DistConfig, ParsesCampaignSection) {
@@ -292,6 +331,35 @@ TEST(DistributedCampaign, ResumeFromCompletePartialDirIsByteIdentical) {
   EXPECT_EQ(resumed.to_json_string(), reference);
   ASSERT_TRUE(resumed.distribution.has_value());
   EXPECT_EQ(resumed.distribution->shards_resumed, resumed.distribution->shards);
+
+  fs::remove_all(dir);
+}
+
+TEST(DistributedCampaign, ResumeAfterScenarioEditRecomputesEverything) {
+  // Editing any scenario key between a run and its --resume changes the
+  // grid signature, so the old partials are stale: the resumed run must
+  // recompute every shard and match a clean run of the *edited* scenario.
+  const fs::path dir = scratch_dir("edited");
+
+  exp::DistConfig first;
+  first.processes = 2;
+  first.partial_dir = dir.string();
+  first.keep_partials = true;
+  exp::DistributedCampaign run1(campaign_ini(), first);
+  run1.run();
+
+  auto edited = campaign_ini();
+  edited.set("bricks", "mean_ops", "900");  // a workload key, not a campaign one
+  exp::Campaign reference_campaign(edited);
+  const std::string reference = reference_campaign.run().to_json_string();
+
+  exp::DistConfig second = first;
+  second.resume = true;
+  exp::DistributedCampaign run2(edited, second);
+  const exp::CampaignResult resumed = run2.run();
+  EXPECT_EQ(resumed.to_json_string(), reference);
+  ASSERT_TRUE(resumed.distribution.has_value());
+  EXPECT_EQ(resumed.distribution->shards_resumed, 0u);
 
   fs::remove_all(dir);
 }

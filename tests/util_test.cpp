@@ -191,6 +191,23 @@ TEST(Ini, DumpRoundTripsSectionsKeysAndValues) {
   EXPECT_EQ(back.dump(), cfg.dump());
 }
 
+TEST(Ini, DumpQuotesTabWrappedValuesAndRejectsLineBreaks) {
+  // A programmatically set() value with surrounding tabs must survive the
+  // dump/parse round trip (quoted), and a value with an embedded line break
+  // — which the line-based format cannot represent — must throw rather than
+  // silently desync the coordinator's and a worker's scenarios.
+  u::IniConfig cfg;
+  cfg.set("a", "padded", "\tkeep me\t");
+  EXPECT_EQ(u::IniConfig::parse(cfg.dump()).get_string("a", "padded"), "\tkeep me\t");
+
+  u::IniConfig newline;
+  newline.set("a", "multiline", "first\nsecond");
+  EXPECT_THROW(newline.dump(), u::ConfigError);
+  u::IniConfig carriage;
+  carriage.set("a", "cr", "ends badly\r");
+  EXPECT_THROW(carriage.dump(), u::ConfigError);
+}
+
 TEST(Ini, OrderPreserved) {
   const auto cfg = u::IniConfig::parse("[b]\nz=1\na=2\n[a]\nq=3\n");
   const auto secs = cfg.sections();
